@@ -1,0 +1,55 @@
+// Fork-server fuzzing demo (paper use-case U5): the expensive target initialization runs once;
+// every test case runs in a forked child, so capability-fault "crashes" are contained and the
+// pristine state is restored for free. Compares against re-initializing per case.
+//
+//   $ ./fuzzing_demo
+#include <cstdio>
+
+#include "src/apps/forkfuzz.h"
+#include "src/baseline/system.h"
+
+using namespace ufork;
+
+namespace {
+
+FuzzStats RunMode(bool fork_server, uint64_t iterations) {
+  KernelConfig config;
+  config.layout.heap_size = 1 * kMiB;
+  auto kernel = MakeUforkKernel(config);
+  FuzzStats stats;
+  auto pid = kernel->Spawn(
+      MakeGuestEntry([&stats, fork_server, iterations](Guest& g) -> SimTask<void> {
+        const FuzzTarget target = MakeLookupTableTarget();
+        UF_CHECK(target.initialize(g).ok());
+        if (fork_server) {
+          co_await RunForkServer(g, target, iterations, /*seed=*/2025, &stats);
+        } else {
+          co_await RunRespawnBaseline(g, target, iterations, /*seed=*/2025, &stats);
+        }
+      }),
+      "fuzzer");
+  UF_CHECK(pid.ok());
+  kernel->Run();
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  constexpr uint64_t kIterations = 300;
+  std::printf("fuzzing a lookup-table parser with a planted out-of-bounds bug "
+              "(trigger byte 0xEE)\n\n");
+  const FuzzStats server = RunMode(/*fork_server=*/true, kIterations);
+  const FuzzStats respawn = RunMode(/*fork_server=*/false, kIterations);
+  std::printf("  fork server:  %4lu execs, %3lu crashes caught, %7.1f ms -> %7.0f execs/s\n",
+              server.executions, server.crashes, ToMilliseconds(server.elapsed),
+              server.ExecsPerSecond());
+  std::printf("  respawn/case: %4lu execs, %3lu crashes caught, %7.1f ms -> %7.0f execs/s\n",
+              respawn.executions, respawn.crashes, ToMilliseconds(respawn.elapsed),
+              respawn.ExecsPerSecond());
+  std::printf("\nidentical verdicts, %.1fx higher throughput: fork amortizes the per-case "
+              "setup (U5),\nand every crash is a *contained* capability fault, not a corrupted "
+              "fuzzer.\n",
+              server.ExecsPerSecond() / respawn.ExecsPerSecond());
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Pre-fork web server demo (paper use-case U5): a master μprocess forks long-lived workers
+// that serve a closed loop of connections concurrently, like Nginx's master/worker model.
+//
+//   $ ./nginx_workers
+#include <cstdio>
+
+#include "src/apps/httpd.h"
+#include "src/baseline/system.h"
+
+using namespace ufork;
+
+namespace {
+
+HttpdResult RunServer(int cores, int workers) {
+  KernelConfig config;
+  config.layout.heap_size = 4 * kMiB;
+  config.cores = cores;
+  auto kernel = MakeUforkKernel(config);
+  HttpdResult result;
+  HttpdParams params;
+  params.workers = workers;
+  params.connections = 8;
+  params.requests_per_connection = 200;
+  auto pid = kernel->Spawn(MakeGuestEntry([&result, params](Guest& g) -> SimTask<void> {
+                             co_await HttpdBenchmark(g, params, &result);
+                           }),
+                           "nginx");
+  UF_CHECK(pid.ok());
+  kernel->Run();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Pre-fork web server: 8 connections x 200 requests, 8 KB responses\n\n");
+  std::printf("single core (Unikraft big-kernel-lock SMP, §4.5):\n");
+  for (int workers = 1; workers <= 3; ++workers) {
+    const HttpdResult result = RunServer(/*cores=*/1, workers);
+    std::printf("  %d worker%s: %7.0f req/s  (%.1f ms for %lu requests)\n", workers,
+                workers == 1 ? " " : "s", result.RequestsPerSecond(),
+                ToMilliseconds(result.elapsed), result.requests_completed);
+  }
+  std::printf("\nworkers overlap their blocking I/O even on one core — the paper's Fig. 7 "
+              "observation.\n");
+  return 0;
+}

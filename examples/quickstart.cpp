@@ -1,0 +1,87 @@
+// Quickstart: boot a μFork kernel, fork a μprocess, and watch the single-address-space
+// machinery work — region placement, proactive GOT/allocator relocation, CoPA faults, and
+// copy-on-write isolation in both directions.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "src/baseline/system.h"
+#include "src/kernel/proc_report.h"
+#include "src/guest/guest.h"
+
+using namespace ufork;
+
+int main() {
+  KernelConfig config;
+  config.cores = 4;
+  config.strategy = ForkStrategy::kCopa;
+  config.isolation = IsolationLevel::kFull;
+
+  auto kernel = MakeUforkKernel(config);
+  std::printf("μFork quickstart — backend=%s strategy=%s isolation=%s\n",
+              kernel->backend().name(), ForkStrategyName(config.strategy),
+              IsolationLevelName(config.isolation));
+
+  auto pid = kernel->Spawn(
+      MakeGuestEntry([](Guest& g) -> SimTask<void> {
+        std::printf("[parent pid=%ld] region [0x%lx, 0x%lx)\n", g.pid(), g.base(),
+                    g.base() + g.uproc().size);
+
+        // Build some state: a heap block holding a value, published through the GOT so the
+        // (relocated) child can find it position-independently.
+        auto block = g.Malloc(64);
+        UF_CHECK(block.ok());
+        UF_CHECK(g.StoreAt<uint64_t>(*block, 0, 2025).ok());
+        UF_CHECK(g.GotStore(kGotSlotFirstUser, *block).ok());
+        std::printf("[parent] planted value 2025 at %s\n", block->ToString().c_str());
+
+        auto child = co_await g.Fork([](Guest& cg) -> SimTask<void> {
+          std::printf("[child pid=%ld] region [0x%lx, 0x%lx) — same address space, new area\n",
+                      cg.pid(), cg.base(), cg.base() + cg.uproc().size);
+          std::printf("\n%s\n", ProcessTableReport(cg.kernel()).c_str());
+          std::printf("%s\n", MemoryMapReport(cg.kernel(), cg.pid()).c_str());
+          auto cap = cg.GotLoad(kGotSlotFirstUser);
+          UF_CHECK(cap.ok());
+          std::printf("[child] GOT slot relocated to %s\n", cap->ToString().c_str());
+          auto value = cg.LoadAt<uint64_t>(*cap, 0);  // CoPA copies the page underneath
+          UF_CHECK(value.ok());
+          std::printf("[child] read inherited value: %lu\n", *value);
+          UF_CHECK(cg.StoreAt<uint64_t>(*cap, 0, 1111).ok());
+          std::printf("[child] overwrote it with 1111 (private copy)\n");
+          co_await cg.Exit(42);
+        });
+        UF_CHECK(child.ok());
+        const ForkStats& stats = g.kernel().FindUproc(*child)->fork_stats;
+        std::printf("[parent] fork latency %.1f μs — %lu pages mapped, %lu copied eagerly, "
+                    "%lu caps relocated eagerly, %lu registers relocated\n",
+                    ToMicroseconds(stats.latency), stats.pages_mapped,
+                    stats.pages_copied_eagerly, stats.caps_relocated_eagerly,
+                    stats.registers_relocated);
+
+        auto waited = co_await g.Wait();
+        UF_CHECK(waited.ok());
+        auto value = g.LoadAt<uint64_t>(*block, 0);
+        UF_CHECK(value.ok());
+        std::printf("[parent] child exited with %d; my value is still %lu\n", waited->status,
+                    *value);
+      }),
+      "quickstart");
+  UF_CHECK(pid.ok());
+  kernel->Run();
+
+  std::printf("\n%s", KernelSummaryReport(*kernel).c_str());
+
+  std::printf(
+      "\nTable 1 (paper): how μFork compares to prior SASOS fork systems\n"
+      "  %-16s %-4s %-10s %-4s %-5s %-4s %-9s\n"
+      "  %-16s %-4s %-10s %-4s %-5s %-4s %-9s\n"
+      "  %-16s %-4s %-10s %-4s %-5s %-4s %-9s\n"
+      "  %-16s %-4s %-10s %-4s %-5s %-4s %-9s\n"
+      "  %-16s %-4s %-10s %-4s %-5s %-4s %-9s\n",
+      "System", "SAS", "Isolation", "SC", "IPCs", "Seg", "f+e only",
+      "Nephele/KylinX", "No", "Yes", "No", "Med", "No", "No",
+      "OSv/Junction", "Yes", "No", "—", "Fast", "No", "Yes",
+      "Angel/Mungi", "Yes", "Yes", "Yes", "Fast", "Yes", "No",
+      "uFork (this)", "Yes", "Yes", "Yes", "Fast", "No", "No");
+  return 0;
+}

@@ -1,0 +1,135 @@
+#include "src/apps/faas.h"
+
+#include <cmath>
+
+namespace ufork {
+namespace {
+
+// Runtime root block offsets (capability fields granule-aligned).
+constexpr uint64_t kOffModuleTable = 0;   // cap -> array of module caps
+constexpr uint64_t kOffConstPool = 16;    // cap -> array of doubles
+constexpr uint64_t kOffBytecode = 32;     // cap -> bytecode arena
+constexpr uint64_t kOffModuleCount = 48;
+constexpr uint64_t kOffConstCount = 56;
+
+constexpr uint64_t kModuleCount = 48;       // imports a Python runtime would preload
+constexpr uint64_t kModuleSize = 512;       // per-module state
+constexpr uint64_t kConstCount = 256;
+constexpr uint64_t kBytecodeBytes = 16 * 1024;
+
+// Virtual cost of one float_operation iteration (sqrt + sin + cos + bookkeeping on Morello).
+constexpr Cycles kCyclesPerFloatIteration = 90;
+
+}  // namespace
+
+Result<void> InitializeZygoteRuntime(Guest& g) {
+  // The cold-start work a Python runtime does once: loading modules, building constant pools,
+  // materializing bytecode. Everything is capability-linked so fork children inherit it via
+  // relocation.
+  UF_ASSIGN_OR_RETURN(const Capability root, g.Malloc(64));
+  UF_ASSIGN_OR_RETURN(const Capability modules, g.Malloc(kModuleCount * kCapSize));
+  for (uint64_t m = 0; m < kModuleCount; ++m) {
+    UF_ASSIGN_OR_RETURN(const Capability module, g.Malloc(kModuleSize));
+    // Module "initialization": stamp a header the executor validates.
+    UF_RETURN_IF_ERROR(g.StoreAt<uint64_t>(module, 0, 0x4d4f44ULL + m));  // "MOD" + index
+    UF_RETURN_IF_ERROR(g.StoreCap(modules, modules.base() + m * kCapSize, module));
+    g.Compute(2'000);  // import machinery per module
+  }
+  UF_ASSIGN_OR_RETURN(const Capability consts, g.Malloc(kConstCount * 8));
+  for (uint64_t i = 0; i < kConstCount; ++i) {
+    UF_RETURN_IF_ERROR(
+        g.StoreAt<double>(consts, i * 8, 1.0 + static_cast<double>(i) * 0.5));
+  }
+  UF_ASSIGN_OR_RETURN(const Capability bytecode, g.Malloc(kBytecodeBytes));
+  UF_RETURN_IF_ERROR(g.WriteBytes(
+      bytecode, bytecode.base(),
+      std::vector<std::byte>(kBytecodeBytes, std::byte{0x42})));
+  g.Compute(200'000);  // parse/compile cost
+
+  UF_RETURN_IF_ERROR(g.StoreCap(root, root.base() + kOffModuleTable, modules));
+  UF_RETURN_IF_ERROR(g.StoreCap(root, root.base() + kOffConstPool, consts));
+  UF_RETURN_IF_ERROR(g.StoreCap(root, root.base() + kOffBytecode, bytecode));
+  UF_RETURN_IF_ERROR(g.StoreAt<uint64_t>(root, kOffModuleCount, kModuleCount));
+  UF_RETURN_IF_ERROR(g.StoreAt<uint64_t>(root, kOffConstCount, kConstCount));
+  return g.GotStore(kGotSlotZygoteRuntime, root);
+}
+
+Result<double> FloatOperation(Guest& g, uint64_t iterations) {
+  // Reach the warm runtime through the (relocated) GOT: in a fork child these capability loads
+  // are what CoPA intercepts.
+  UF_ASSIGN_OR_RETURN(const Capability root, g.GotLoad(kGotSlotZygoteRuntime));
+  if (!root.tag()) {
+    return Error{Code::kErrInval, "Zygote runtime not initialized"};
+  }
+  UF_ASSIGN_OR_RETURN(const Capability modules, g.LoadCap(root, root.base() + kOffModuleTable));
+  UF_ASSIGN_OR_RETURN(const uint64_t module_count,
+                      g.Load<uint64_t>(root, root.base() + kOffModuleCount));
+  // Validate a module header (the "import math" the function body needs).
+  const uint64_t math_index = 7 % module_count;
+  UF_ASSIGN_OR_RETURN(const Capability math_module,
+                      g.LoadCap(modules, modules.base() + math_index * kCapSize));
+  UF_ASSIGN_OR_RETURN(const uint64_t module_magic, g.LoadAt<uint64_t>(math_module, 0));
+  if (module_magic != 0x4d4f44ULL + math_index) {
+    return Error{Code::kErrInval, "corrupted module table after fork"};
+  }
+  UF_ASSIGN_OR_RETURN(const Capability consts, g.LoadCap(root, root.base() + kOffConstPool));
+  UF_ASSIGN_OR_RETURN(const double seed, g.Load<double>(consts, consts.base()));
+
+  // FunctionBench float_operation: sqrt/sin/cos accumulation.
+  double acc = seed;
+  for (uint64_t i = 0; i < iterations; ++i) {
+    const double x = static_cast<double>(i) + acc * 1e-9;
+    acc += std::sqrt(x) + std::sin(x) + std::cos(x);
+  }
+  g.Compute(kCyclesPerFloatIteration * iterations);
+  return acc;
+}
+
+SimTask<void> ZygoteCoordinator(Guest& g, ZygoteParams params, ZygoteResult* result) {
+  Scheduler& sched = g.kernel().sched();
+  const Cycles start = sched.Now();
+  uint64_t completed = 0;
+  uint64_t launched = 0;
+  int inflight = 0;
+
+  while (sched.Now() - start < params.window) {
+    if (inflight >= params.worker_cores) {
+      auto waited = co_await g.Wait();
+      if (waited.ok()) {
+        --inflight;
+        if (waited->status == 0) {
+          ++completed;
+        }
+      }
+      continue;
+    }
+    // Keep function executors off the coordinator core: round-robin across worker cores.
+    g.SetChildAffinity(1 + static_cast<int>(launched % params.worker_cores));
+    GuestFn executor_fn =
+        [iterations = params.float_iterations](Guest& cg) -> SimTask<void> {
+      auto value = FloatOperation(cg, iterations);
+      co_await cg.Exit(value.ok() ? 0 : 1);
+    };
+    auto child = co_await g.Fork(std::move(executor_fn));
+    if (!child.ok()) {
+      co_await g.Nanosleep(Microseconds(50));
+      continue;
+    }
+    ++launched;
+    ++inflight;
+  }
+  while (inflight > 0) {
+    auto waited = co_await g.Wait();
+    if (!waited.ok()) {
+      break;
+    }
+    --inflight;
+    if (waited->status == 0) {
+      ++completed;
+    }
+  }
+  result->functions_completed = completed;
+  result->elapsed = sched.Now() - start;
+}
+
+}  // namespace ufork

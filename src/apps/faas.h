@@ -1,0 +1,50 @@
+// Zygote-style FaaS framework (paper §5.1 "Function as a Service").
+//
+// A Zygote μprocess initializes the language runtime once (module table, constant pools — the
+// expensive cold-start work), then serves each request by forking itself: the child inherits
+// the warm runtime through fork's state duplication and runs the function. The benchmark
+// measures function throughput with a coordinator pinned to one core and children executing on
+// the remaining cores, exactly like the paper's Figure 6 setup (FunctionBench float_operation,
+// 10-second window).
+#ifndef UFORK_SRC_APPS_FAAS_H_
+#define UFORK_SRC_APPS_FAAS_H_
+
+#include "src/guest/guest.h"
+
+namespace ufork {
+
+// GOT slot publishing the initialized runtime state.
+inline constexpr int kGotSlotZygoteRuntime = kGotSlotFirstUser + 1;
+
+struct ZygoteParams {
+  Cycles window = Seconds(10);     // measurement window
+  int worker_cores = 3;            // max functions in flight (coordinator occupies its own)
+  uint64_t float_iterations = 1000;  // FunctionBench float_operation problem size
+};
+
+struct ZygoteResult {
+  uint64_t functions_completed = 0;
+  Cycles elapsed = 0;
+  double FunctionsPerSecond() const {
+    return elapsed == 0 ? 0.0
+                        : static_cast<double>(functions_completed) / ToSeconds(elapsed);
+  }
+};
+
+// Initializes the "language runtime": allocates interpreter structures in the guest heap
+// (module table, constant pool, bytecode arena — all linked with capabilities) and publishes
+// the root via the GOT. This is the cold-start cost Zygote forking amortizes.
+Result<void> InitializeZygoteRuntime(Guest& guest);
+
+// FunctionBench float_operation: sqrt/sin/cos over n iterations. Computes a real value (so the
+// work cannot be optimized away) and charges the corresponding virtual CPU time. Verifies the
+// runtime is reachable through the (relocated) GOT before running.
+Result<double> FloatOperation(Guest& guest, uint64_t iterations);
+
+// The Zygote coordinator loop: forks function executors as fast as the in-flight limit allows
+// for the duration of the window. Must run in a μprocess whose runtime was initialized.
+SimTask<void> ZygoteCoordinator(Guest& guest, ZygoteParams params, ZygoteResult* result);
+
+}  // namespace ufork
+
+#endif  // UFORK_SRC_APPS_FAAS_H_

@@ -1,0 +1,112 @@
+#include "src/apps/forkfuzz.h"
+
+#include "src/base/rng.h"
+
+namespace ufork {
+namespace {
+
+constexpr uint64_t kMaxInputBytes = 64;
+constexpr int kCrashExit = 139;  // 128 + SIGSEGV, the classic crash status
+
+std::vector<std::byte> MutateInput(Rng& rng) {
+  std::vector<std::byte> input(1 + rng.NextBelow(kMaxInputBytes));
+  for (auto& byte : input) {
+    byte = static_cast<std::byte>(rng.NextU64());
+  }
+  return input;
+}
+
+SimTask<void> RunOneForkedCase(Guest& g, const FuzzTarget& target,
+                               std::vector<std::byte> input, FuzzStats* stats) {
+  // The closure captures a vector (non-trivially destructible): hoisted per the GCC 12 rule.
+  GuestFn case_fn = [&target, input](Guest& cg) -> SimTask<void> {
+    const Result<void> verdict = target.execute(cg, input);
+    co_await cg.Exit(verdict.ok() ? 0 : kCrashExit);
+  };
+  auto child = co_await g.Fork(std::move(case_fn));
+  UF_CHECK_MSG(child.ok(), "fork server could not fork a case");
+  auto waited = co_await g.Wait();
+  UF_CHECK(waited.ok());
+  ++stats->executions;
+  if (waited->status == kCrashExit) {
+    ++stats->crashes;
+  }
+}
+
+}  // namespace
+
+SimTask<void> RunForkServer(Guest& g, const FuzzTarget& target, uint64_t iterations,
+                            uint64_t seed, FuzzStats* stats) {
+  Scheduler& sched = g.kernel().sched();
+  Rng rng(seed);
+  const Cycles start = sched.Now();
+  for (uint64_t i = 0; i < iterations; ++i) {
+    co_await RunOneForkedCase(g, target, MutateInput(rng), stats);
+  }
+  stats->elapsed = sched.Now() - start;
+}
+
+SimTask<void> RunRespawnBaseline(Guest& g, const FuzzTarget& target, uint64_t iterations,
+                                 uint64_t seed, FuzzStats* stats) {
+  Scheduler& sched = g.kernel().sched();
+  Rng rng(seed);
+  const Cycles start = sched.Now();
+  for (uint64_t i = 0; i < iterations; ++i) {
+    const std::vector<std::byte> input = MutateInput(rng);
+    GuestFn case_fn = [&target, input](Guest& cg) -> SimTask<void> {
+      // No warm state: pay the full initialization for every single case.
+      const Result<void> initialized = target.initialize(cg);
+      UF_CHECK(initialized.ok());
+      const Result<void> verdict = target.execute(cg, input);
+      co_await cg.Exit(verdict.ok() ? 0 : kCrashExit);
+    };
+    auto child = co_await g.Fork(std::move(case_fn));
+    UF_CHECK(child.ok());
+    auto waited = co_await g.Wait();
+    UF_CHECK(waited.ok());
+    ++stats->executions;
+    if (waited->status == kCrashExit) {
+      ++stats->crashes;
+    }
+  }
+  stats->elapsed = sched.Now() - start;
+}
+
+FuzzTarget MakeLookupTableTarget() {
+  FuzzTarget target;
+  target.initialize = [](Guest& g) -> Result<void> {
+    // "Parse the dictionary": a 256-slot dispatch table of capabilities to per-token blocks.
+    UF_ASSIGN_OR_RETURN(const Capability table, g.Malloc(256 * kCapSize));
+    for (uint64_t slot = 0; slot < 256; ++slot) {
+      UF_ASSIGN_OR_RETURN(const Capability entry, g.Malloc(32));
+      UF_RETURN_IF_ERROR(g.StoreAt<uint64_t>(entry, 0, slot * 3 + 1));
+      UF_RETURN_IF_ERROR(g.StoreCap(table, table.base() + slot * kCapSize, entry));
+    }
+    g.Compute(2'000'000);  // the heavy setup work the fork server amortizes
+    return g.GotStore(kGotSlotFuzzTarget, table);
+  };
+  target.execute = [](Guest& g, std::span<const std::byte> input) -> Result<void> {
+    UF_ASSIGN_OR_RETURN(const Capability table, g.GotLoad(kGotSlotFuzzTarget));
+    if (!table.tag()) {
+      return Error{Code::kErrInval, "target state missing"};
+    }
+    uint64_t accumulator = 0;
+    for (size_t i = 0; i < input.size(); ++i) {
+      const uint8_t byte = static_cast<uint8_t>(input[i]);
+      UF_ASSIGN_OR_RETURN(const Capability entry,
+                          g.LoadCap(table, table.base() + byte * kCapSize));
+      // THE BUG: a 0xEE token makes the parser read past the entry's bounds — the
+      // capability's tight bounds turn it into a deterministic, catchable fault.
+      const uint64_t offset = byte == 0xEE ? 64 : 0;
+      UF_ASSIGN_OR_RETURN(const uint64_t value,
+                          g.Load<uint64_t>(entry, entry.base() + offset));
+      accumulator += value;
+      g.Compute(40);
+    }
+    (void)accumulator;
+    return OkResult();
+  };
+  return target;
+}
+
+}  // namespace ufork

@@ -1,0 +1,60 @@
+// Fork-server fuzzing harness — the paper's U5 pattern: "Testing frameworks such as fuzzers
+// use fork to avoid the cost of setup for each exploration".
+//
+// An AFL-style fork server: the target's expensive initialization (parsing dictionaries,
+// building lookup structures in guest memory) runs once in the server μprocess; each test case
+// then executes in a forked child, so crashes — capability faults included, which is exactly
+// what CHERI turns memory-safety bugs into — are contained and the pristine initialized state
+// is restored for free by the next fork. The harness also supports a spawn-per-case mode to
+// quantify what the fork server saves.
+#ifndef UFORK_SRC_APPS_FORKFUZZ_H_
+#define UFORK_SRC_APPS_FORKFUZZ_H_
+
+#include <functional>
+
+#include "src/guest/guest.h"
+
+namespace ufork {
+
+// GOT slot where the target's initialized state lives (inherited by every forked case).
+inline constexpr int kGotSlotFuzzTarget = kGotSlotFirstUser + 2;
+
+// A fuzz target: initialized once, executed per input. Both run as guest code; Execute's
+// return distinguishes clean runs from detected bugs (a capability fault surfaced as an
+// error), mirroring a SIGSEGV/SIGPROT in a hardware deployment.
+struct FuzzTarget {
+  // Builds the target's state in guest memory and publishes it via kGotSlotFuzzTarget.
+  std::function<Result<void>(Guest&)> initialize;
+  // Runs one input against the (inherited) state. Error => crash.
+  std::function<Result<void>(Guest&, std::span<const std::byte> input)> execute;
+  Cycles init_cost = 2'000'000;  // the setup work fork amortizes (charged by initialize)
+};
+
+struct FuzzStats {
+  uint64_t executions = 0;
+  uint64_t crashes = 0;
+  Cycles elapsed = 0;
+  double ExecsPerSecond() const {
+    return elapsed == 0 ? 0.0 : static_cast<double>(executions) / ToSeconds(elapsed);
+  }
+};
+
+// Runs `iterations` random test cases through a fork server: one fork per case, inputs from a
+// deterministic mutator seeded with `seed`. Must be called from the μprocess that ran
+// target.initialize.
+SimTask<void> RunForkServer(Guest& guest, const FuzzTarget& target, uint64_t iterations,
+                            uint64_t seed, FuzzStats* stats);
+
+// Baseline: the same budget of cases, but each case re-runs initialize (the world without a
+// fork server — what U5 says fuzzers avoid).
+SimTask<void> RunRespawnBaseline(Guest& guest, const FuzzTarget& target, uint64_t iterations,
+                                 uint64_t seed, FuzzStats* stats);
+
+// A built-in buggy target for demos/tests: a bounds-checked-except-for-one-path lookup table
+// where inputs beginning with the byte 0xEE drive an out-of-bounds access that the capability
+// hardware catches.
+FuzzTarget MakeLookupTableTarget();
+
+}  // namespace ufork
+
+#endif  // UFORK_SRC_APPS_FORKFUZZ_H_

@@ -1,0 +1,131 @@
+#include "src/apps/httpd.h"
+
+#include <string>
+#include <vector>
+
+namespace ufork {
+namespace {
+
+constexpr uint64_t kPoisonConn = ~0ULL;
+
+// One pre-forked worker: accept → parse → handle → respond, forever (until poisoned). This is
+// the long-lived Nginx worker of U5; fork latency is irrelevant here, steady-state throughput
+// is what counts.
+SimTask<void> WorkerLoop(Guest& g, int listener_fd, std::vector<int> conn_fds,
+                         HttpdParams params) {
+  auto req = g.Malloc(params.request_bytes);
+  auto resp = g.Malloc(params.response_bytes);
+  UF_CHECK(req.ok() && resp.ok());
+  UF_CHECK(g.StoreAt<uint64_t>(*resp, 0, 0x200ULL).ok());  // status line
+  for (;;) {
+    auto n = co_await g.Read(listener_fd, *req, params.request_bytes);
+    if (!n.ok() || *n < 8) {
+      break;
+    }
+    auto conn = g.LoadAt<uint64_t>(*req, 0);
+    if (!conn.ok() || *conn == kPoisonConn) {
+      break;
+    }
+    g.Compute(params.net_stack_cost + params.parse_cost + params.handler_cost);
+    if (params.io_wait > 0) {
+      (void)co_await g.Nanosleep(params.io_wait);  // blocking I/O: the core is free meanwhile
+    }
+    auto sent = co_await g.Write(static_cast<int>(conn_fds[*conn]), *resp,
+                                 params.response_bytes);
+    if (!sent.ok()) {
+      break;
+    }
+  }
+  co_await g.Exit(0);
+}
+
+// One wrk connection: closed loop of request → response.
+SimTask<void> ClientLoop(Guest& g, int listener_fd, int conn_fd, uint64_t conn_id,
+                         HttpdParams params) {
+  auto req = g.Malloc(params.request_bytes);
+  auto resp = g.Malloc(params.response_bytes);
+  UF_CHECK(req.ok() && resp.ok());
+  UF_CHECK(g.StoreAt<uint64_t>(*req, 0, conn_id).ok());
+  for (uint64_t i = 0; i < params.requests_per_connection; ++i) {
+    auto sent = co_await g.Write(listener_fd, *req, params.request_bytes);
+    if (!sent.ok()) {
+      break;
+    }
+    auto n = co_await g.Read(conn_fd, *resp, params.response_bytes);
+    if (!n.ok() || *n == 0) {
+      break;
+    }
+  }
+  co_await g.Exit(42);
+}
+
+}  // namespace
+
+SimTask<void> HttpdBenchmark(Guest& g, HttpdParams params, HttpdResult* result) {
+  Scheduler& sched = g.kernel().sched();
+
+  // Listener + per-connection queues, opened before forking so every child inherits the fds.
+  auto listener = co_await g.MqOpen("/mq/httpd-listener", /*create=*/true);
+  UF_CHECK(listener.ok());
+  std::vector<int> conn_fds;
+  for (int c = 0; c < params.connections; ++c) {
+    auto fd = co_await g.MqOpen("/mq/httpd-conn-" + std::to_string(c), /*create=*/true);
+    UF_CHECK(fd.ok());
+    conn_fds.push_back(*fd);
+  }
+
+  // Pre-fork the workers (the nginx master/worker model). Closures are hoisted out of the
+  // co_await expressions (GCC 12 temporary-lifetime workaround, see guest.h).
+  for (int w = 0; w < params.workers; ++w) {
+    GuestFn worker_fn =
+        [listener_fd = *listener, conn_fds, params](Guest& wg) -> SimTask<void> {
+      co_await WorkerLoop(wg, listener_fd, conn_fds, params);
+    };
+    auto worker = co_await g.Fork(std::move(worker_fn));
+    UF_CHECK_MSG(worker.ok(), "worker fork failed");
+  }
+
+  const Cycles start = sched.Now();
+  for (int c = 0; c < params.connections; ++c) {
+    GuestFn client_fn = [listener_fd = *listener,
+                         conn_fd = conn_fds[static_cast<size_t>(c)],
+                         conn_id = static_cast<uint64_t>(c),
+                         params](Guest& cg) -> SimTask<void> {
+      co_await ClientLoop(cg, listener_fd, conn_fd, conn_id, params);
+    };
+    auto client = co_await g.Fork(std::move(client_fn));
+    UF_CHECK_MSG(client.ok(), "client fork failed");
+  }
+
+  // Reap the clients (exit code 42), then poison and reap the workers.
+  int clients_left = params.connections;
+  int workers_left = params.workers;
+  while (clients_left > 0) {
+    auto waited = co_await g.Wait();
+    UF_CHECK(waited.ok());
+    if (waited->status == 42) {
+      --clients_left;
+    } else {
+      --workers_left;  // a worker died early (should not happen)
+    }
+  }
+  const Cycles elapsed = sched.Now() - start;
+
+  auto poison = g.Malloc(params.request_bytes);
+  UF_CHECK(poison.ok());
+  UF_CHECK(g.StoreAt<uint64_t>(*poison, 0, kPoisonConn).ok());
+  for (int w = 0; w < workers_left; ++w) {
+    UF_CHECK((co_await g.Write(*listener, *poison, params.request_bytes)).ok());
+  }
+  while (workers_left > 0) {
+    auto waited = co_await g.Wait();
+    UF_CHECK(waited.ok());
+    --workers_left;
+  }
+
+  result->requests_completed =
+      static_cast<uint64_t>(params.connections) * params.requests_per_connection;
+  result->elapsed = elapsed;
+}
+
+}  // namespace ufork

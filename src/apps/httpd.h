@@ -1,0 +1,49 @@
+// Pre-fork multi-worker HTTP server + wrk-style closed-loop load generator.
+//
+// Models the paper's Nginx experiment (§5.1, Fig. 7): a master μprocess forks W long-lived
+// workers (U5: fork for concurrency); each worker accepts requests from a shared listener
+// queue, parses and handles them, and replies on the per-connection queue. C load-generator
+// connections drive the server closed-loop (like wrk keeping C connections busy). Throughput
+// is requests completed / virtual time.
+#ifndef UFORK_SRC_APPS_HTTPD_H_
+#define UFORK_SRC_APPS_HTTPD_H_
+
+#include "src/guest/guest.h"
+
+namespace ufork {
+
+struct HttpdParams {
+  int workers = 1;
+  int connections = 8;               // concurrent wrk connections
+  uint64_t requests_per_connection = 100;
+  Cycles parse_cost = 4'000;         // request parsing + routing
+  Cycles handler_cost = 12'000;      // building the response (static file lookup)
+  // Blocking (non-CPU) time per request: page-cache miss / backend wait. This is the "workers
+  // yielding during I/O" that lets a single-core μFork gain throughput from more workers
+  // (paper's explanation of the 1→3 worker improvement in Fig. 7).
+  Cycles io_wait = 17'000;
+  // CPU cost of the network stack per request (driver + TCP path). The paper runs μFork
+  // virtualized over bhyve with Unikraft's VirtIO stack ("immature support... hampers network
+  // performance", §5.1) while CheriBSD runs its native stack bare-metal — benchmarks set this
+  // per system.
+  Cycles net_stack_cost = 8'000;
+  uint64_t request_bytes = 128;
+  uint64_t response_bytes = 8'000;   // page + headers; fits one message-queue message
+};
+
+struct HttpdResult {
+  uint64_t requests_completed = 0;
+  Cycles elapsed = 0;
+  double RequestsPerSecond() const {
+    return elapsed == 0 ? 0.0
+                        : static_cast<double>(requests_completed) / ToSeconds(elapsed);
+  }
+};
+
+// The whole benchmark as one guest program: sets up the listener, forks the workers, forks the
+// wrk connections, waits for the connections to finish, shuts the workers down, and reports.
+SimTask<void> HttpdBenchmark(Guest& guest, HttpdParams params, HttpdResult* result);
+
+}  // namespace ufork
+
+#endif  // UFORK_SRC_APPS_HTTPD_H_

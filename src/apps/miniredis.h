@@ -1,0 +1,60 @@
+// Mini-Redis: an in-guest-memory key-value store with RDB-style snapshots via fork.
+//
+// Reproduces the paper's Redis use case (U2 + U4, §5.1): the database lives in the μprocess
+// heap as a GuestHashMap; SAVE serializes it to the ramdisk; BGSAVE forks, the child
+// serializes the copy-on-write snapshot while the parent keeps serving writes, then renames
+// the temp file over the target — the exact background-save protocol of real Redis.
+#ifndef UFORK_SRC_APPS_MINIREDIS_H_
+#define UFORK_SRC_APPS_MINIREDIS_H_
+
+#include <optional>
+#include <string>
+
+#include "src/guest/containers.h"
+#include "src/guest/guest.h"
+
+namespace ufork {
+
+// GOT slot where the database table capability is published, so a forked child (whose GOT was
+// relocated) can attach to its snapshot.
+inline constexpr int kGotSlotRedisDb = kGotSlotFirstUser;
+
+class MiniRedis {
+ public:
+  // Creates the database in the guest heap and publishes it through the GOT.
+  static Result<MiniRedis> Create(Guest& guest, uint64_t buckets = 256);
+
+  // Attaches to the database published in the GOT (parent continuation or forked child).
+  static Result<MiniRedis> Attach(Guest& guest);
+
+  Result<void> Set(const std::string& key, std::span<const std::byte> value);
+  Result<std::optional<std::vector<std::byte>>> Get(const std::string& key);
+  Result<bool> Del(const std::string& key);
+  Result<uint64_t> DbSize();
+
+  // Synchronous SAVE: serializes every entry to `path`. Returns bytes written.
+  SimTask<Result<uint64_t>> Save(const std::string& path);
+
+  // BGSAVE: forks; the child saves to `path`.tmp, renames onto `path` and exits with 0.
+  // Returns the child pid; the caller may wait() for completion (U4's "concurrently with the
+  // main database process" is the point of not waiting).
+  SimTask<Result<Pid>> BgSave(const std::string& path);
+
+  // Verifies a dump file: parses the format and returns (entries, payload bytes) after
+  // checking the trailing checksum. Used by tests and benchmarks to prove snapshot integrity.
+  struct DumpInfo {
+    uint64_t entries = 0;
+    uint64_t value_bytes = 0;
+  };
+  SimTask<Result<DumpInfo>> VerifyDump(const std::string& path);
+
+ private:
+  MiniRedis(Guest& guest, GuestHashMap map) : guest_(&guest), map_(std::move(map)) {}
+
+  Guest* guest_;
+  GuestHashMap map_;
+};
+
+}  // namespace ufork
+
+#endif  // UFORK_SRC_APPS_MINIREDIS_H_

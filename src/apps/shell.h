@@ -1,0 +1,63 @@
+// Mini-shell: the U1 pattern ("fork + exec to start a new program. Examples include running an
+// executable via Bash", §2.1).
+//
+// A tiny POSIX-style shell over the kernel's program registry: it parses a command line, forks,
+// execs the program in the child (optionally wiring redirections and two-stage pipelines
+// through inherited descriptors), and waits. Programs are guest coroutines registered under a
+// name, reading arguments from their environment block.
+#ifndef UFORK_SRC_APPS_SHELL_H_
+#define UFORK_SRC_APPS_SHELL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/guest/guest.h"
+
+namespace ufork {
+
+// GOT slot where a spawned program finds its argument block (set up by the shell in the
+// child between fork and exec — the exec'd image re-reads it from the inherited fd 0 instead;
+// see Shell::RunCommand).
+struct ShellCommand {
+  std::string program;
+  std::vector<std::string> args;
+  std::string stdin_file;   // "<" redirection ("" = none)
+  std::string stdout_file;  // ">" redirection ("" = none)
+  std::string pipe_to;      // "|" second stage program ("" = none)
+  std::string pipe_stdout_file;  // ">" redirection of the second stage ("" = none)
+};
+
+// Parses a single command line of the form:
+//   prog arg1 arg2 < in.txt > out.txt
+//   prog arg | prog2 > out.txt
+Result<ShellCommand> ParseCommandLine(const std::string& line);
+
+// Shell conventions for program I/O.
+inline constexpr int kShellStdin = 0;
+inline constexpr int kShellStdout = 1;
+
+class Shell {
+ public:
+  explicit Shell(Guest& guest) : guest_(&guest) {}
+
+  // Runs one command line to completion: fork, redirect, exec, wait. Returns the exit status
+  // of the (last) program.
+  SimTask<Result<int>> Run(const std::string& line);
+
+  // Convenience: reads the whole named file into a host string (for tests/demos).
+  SimTask<Result<std::string>> Slurp(const std::string& path);
+
+ private:
+  SimTask<Result<Pid>> LaunchStage(const ShellCommand& command, int stdin_fd, int stdout_fd,
+                                   std::vector<int> close_fds);
+
+  Guest* guest_;
+};
+
+// Registers the shell's standard utility programs ("cat", "upper", "count", "seq") with the
+// kernel. Each reads fd 0 and writes fd 1, like real filters.
+void RegisterShellUtilities(Kernel& kernel);
+
+}  // namespace ufork
+
+#endif  // UFORK_SRC_APPS_SHELL_H_

@@ -1,0 +1,45 @@
+// Unixbench ports: Spawn (fork+exit throughput) and Context1 (pipe-based context switching),
+// the two microbenchmarks of the paper's Figure 9.
+#ifndef UFORK_SRC_APPS_UNIXBENCH_H_
+#define UFORK_SRC_APPS_UNIXBENCH_H_
+
+#include "src/guest/guest.h"
+
+namespace ufork {
+
+struct SpawnResult {
+  uint64_t iterations = 0;
+  Cycles elapsed = 0;
+  double ForkLatencyUs() const {
+    return iterations == 0 ? 0.0 : ToMicroseconds(elapsed) / static_cast<double>(iterations);
+  }
+};
+
+// Unixbench "spawn": fork a trivial child and wait for it, `iterations` times.
+SimTask<void> UnixbenchSpawn(Guest& guest, uint64_t iterations, SpawnResult* result);
+
+struct Context1Result {
+  uint64_t round_trips = 0;
+  Cycles elapsed = 0;
+};
+
+// Unixbench "context1": parent and child bounce an incrementing counter through two pipes
+// until it reaches `target` (the paper uses 100k).
+SimTask<void> UnixbenchContext1(Guest& guest, uint64_t target, Context1Result* result);
+
+struct ExeclResult {
+  uint64_t iterations = 0;
+  Cycles elapsed = 0;
+  double PerExecUs() const {
+    return iterations == 0 ? 0.0 : ToMicroseconds(elapsed) / static_cast<double>(iterations);
+  }
+};
+
+// Unixbench "execl" analogue: a chain of exec() calls replacing the image in place. The
+// kernel must have a program named "execl-hop" registered; use RegisterExeclHop.
+SimTask<void> UnixbenchExecl(Guest& guest, uint64_t iterations, ExeclResult* result);
+void RegisterExeclHop(Kernel& kernel);
+
+}  // namespace ufork
+
+#endif  // UFORK_SRC_APPS_UNIXBENCH_H_

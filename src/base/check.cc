@@ -1,0 +1,11 @@
+#include "src/base/check.h"
+
+namespace ufork {
+
+void CheckFailed(const char* file, int line, const char* expr, const char* msg) {
+  std::fprintf(stderr, "UF_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg != nullptr ? " — " : "", msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace ufork

@@ -1,0 +1,43 @@
+// Assertion macros for invariant checking.
+//
+// UF_CHECK aborts the process with a diagnostic when the condition is false; it is always
+// compiled in, following the kernel-style convention that an invariant violation in the
+// simulator is never recoverable. UF_DCHECK compiles to nothing in NDEBUG builds and is used
+// on hot paths (per-access checks in the memory engine).
+#ifndef UFORK_SRC_BASE_CHECK_H_
+#define UFORK_SRC_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ufork {
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr, const char* msg);
+
+}  // namespace ufork
+
+#define UF_CHECK(expr)                                           \
+  do {                                                           \
+    if (!(expr)) [[unlikely]] {                                  \
+      ::ufork::CheckFailed(__FILE__, __LINE__, #expr, nullptr);  \
+    }                                                            \
+  } while (0)
+
+#define UF_CHECK_MSG(expr, msg)                               \
+  do {                                                        \
+    if (!(expr)) [[unlikely]] {                               \
+      ::ufork::CheckFailed(__FILE__, __LINE__, #expr, (msg)); \
+    }                                                         \
+  } while (0)
+
+#ifdef NDEBUG
+#define UF_DCHECK(expr) \
+  do {                  \
+  } while (0)
+#else
+#define UF_DCHECK(expr) UF_CHECK(expr)
+#endif
+
+#define UF_UNREACHABLE() ::ufork::CheckFailed(__FILE__, __LINE__, "unreachable", nullptr)
+
+#endif  // UFORK_SRC_BASE_CHECK_H_

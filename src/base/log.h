@@ -1,0 +1,50 @@
+// Leveled stream logging. Disabled levels compile to a no-op ostream sink with negligible cost.
+//
+//   UF_LOG(kInfo) << "booted kernel with " << cores << " cores";
+//
+// The default level is kWarning so tests and benchmarks stay quiet; examples raise it.
+#ifndef UFORK_SRC_BASE_LOG_H_
+#define UFORK_SRC_BASE_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace ufork {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace ufork
+
+#define UF_LOG(level)                                               \
+  if (::ufork::LogLevel::level < ::ufork::GetLogLevel()) {          \
+  } else                                                            \
+    ::ufork::internal::LogMessage(::ufork::LogLevel::level, __FILE__, __LINE__).stream()
+
+#endif  // UFORK_SRC_BASE_LOG_H_

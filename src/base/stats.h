@@ -1,0 +1,42 @@
+// Online statistics accumulators used by the benchmark harness (mean / stddev as the paper's
+// error bars) and by kernel accounting.
+#ifndef UFORK_SRC_BASE_STATS_H_
+#define UFORK_SRC_BASE_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace ufork {
+
+// Welford's online algorithm: numerically stable running mean and variance.
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  uint64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double variance() const { return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1); }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace ufork
+
+#endif  // UFORK_SRC_BASE_STATS_H_

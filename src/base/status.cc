@@ -1,0 +1,57 @@
+#include "src/base/status.h"
+
+namespace ufork {
+
+const char* CodeName(Code code) {
+  switch (code) {
+    case Code::kOk:
+      return "OK";
+    case Code::kFaultTag:
+      return "FAULT_TAG";
+    case Code::kFaultSeal:
+      return "FAULT_SEAL";
+    case Code::kFaultBounds:
+      return "FAULT_BOUNDS";
+    case Code::kFaultPermission:
+      return "FAULT_PERMISSION";
+    case Code::kFaultSystem:
+      return "FAULT_SYSTEM";
+    case Code::kFaultAlignment:
+      return "FAULT_ALIGNMENT";
+    case Code::kFaultNotMapped:
+      return "FAULT_NOT_MAPPED";
+    case Code::kFaultPageProt:
+      return "FAULT_PAGE_PROT";
+    case Code::kFaultCapLoadPage:
+      return "FAULT_CAP_LOAD_PAGE";
+    case Code::kErrInval:
+      return "EINVAL";
+    case Code::kErrNoMem:
+      return "ENOMEM";
+    case Code::kErrNoEnt:
+      return "ENOENT";
+    case Code::kErrBadFd:
+      return "EBADF";
+    case Code::kErrAgain:
+      return "EAGAIN";
+    case Code::kErrChild:
+      return "ECHILD";
+    case Code::kErrPipe:
+      return "EPIPE";
+    case Code::kErrExist:
+      return "EEXIST";
+    case Code::kErrAccess:
+      return "EACCES";
+    case Code::kErrSrch:
+      return "ESRCH";
+    case Code::kErrMfile:
+      return "EMFILE";
+    case Code::kErrNoSpc:
+      return "ENOSPC";
+    case Code::kErrNoSys:
+      return "ENOSYS";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace ufork

@@ -1,0 +1,51 @@
+// Size and virtual-time unit helpers.
+//
+// All simulator time is expressed in CPU cycles of a 2.5 GHz core (the Morello development
+// system evaluated by the paper). Conversions to wall-clock units are only performed when
+// reporting results.
+#ifndef UFORK_SRC_BASE_UNITS_H_
+#define UFORK_SRC_BASE_UNITS_H_
+
+#include <cstdint>
+
+namespace ufork {
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+// Simulated core frequency: 4× ARMv8.2-A @ 2.5 GHz (Morello SDP, paper §5).
+inline constexpr uint64_t kCyclesPerSecond = 2'500'000'000ULL;
+inline constexpr double kCyclesPerNanosecond = 2.5;
+inline constexpr uint64_t kCyclesPerMicrosecond = 2'500;
+inline constexpr uint64_t kCyclesPerMillisecond = 2'500'000;
+
+using Cycles = uint64_t;
+
+constexpr Cycles Microseconds(uint64_t us) { return us * kCyclesPerMicrosecond; }
+constexpr Cycles Milliseconds(uint64_t ms) { return ms * kCyclesPerMillisecond; }
+constexpr Cycles Seconds(uint64_t s) { return s * kCyclesPerSecond; }
+
+constexpr double ToMicroseconds(Cycles c) {
+  return static_cast<double>(c) / static_cast<double>(kCyclesPerMicrosecond);
+}
+constexpr double ToMilliseconds(Cycles c) {
+  return static_cast<double>(c) / static_cast<double>(kCyclesPerMillisecond);
+}
+constexpr double ToSeconds(Cycles c) {
+  return static_cast<double>(c) / static_cast<double>(kCyclesPerSecond);
+}
+
+constexpr bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+constexpr uint64_t AlignDown(uint64_t v, uint64_t align) { return v & ~(align - 1); }
+constexpr uint64_t AlignUp(uint64_t v, uint64_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+constexpr bool IsAligned(uint64_t v, uint64_t align) { return (v & (align - 1)) == 0; }
+
+constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+}  // namespace ufork
+
+#endif  // UFORK_SRC_BASE_UNITS_H_

@@ -1,0 +1,107 @@
+#include "src/baseline/mas_backend.h"
+
+#include "src/guest/tinyalloc.h"
+
+#include <vector>
+
+namespace ufork {
+
+Result<Pid> MasBackend::Fork(Kernel& kernel, Uproc& parent, UprocEntry entry) {
+  Machine& machine = kernel.machine();
+  const CostModel& costs = kernel.costs();
+  machine.Charge(costs.fork_base_mas);
+
+  Uproc& child = kernel.CreateUprocShell(parent.name + "+", parent.pid());
+  UF_RETURN_IF_ERROR(kernel.AllocateUprocMemory(child, /*private_page_table=*/true));
+
+  ForkStats stats;
+  PageTable& parent_pt = *parent.page_table;
+  PageTable& child_pt = *child.page_table;
+  std::vector<std::pair<uint64_t, Pte>> parent_pages;
+  parent_pt.ForEachMapped(parent.base, parent.base + parent.size,
+                          [&](uint64_t va, const Pte& pte) {
+                            parent_pages.emplace_back(va, pte);
+                          });
+  for (const auto& [va, pte] : parent_pages) {
+    // Classic CoW (§3.8): identical virtual addresses, shared frames; only writable pages need
+    // the CoW break, read-only segments are shared for good. Building a fresh page-table
+    // hierarchy plus vm_map/pv bookkeeping is what makes the MAS fork per-page cost higher
+    // than μFork's batched PTE copy within one table.
+    machine.Charge(costs.pte_dup + costs.mas_page_extra);
+    machine.frames().AddRef(pte.frame);
+    if ((pte.flags & kPteShared) != 0) {
+      child_pt.Map(va, pte.frame, pte.flags);  // MAP_SHARED: no CoW
+    } else if ((pte.flags & kPteWrite) != 0) {
+      const uint32_t shared = (pte.flags & ~kPteWrite) | kPteCow;
+      child_pt.Map(va, pte.frame, shared);
+      parent_pt.SetFlags(va, shared);
+    } else {
+      child_pt.Map(va, pte.frame, pte.flags);
+    }
+    ++stats.pages_mapped;
+  }
+  machine.Charge(costs.pt_node_alloc * child_pt.node_count());
+
+  child.fds = parent.fds->Clone();
+  machine.Charge(costs.fd_dup * static_cast<uint64_t>(child.fds->OpenCount()));
+  child.mmap_cursor = parent.mmap_cursor;
+  // Same virtual layout: registers (and every capability in memory) stay valid verbatim.
+  child.regs = parent.regs;
+  child.syscall_sentry = parent.syscall_sentry;
+  child.signals = parent.signals.ForkCopy();
+  child.forked_child = true;
+  child.fork_stats = stats;
+  child.child_affinity = parent.child_affinity;
+  kernel.StartUprocThread(child, std::move(entry), parent.child_affinity);
+  return child.pid();
+}
+
+Result<void> MasBackend::ResolveFault(Kernel& kernel, const PageFaultInfo& info) {
+  Machine& machine = kernel.machine();
+  const CostModel& costs = kernel.costs();
+  Uproc* uproc = kernel.UprocByPageTable(info.page_table);
+  if (uproc == nullptr) {
+    return Error{Code::kFaultNotMapped, "fault against an unowned page table"};
+  }
+  Pte* pte = info.page_table->LookupMutable(info.va);
+  UF_CHECK(pte != nullptr);
+  if ((pte->flags & kPteCow) == 0 || !info.is_write) {
+    return Error{Code::kFaultPageProt, "unresolvable page fault"};
+  }
+  const uint32_t seg_flags = kernel.SegmentFlagsAt(uproc->OffsetOf(info.va));
+  if (machine.frames().RefCount(pte->frame) > 1) {
+    UF_ASSIGN_OR_RETURN(const FrameId copy, machine.frames().Allocate());
+    machine.Charge(costs.frame_alloc + costs.page_copy + costs.pte_update);
+    machine.frames().frame(copy).CopyFrom(machine.frames().frame(pte->frame));
+    const FrameId old = pte->frame;
+    info.page_table->Remap(info.va, copy, seg_flags);
+    machine.frames().Release(old);
+    ++kernel.stats().pages_copied_on_fault;
+  } else {
+    machine.Charge(costs.pte_update);
+    info.page_table->SetFlags(info.va, seg_flags);
+  }
+  return OkResult();
+}
+
+uint64_t MasBackend::ExtraResidencyBytes(const Kernel& kernel, const Uproc& uproc) const {
+  uint64_t extra = params_.shared_lib_bytes;
+  if (params_.allocator_dirty_fraction > 0.0 && uproc.page_table != nullptr) {
+    // jemalloc metadata walks and junk-filling dirty pages in proportion to the heap the
+    // application actually uses; read the live figure from the guest allocator's root page
+    // (layout documented in tinyalloc.h).
+    const uint64_t heap_root = uproc.base + kernel.layout().heap_off();
+    const std::optional<Pte> pte = uproc.page_table->Lookup(heap_root);
+    if (pte.has_value()) {
+      uint64_t in_use = 0;
+      kernel.machine().frames().frame(pte->frame).Read(
+          tinyalloc::kRootBytesInUseOffset,
+          std::as_writable_bytes(std::span(&in_use, 1)));
+      extra += static_cast<uint64_t>(params_.allocator_dirty_fraction *
+                                     static_cast<double>(in_use));
+    }
+  }
+  return extra;
+}
+
+}  // namespace ufork

@@ -1,0 +1,188 @@
+#include "src/cheri/capability.h"
+
+#include <sstream>
+
+namespace ufork {
+
+Capability Capability::Root(uint64_t base, uint64_t length, uint32_t perms) {
+  UF_CHECK_MSG(base + length <= kVaTop, "root capability exceeds address space");
+  Capability c;
+  c.tag_ = true;
+  c.base_ = base;
+  c.top_ = base + length;
+  c.cursor_ = base;
+  c.perms_ = perms;
+  c.otype_ = kOtypeUnsealed;
+  return c;
+}
+
+Capability Capability::WithAddress(uint64_t addr) const {
+  Capability c = *this;
+  c.cursor_ = addr;
+  if (sealed()) {
+    c.tag_ = false;  // mutating a sealed capability invalidates it
+  }
+  return c;
+}
+
+Capability Capability::WithBounds(uint64_t new_base, uint64_t new_length) const {
+  Capability c = *this;
+  const uint64_t new_top = new_base + new_length;
+  c.base_ = new_base;
+  c.top_ = new_top;
+  c.cursor_ = new_base;
+  // Monotonicity: narrowing outside the source bounds, from a sealed or untagged source, or
+  // with an overflowing top untags the result.
+  if (!tag_ || sealed() || new_base < base_ || new_top > top_ || new_top < new_base) {
+    c.tag_ = false;
+  }
+  return c;
+}
+
+Capability Capability::WithPermsAnd(uint32_t mask) const {
+  Capability c = *this;
+  c.perms_ &= mask;
+  if (sealed()) {
+    c.tag_ = false;
+  }
+  return c;
+}
+
+Capability Capability::Untagged() const {
+  Capability c = *this;
+  c.tag_ = false;
+  return c;
+}
+
+Result<Capability> Capability::Sealed(const Capability& sealer) const {
+  if (!tag_ || !sealer.tag()) {
+    return Error{Code::kFaultTag, "seal through untagged capability"};
+  }
+  if (sealed() || sealer.sealed()) {
+    return Error{Code::kFaultSeal, "seal of/through an already sealed capability"};
+  }
+  if (!sealer.HasPerms(kPermSeal)) {
+    return Error{Code::kFaultPermission, "sealer lacks Seal permission"};
+  }
+  const uint64_t otype = sealer.address();
+  if (otype < sealer.base() || otype >= sealer.top()) {
+    return Error{Code::kFaultBounds, "otype outside sealer bounds"};
+  }
+  if (otype < kOtypeFirstUser || otype > UINT32_MAX) {
+    return Error{Code::kFaultSeal, "reserved otype"};
+  }
+  Capability c = *this;
+  c.otype_ = static_cast<uint32_t>(otype);
+  return c;
+}
+
+Result<Capability> Capability::Unsealed(const Capability& unsealer) const {
+  if (!tag_ || !unsealer.tag()) {
+    return Error{Code::kFaultTag, "unseal through untagged capability"};
+  }
+  if (!sealed() || otype_ == kOtypeSentry) {
+    return Error{Code::kFaultSeal, "unseal of a non-user-sealed capability"};
+  }
+  if (unsealer.sealed()) {
+    return Error{Code::kFaultSeal, "unseal through sealed capability"};
+  }
+  if (!unsealer.HasPerms(kPermUnseal)) {
+    return Error{Code::kFaultPermission, "unsealer lacks Unseal permission"};
+  }
+  if (unsealer.address() != otype_) {
+    return Error{Code::kFaultSeal, "otype mismatch on unseal"};
+  }
+  if (unsealer.address() < unsealer.base() || unsealer.address() >= unsealer.top()) {
+    return Error{Code::kFaultBounds, "otype outside unsealer bounds"};
+  }
+  Capability c = *this;
+  c.otype_ = kOtypeUnsealed;
+  return c;
+}
+
+Capability Capability::AsSentry() const {
+  Capability c = *this;
+  if (!tag_ || sealed() || !HasPerms(kPermExecute)) {
+    c.tag_ = false;
+    return c;
+  }
+  c.otype_ = kOtypeSentry;
+  return c;
+}
+
+Result<Capability> Capability::InvokedSentry() const {
+  if (!tag_) {
+    return Error{Code::kFaultTag, "invoke of untagged sentry"};
+  }
+  if (otype_ != kOtypeSentry) {
+    return Error{Code::kFaultSeal, "invoke of non-sentry capability"};
+  }
+  Capability c = *this;
+  c.otype_ = kOtypeUnsealed;
+  return c;
+}
+
+Result<void> Capability::CheckAccess(uint64_t addr, uint64_t size,
+                                     uint32_t required_perms) const {
+  if (!tag_) {
+    return Error{Code::kFaultTag, "dereference of untagged capability"};
+  }
+  if (sealed()) {
+    return Error{Code::kFaultSeal, "dereference of sealed capability"};
+  }
+  if (!HasPerms(required_perms)) {
+    return Error{Code::kFaultPermission, "missing permission on dereference"};
+  }
+  const uint64_t end = addr + size;
+  if (end < addr || addr < base_ || end > top_) {
+    return Error{Code::kFaultBounds, "access outside capability bounds"};
+  }
+  if ((required_perms & (kPermLoadCap | kPermStoreCap)) != 0 && !IsAligned(addr, kCapSize)) {
+    return Error{Code::kFaultAlignment, "unaligned capability-width access"};
+  }
+  return OkResult();
+}
+
+bool Capability::EscapesRegion(uint64_t lo, uint64_t hi) const {
+  if (!tag_) {
+    return false;  // integers carry no authority
+  }
+  return base_ < lo || top_ > hi || cursor_ < lo || cursor_ >= hi;
+}
+
+Capability Capability::RelocatedInto(uint64_t old_lo, uint64_t new_lo, uint64_t new_hi) const {
+  Capability c = *this;
+  const int64_t delta = static_cast<int64_t>(new_lo) - static_cast<int64_t>(old_lo);
+  c.cursor_ = static_cast<uint64_t>(static_cast<int64_t>(c.cursor_) + delta);
+  c.base_ = static_cast<uint64_t>(static_cast<int64_t>(c.base_) + delta);
+  c.top_ = static_cast<uint64_t>(static_cast<int64_t>(c.top_) + delta);
+  // Clamp bounds into the child region: the relocated capability must never grant authority
+  // outside the child μprocess (security invariant, §4.2).
+  if (c.base_ < new_lo) {
+    c.base_ = new_lo;
+  }
+  if (c.top_ > new_hi) {
+    c.top_ = new_hi;
+  }
+  if (c.base_ > c.top_) {
+    c.base_ = c.top_ = new_lo;
+    c.tag_ = false;
+  }
+  return c;
+}
+
+std::string Capability::ToString() const {
+  std::ostringstream os;
+  os << (tag_ ? "cap" : "int") << "{addr=0x" << std::hex << cursor_;
+  if (tag_) {
+    os << " [0x" << base_ << ",0x" << top_ << ")"
+       << " perms=0x" << perms_;
+    if (sealed()) {
+      os << " otype=" << std::dec << otype_;
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace ufork

@@ -1,0 +1,108 @@
+#include "src/cheri/compressed_cap.h"
+
+#include <bit>
+
+#include "src/base/check.h"
+
+namespace ufork {
+namespace {
+
+constexpr uint64_t kMantissaMask = (1ULL << kMantissaBits) - 1;
+constexpr int kMaxExponent = 63 - kMantissaBits;
+
+// Smallest exponent E such that [base, base+length), aligned outward to 2^E, spans strictly
+// less than 2^(E + kMantissaBits) bytes. The strict inequality keeps the top decode
+// unambiguous (base and top mantissas of a full block would coincide).
+int ExponentFor(uint64_t base, uint64_t length) {
+  for (int e = 0; e <= kMaxExponent; ++e) {
+    const uint64_t gran = 1ULL << e;
+    const uint64_t lo = AlignDown(base, gran);
+    const uint64_t hi = AlignUp(base + length, gran);
+    if (hi - lo < (1ULL << (e + kMantissaBits))) {
+      return e;
+    }
+  }
+  UF_UNREACHABLE();
+}
+
+}  // namespace
+
+RepresentableBounds RoundToRepresentable(uint64_t base, uint64_t length) {
+  UF_CHECK_MSG(base + length >= base, "bounds overflow");
+  if (length < (1ULL << kMantissaBits)) {
+    // Small objects are always exactly representable (internal exponent 0).
+    return RepresentableBounds{base, length, true};
+  }
+  const int e = ExponentFor(base, length);
+  const uint64_t gran = 1ULL << e;
+  const uint64_t lo = AlignDown(base, gran);
+  const uint64_t hi = AlignUp(base + length, gran);
+  return RepresentableBounds{lo, hi - lo, lo == base && hi == base + length};
+}
+
+uint64_t RepresentableAlignmentMask(uint64_t length) {
+  if (length < (1ULL << kMantissaBits)) {
+    return ~0ULL;
+  }
+  const int e = ExponentFor(0, length);
+  return ~((1ULL << e) - 1);
+}
+
+CompressedCapBits Compress(const Capability& cap) {
+  CompressedCapBits bits;
+  bits.lo = cap.address();
+  if (!cap.tag()) {
+    // Untagged values keep only their integer view; the metadata half is preserved as zero.
+    return bits;
+  }
+  const RepresentableBounds rb = RoundToRepresentable(cap.base(), cap.length());
+  const int e = rb.length < (1ULL << kMantissaBits) ? 0 : ExponentFor(cap.base(), cap.length());
+  const uint64_t base_mant = (rb.base >> e) & kMantissaMask;
+  const uint64_t top_mant = ((rb.base + rb.length) >> e) & kMantissaMask;
+  UF_CHECK_MSG(cap.otype() < (1u << 18), "otype exceeds compressed field width");
+  bits.hi = top_mant | (base_mant << kMantissaBits) |
+            (static_cast<uint64_t>(e) << (2 * kMantissaBits)) |
+            (static_cast<uint64_t>(cap.otype()) << 34) |
+            (static_cast<uint64_t>(cap.perms()) << 52);
+  return bits;
+}
+
+Capability Decompress(const CompressedCapBits& bits, bool tag) {
+  const uint64_t cursor = bits.lo;
+  if (!tag) {
+    return Capability::Integer(cursor);
+  }
+  const uint64_t top_mant = bits.hi & kMantissaMask;
+  const uint64_t base_mant = (bits.hi >> kMantissaBits) & kMantissaMask;
+  const int e = static_cast<int>((bits.hi >> (2 * kMantissaBits)) & 0x3F);
+  const uint32_t otype = static_cast<uint32_t>((bits.hi >> 34) & ((1u << 18) - 1));
+  const uint32_t perms = static_cast<uint32_t>((bits.hi >> 52) & kPermAll);
+
+  // Reconstruct the high address bits from the cursor, with the standard CHERI-Concentrate
+  // corrections: the cursor lies within the representable region, so the base is either in the
+  // cursor's 2^(E+MW) block or the one below, and the top in the cursor's block or the one
+  // above.
+  const uint64_t c_mid = (cursor >> e) & kMantissaMask;
+  const uint64_t c_hi = cursor >> (e + kMantissaBits);
+  const uint64_t base_hi = c_mid < base_mant ? c_hi - 1 : c_hi;
+  const uint64_t top_hi = c_mid <= top_mant ? c_hi : c_hi + 1;
+  const uint64_t base = ((base_hi << kMantissaBits) | base_mant) << e;
+  const uint64_t top = ((top_hi << kMantissaBits) | top_mant) << e;
+
+  Capability c = Capability::Root(0, kVaTop, perms);
+  c = c.WithBounds(base, top - base).WithAddress(cursor);
+  if (otype == kOtypeSentry) {
+    c = c.AsSentry();
+  } else if (otype != kOtypeUnsealed) {
+    // Re-sealing with a user otype requires sealing authority; the codec reconstructs the
+    // object type directly since it acts below the ISA's derivation rules.
+    const Capability sealer =
+        Capability::Root(0, kVaTop, kPermSeal).WithAddress(otype);
+    auto sealed = c.Sealed(sealer);
+    UF_CHECK(sealed.ok());
+    c = *sealed;
+  }
+  return c;
+}
+
+}  // namespace ufork

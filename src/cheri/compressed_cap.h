@@ -1,0 +1,58 @@
+// CHERI-Concentrate-style compressed capability codec.
+//
+// Real CHERI hardware packs a capability's bounds into 128 bits using a floating-point-like
+// encoding: the bounds are expressed relative to the cursor with a truncated mantissa and a
+// shared exponent. The consequence — visible to software such as μFork's allocator — is that
+// bounds of large objects are *rounded* outward to representable values, so allocators must
+// pad/align large allocations (CRRL/CRAP semantics).
+//
+// The main simulation path uses the exact uncompressed Capability model; this codec exists to
+// (a) model the representable-bounds constraint that the guest allocator honours and
+// (b) document and property-test the rounding behaviour against the exact model.
+#ifndef UFORK_SRC_CHERI_COMPRESSED_CAP_H_
+#define UFORK_SRC_CHERI_COMPRESSED_CAP_H_
+
+#include <cstdint>
+
+#include "src/cheri/capability.h"
+
+namespace ufork {
+
+// Mantissa width of the bounds encoding. Morello uses 14 bits for 128-bit capabilities; lengths
+// below 2^kMantissaBits are always exactly representable.
+inline constexpr int kMantissaBits = 14;
+
+// 128-bit in-memory image of a compressed capability (without its out-of-band tag).
+struct CompressedCapBits {
+  uint64_t lo = 0;  // cursor
+  uint64_t hi = 0;  // packed: perms | otype | exponent | base mantissa | top mantissa
+};
+
+// Result of asking "what bounds would the hardware actually grant for [base, base+length)?".
+struct RepresentableBounds {
+  uint64_t base = 0;
+  uint64_t length = 0;
+  bool exact = false;  // true when no rounding was necessary
+};
+
+// Rounds the requested bounds outward to the nearest representable pair, mirroring the
+// CRepresentableAlignmentMask / CRoundRepresentableLength instructions. The result always
+// contains the request.
+RepresentableBounds RoundToRepresentable(uint64_t base, uint64_t length);
+
+// Returns the alignment mask a base must satisfy for an object of `length` bytes to have
+// exactly representable bounds (CRAP).
+uint64_t RepresentableAlignmentMask(uint64_t length);
+
+// Encodes a capability into its 128-bit image. Bounds that are not exactly representable are
+// rounded outward (the hardware instead refuses to produce them from CSetBoundsExact; we model
+// the permissive CSetBounds). The tag travels out of band.
+CompressedCapBits Compress(const Capability& cap);
+
+// Decodes a 128-bit image back into a capability with the given tag. Round-trips exactly for
+// representable capabilities.
+Capability Decompress(const CompressedCapBits& bits, bool tag);
+
+}  // namespace ufork
+
+#endif  // UFORK_SRC_CHERI_COMPRESSED_CAP_H_

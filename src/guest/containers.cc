@@ -1,0 +1,189 @@
+#include "src/guest/containers.h"
+
+#include <cstring>
+
+namespace ufork {
+namespace {
+
+// Table block offsets.
+constexpr uint64_t kOffBucketCount = 0;
+constexpr uint64_t kOffSize = 8;
+constexpr uint64_t kOffBucketsCap = 16;
+
+// Entry block offsets. The value lives in its own allocation referenced by a capability —
+// mirroring Redis's dictEntry -> robj -> sds indirection, and making every entry visit a
+// tagged-capability load (the access CoPA intercepts).
+constexpr uint64_t kOffNext = 0;
+constexpr uint64_t kOffValueCap = 16;
+constexpr uint64_t kOffKeyLen = 32;
+constexpr uint64_t kOffValLen = 40;
+constexpr uint64_t kOffKey = 48;
+
+}  // namespace
+
+uint64_t GuestHashMap::Hash(std::string_view key) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+Result<GuestHashMap> GuestHashMap::Create(Guest& guest, uint64_t bucket_count) {
+  UF_CHECK(bucket_count > 0);
+  UF_ASSIGN_OR_RETURN(const Capability table, guest.Malloc(32));
+  UF_ASSIGN_OR_RETURN(const Capability buckets, guest.Malloc(bucket_count * kCapSize));
+  UF_RETURN_IF_ERROR(guest.StoreAt<uint64_t>(table, kOffBucketCount, bucket_count));
+  UF_RETURN_IF_ERROR(guest.StoreAt<uint64_t>(table, kOffSize, 0));
+  UF_RETURN_IF_ERROR(guest.StoreCap(table, table.base() + kOffBucketsCap, buckets));
+  for (uint64_t i = 0; i < bucket_count; ++i) {
+    UF_RETURN_IF_ERROR(
+        guest.StoreCap(buckets, buckets.base() + i * kCapSize, Capability::Integer(0)));
+  }
+  return GuestHashMap(guest, table);
+}
+
+GuestHashMap GuestHashMap::Attach(Guest& guest, const Capability& table) {
+  return GuestHashMap(guest, table);
+}
+
+Result<uint64_t> GuestHashMap::BucketCount() {
+  return guest_->Load<uint64_t>(table_, table_.base() + kOffBucketCount);
+}
+
+Result<Capability> GuestHashMap::Buckets() {
+  return guest_->LoadCap(table_, table_.base() + kOffBucketsCap);
+}
+
+Result<uint64_t> GuestHashMap::Size() {
+  return guest_->Load<uint64_t>(table_, table_.base() + kOffSize);
+}
+
+Result<GuestHashMap::Found> GuestHashMap::Find(std::string_view key) {
+  UF_ASSIGN_OR_RETURN(const uint64_t buckets_n, BucketCount());
+  UF_ASSIGN_OR_RETURN(const Capability buckets, Buckets());
+  Found found;
+  found.bucket_va = buckets.base() + (Hash(key) % buckets_n) * kCapSize;
+  UF_ASSIGN_OR_RETURN(Capability cursor, guest_->LoadCap(buckets, found.bucket_va));
+  Capability prev;  // untagged
+  std::vector<std::byte> key_buf;
+  while (cursor.tag()) {
+    UF_ASSIGN_OR_RETURN(const uint64_t key_len,
+                        guest_->Load<uint64_t>(cursor, cursor.base() + kOffKeyLen));
+    if (key_len == key.size()) {
+      key_buf.resize(key_len);
+      UF_RETURN_IF_ERROR(guest_->ReadBytes(cursor, cursor.base() + kOffKey, key_buf));
+      if (std::memcmp(key_buf.data(), key.data(), key_len) == 0) {
+        found.prev = prev;
+        found.entry = cursor;
+        return found;
+      }
+    }
+    prev = cursor;
+    UF_ASSIGN_OR_RETURN(cursor, guest_->LoadCap(cursor, cursor.base() + kOffNext));
+  }
+  found.prev = prev;
+  found.entry = Capability::Integer(0);
+  return found;
+}
+
+Result<void> GuestHashMap::Put(std::string_view key, std::span<const std::byte> value) {
+  UF_ASSIGN_OR_RETURN(const Found found, Find(key));
+  if (found.entry.tag()) {
+    // Same-size values are updated in place; otherwise replace the value allocation.
+    UF_ASSIGN_OR_RETURN(const uint64_t val_len,
+                        guest_->Load<uint64_t>(found.entry, found.entry.base() + kOffValLen));
+    UF_ASSIGN_OR_RETURN(const Capability old_value,
+                        guest_->LoadCap(found.entry, found.entry.base() + kOffValueCap));
+    if (val_len == value.size()) {
+      return guest_->WriteBytes(old_value, old_value.base(), value);
+    }
+    UF_ASSIGN_OR_RETURN(const Capability new_value, guest_->Malloc(value.size()));
+    UF_RETURN_IF_ERROR(guest_->WriteBytes(new_value, new_value.base(), value));
+    UF_RETURN_IF_ERROR(
+        guest_->StoreCap(found.entry, found.entry.base() + kOffValueCap, new_value));
+    UF_RETURN_IF_ERROR(
+        guest_->StoreAt<uint64_t>(found.entry, kOffValLen, value.size()));
+    return guest_->Free(old_value);
+  }
+  UF_ASSIGN_OR_RETURN(const Capability value_block,
+                      guest_->Malloc(std::max<uint64_t>(value.size(), 1)));
+  UF_RETURN_IF_ERROR(guest_->WriteBytes(value_block, value_block.base(), value));
+  UF_ASSIGN_OR_RETURN(const Capability entry, guest_->Malloc(kOffKey + key.size()));
+  UF_ASSIGN_OR_RETURN(const Capability buckets, Buckets());
+  UF_ASSIGN_OR_RETURN(const uint64_t buckets_n, BucketCount());
+  const uint64_t bucket_va = buckets.base() + (Hash(key) % buckets_n) * kCapSize;
+  UF_ASSIGN_OR_RETURN(const Capability head, guest_->LoadCap(buckets, bucket_va));
+  UF_RETURN_IF_ERROR(guest_->StoreCap(entry, entry.base() + kOffNext, head));
+  UF_RETURN_IF_ERROR(guest_->StoreCap(entry, entry.base() + kOffValueCap, value_block));
+  UF_RETURN_IF_ERROR(guest_->StoreAt<uint64_t>(entry, kOffKeyLen, key.size()));
+  UF_RETURN_IF_ERROR(guest_->StoreAt<uint64_t>(entry, kOffValLen, value.size()));
+  UF_RETURN_IF_ERROR(guest_->WriteBytes(entry, entry.base() + kOffKey,
+                                        std::as_bytes(std::span(key.data(), key.size()))));
+  UF_RETURN_IF_ERROR(guest_->StoreCap(buckets, bucket_va, entry));
+  UF_ASSIGN_OR_RETURN(const uint64_t size, Size());
+  return guest_->StoreAt<uint64_t>(table_, kOffSize, size + 1);
+}
+
+Result<std::optional<std::vector<std::byte>>> GuestHashMap::Get(std::string_view key) {
+  UF_ASSIGN_OR_RETURN(const Found found, Find(key));
+  if (!found.entry.tag()) {
+    return std::optional<std::vector<std::byte>>(std::nullopt);
+  }
+  UF_ASSIGN_OR_RETURN(const uint64_t val_len,
+                      guest_->Load<uint64_t>(found.entry, found.entry.base() + kOffValLen));
+  UF_ASSIGN_OR_RETURN(const Capability value_cap,
+                      guest_->LoadCap(found.entry, found.entry.base() + kOffValueCap));
+  std::vector<std::byte> value(val_len);
+  UF_RETURN_IF_ERROR(guest_->ReadBytes(value_cap, value_cap.base(), value));
+  return std::optional<std::vector<std::byte>>(std::move(value));
+}
+
+Result<bool> GuestHashMap::Erase(std::string_view key) {
+  UF_ASSIGN_OR_RETURN(const Found found, Find(key));
+  if (!found.entry.tag()) {
+    return false;
+  }
+  UF_ASSIGN_OR_RETURN(const Capability next,
+                      guest_->LoadCap(found.entry, found.entry.base() + kOffNext));
+  if (found.prev.tag()) {
+    UF_RETURN_IF_ERROR(guest_->StoreCap(found.prev, found.prev.base() + kOffNext, next));
+  } else {
+    UF_ASSIGN_OR_RETURN(const Capability buckets, Buckets());
+    UF_RETURN_IF_ERROR(guest_->StoreCap(buckets, found.bucket_va, next));
+  }
+  UF_ASSIGN_OR_RETURN(const Capability value_cap,
+                      guest_->LoadCap(found.entry, found.entry.base() + kOffValueCap));
+  UF_RETURN_IF_ERROR(guest_->Free(value_cap));
+  UF_RETURN_IF_ERROR(guest_->Free(found.entry));
+  UF_ASSIGN_OR_RETURN(const uint64_t size, Size());
+  UF_RETURN_IF_ERROR(guest_->StoreAt<uint64_t>(table_, kOffSize, size - 1));
+  return true;
+}
+
+Result<void> GuestHashMap::ForEach(const Visitor& visit) {
+  UF_ASSIGN_OR_RETURN(const uint64_t buckets_n, BucketCount());
+  UF_ASSIGN_OR_RETURN(const Capability buckets, Buckets());
+  std::vector<std::byte> key_buf;
+  for (uint64_t i = 0; i < buckets_n; ++i) {
+    UF_ASSIGN_OR_RETURN(Capability cursor,
+                        guest_->LoadCap(buckets, buckets.base() + i * kCapSize));
+    while (cursor.tag()) {
+      UF_ASSIGN_OR_RETURN(const uint64_t key_len,
+                          guest_->Load<uint64_t>(cursor, cursor.base() + kOffKeyLen));
+      UF_ASSIGN_OR_RETURN(const uint64_t val_len,
+                          guest_->Load<uint64_t>(cursor, cursor.base() + kOffValLen));
+      key_buf.resize(key_len);
+      UF_RETURN_IF_ERROR(guest_->ReadBytes(cursor, cursor.base() + kOffKey, key_buf));
+      const std::string key(reinterpret_cast<const char*>(key_buf.data()), key_len);
+      UF_ASSIGN_OR_RETURN(const Capability value_cap,
+                          guest_->LoadCap(cursor, cursor.base() + kOffValueCap));
+      UF_RETURN_IF_ERROR(visit(key, value_cap, val_len));
+      UF_ASSIGN_OR_RETURN(cursor, guest_->LoadCap(cursor, cursor.base() + kOffNext));
+    }
+  }
+  return OkResult();
+}
+
+}  // namespace ufork

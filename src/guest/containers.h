@@ -1,0 +1,65 @@
+// Guest-memory containers.
+//
+// These store every node and link in simulated guest memory, connected by tagged capabilities —
+// so a forked child walking them performs real capability loads, which is exactly what CoPA
+// intercepts. They are the data-structure substrate of the mini applications (the Redis
+// database is a GuestHashMap).
+#ifndef UFORK_SRC_GUEST_CONTAINERS_H_
+#define UFORK_SRC_GUEST_CONTAINERS_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/guest/guest.h"
+
+namespace ufork {
+
+// Separate-chaining hash map: guest-resident bucket array of capabilities, entries as
+// guest-heap blocks [next cap | key_len | val_len | key bytes | value bytes].
+class GuestHashMap {
+ public:
+  // Allocates the table in the guest heap.
+  static Result<GuestHashMap> Create(Guest& guest, uint64_t bucket_count);
+
+  // Re-attaches to an existing table (e.g. in a fork child, via a GOT slot). The capability
+  // must come from guest memory so it has been relocated to the child's region.
+  static GuestHashMap Attach(Guest& guest, const Capability& table);
+
+  const Capability& table() const { return table_; }
+
+  Result<void> Put(std::string_view key, std::span<const std::byte> value);
+  Result<std::optional<std::vector<std::byte>>> Get(std::string_view key);
+  Result<bool> Erase(std::string_view key);
+  Result<uint64_t> Size();
+
+  // Visits every entry in bucket order. The visitor receives the key and a capability bounded
+  // to the value bytes (whose load in a child triggers CoPA page copies).
+  using Visitor =
+      std::function<Result<void>(const std::string& key, const Capability& value_cap,
+                                 uint64_t value_len)>;
+  Result<void> ForEach(const Visitor& visit);
+
+ private:
+  GuestHashMap(Guest& guest, Capability table) : guest_(&guest), table_(table) {}
+
+  struct Found {
+    Capability prev;   // untagged if the entry is the bucket head
+    Capability entry;  // untagged if not found
+    uint64_t bucket_va = 0;
+  };
+  Result<Found> Find(std::string_view key);
+  Result<uint64_t> BucketCount();
+  Result<Capability> Buckets();
+
+  static uint64_t Hash(std::string_view key);
+
+  Guest* guest_;
+  Capability table_;
+};
+
+}  // namespace ufork
+
+#endif  // UFORK_SRC_GUEST_CONTAINERS_H_

@@ -1,0 +1,128 @@
+// GuestVector<T>: a growable array living entirely in guest memory.
+//
+// Layout: a 32-byte header block [size u64 | capacity u64 | data capability] plus a separate
+// data block; growth allocates a new data block, copies, stores the new capability into the
+// header and frees the old block. Because the data pointer is a tagged capability *in guest
+// memory*, a forked child inheriting the header (e.g. via a GOT slot) gets a fully relocated,
+// CoPA-protected view — the same property GuestHashMap has, for flat data.
+//
+// T must be trivially copyable; elements are stored as raw bytes (no capabilities inside T —
+// store Capability values via GuestHashMap/StoreCap instead, where tag preservation applies).
+#ifndef UFORK_SRC_GUEST_GVECTOR_H_
+#define UFORK_SRC_GUEST_GVECTOR_H_
+
+#include <type_traits>
+
+#include "src/guest/guest.h"
+
+namespace ufork {
+
+template <typename T>
+class GuestVector {
+  static_assert(std::is_trivially_copyable_v<T>, "GuestVector elements are raw bytes");
+
+ public:
+  // Creates an empty vector with the given initial capacity (elements).
+  static Result<GuestVector> Create(Guest& guest, uint64_t initial_capacity = 8) {
+    UF_ASSIGN_OR_RETURN(const Capability header, guest.Malloc(kHeaderBytes));
+    UF_ASSIGN_OR_RETURN(const Capability data,
+                        guest.Malloc(std::max<uint64_t>(1, initial_capacity * sizeof(T))));
+    UF_RETURN_IF_ERROR(guest.StoreAt<uint64_t>(header, kOffSize, 0));
+    UF_RETURN_IF_ERROR(guest.StoreAt<uint64_t>(header, kOffCapacity, initial_capacity));
+    UF_RETURN_IF_ERROR(guest.StoreCap(header, header.base() + kOffData, data));
+    return GuestVector(guest, header);
+  }
+
+  // Re-attaches to an existing vector (fork child via GOT, etc.).
+  static GuestVector Attach(Guest& guest, const Capability& header) {
+    return GuestVector(guest, header);
+  }
+
+  const Capability& header() const { return header_; }
+
+  Result<uint64_t> Size() { return guest_->Load<uint64_t>(header_, header_.base() + kOffSize); }
+
+  Result<void> PushBack(const T& value) {
+    UF_ASSIGN_OR_RETURN(const uint64_t size, Size());
+    UF_ASSIGN_OR_RETURN(const uint64_t capacity,
+                        guest_->Load<uint64_t>(header_, header_.base() + kOffCapacity));
+    if (size == capacity) {
+      UF_RETURN_IF_ERROR(Grow(std::max<uint64_t>(8, capacity * 2)));
+    }
+    UF_ASSIGN_OR_RETURN(const Capability data, Data());
+    UF_RETURN_IF_ERROR(guest_->Store<T>(data, data.base() + size * sizeof(T), value));
+    return guest_->StoreAt<uint64_t>(header_, kOffSize, size + 1);
+  }
+
+  Result<T> At(uint64_t index) {
+    UF_ASSIGN_OR_RETURN(const uint64_t size, Size());
+    if (index >= size) {
+      return Error{Code::kErrInval, "GuestVector index out of range"};
+    }
+    UF_ASSIGN_OR_RETURN(const Capability data, Data());
+    return guest_->Load<T>(data, data.base() + index * sizeof(T));
+  }
+
+  Result<void> Set(uint64_t index, const T& value) {
+    UF_ASSIGN_OR_RETURN(const uint64_t size, Size());
+    if (index >= size) {
+      return Error{Code::kErrInval, "GuestVector index out of range"};
+    }
+    UF_ASSIGN_OR_RETURN(const Capability data, Data());
+    return guest_->Store<T>(data, data.base() + index * sizeof(T), value);
+  }
+
+  Result<T> PopBack() {
+    UF_ASSIGN_OR_RETURN(const uint64_t size, Size());
+    if (size == 0) {
+      return Error{Code::kErrInval, "PopBack on empty GuestVector"};
+    }
+    UF_ASSIGN_OR_RETURN(const T value, At(size - 1));
+    UF_RETURN_IF_ERROR(guest_->StoreAt<uint64_t>(header_, kOffSize, size - 1));
+    return value;
+  }
+
+  // Visits every element in index order.
+  template <typename Fn>
+  Result<void> ForEach(Fn&& fn) {
+    UF_ASSIGN_OR_RETURN(const uint64_t size, Size());
+    UF_ASSIGN_OR_RETURN(const Capability data, Data());
+    for (uint64_t i = 0; i < size; ++i) {
+      UF_ASSIGN_OR_RETURN(const T value, guest_->Load<T>(data, data.base() + i * sizeof(T)));
+      UF_RETURN_IF_ERROR(fn(i, value));
+    }
+    return OkResult();
+  }
+
+ private:
+  static constexpr uint64_t kOffSize = 0;
+  static constexpr uint64_t kOffCapacity = 8;
+  static constexpr uint64_t kOffData = 16;  // capability: granule-aligned
+  static constexpr uint64_t kHeaderBytes = 32;
+
+  GuestVector(Guest& guest, Capability header) : guest_(&guest), header_(header) {}
+
+  Result<Capability> Data() {
+    return guest_->LoadCap(header_, header_.base() + kOffData);
+  }
+
+  Result<void> Grow(uint64_t new_capacity) {
+    UF_ASSIGN_OR_RETURN(const uint64_t size, Size());
+    UF_ASSIGN_OR_RETURN(const Capability old_data, Data());
+    UF_ASSIGN_OR_RETURN(const Capability new_data, guest_->Malloc(new_capacity * sizeof(T)));
+    if (size > 0) {
+      UF_RETURN_IF_ERROR(guest_->CopyBytes(new_data, new_data.base(), old_data,
+                                           old_data.base(), size * sizeof(T)));
+    }
+    UF_RETURN_IF_ERROR(guest_->StoreCap(header_, header_.base() + kOffData, new_data));
+    UF_RETURN_IF_ERROR(guest_->StoreAt<uint64_t>(header_, kOffCapacity, new_capacity));
+    return guest_->Free(old_data);
+  }
+
+  Guest* guest_;
+  Capability header_;
+};
+
+}  // namespace ufork
+
+#endif  // UFORK_SRC_GUEST_GVECTOR_H_

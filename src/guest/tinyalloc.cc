@@ -1,0 +1,179 @@
+#include "src/guest/tinyalloc.h"
+
+#include "src/cheri/compressed_cap.h"
+#include "src/guest/guest.h"
+
+namespace ufork {
+namespace tinyalloc {
+namespace {
+
+constexpr uint64_t kRootMagic = 0x7541666f726b4131ULL;  // "uAforkA1"
+constexpr uint32_t kBlockMagic = 0x7461626cu;           // "tabl"
+constexpr uint32_t kStateAllocated = 1;
+constexpr uint32_t kStateFree = 2;
+
+// Root field offsets within the first heap page (capability fields granule-aligned).
+constexpr uint64_t kOffMagic = 0;
+constexpr uint64_t kOffBumpCap = 16;      // capability: next free arena byte
+constexpr uint64_t kOffFreeHeadCap = 32;  // capability: first free block header (or untagged)
+constexpr uint64_t kOffAllocCount = 48;
+constexpr uint64_t kOffFreeCount = 56;
+constexpr uint64_t kOffBytesInUse = kRootBytesInUseOffset;
+
+constexpr uint64_t kHeaderSize = 16;
+
+struct Roots {
+  uint64_t root_va = 0;   // base of the allocator root page
+  uint64_t heap_lo = 0;   // heap segment start
+  uint64_t heap_hi = 0;   // heap segment end
+  uint64_t arena_lo = 0;  // first allocatable byte
+};
+
+Roots GetRoots(Guest& g) {
+  Roots r;
+  r.heap_lo = g.base() + g.layout().heap_off();
+  r.heap_hi = r.heap_lo + g.layout().heap_size();
+  r.root_va = r.heap_lo;
+  r.arena_lo = r.heap_lo + kPageSize;
+  return r;
+}
+
+}  // namespace
+
+Result<void> Init(Guest& g) {
+  const Roots r = GetRoots(g);
+  const Capability& ddc = g.ddc();
+  UF_RETURN_IF_ERROR(g.Store<uint64_t>(ddc, r.root_va + kOffMagic, kRootMagic));
+  UF_RETURN_IF_ERROR(
+      g.StoreCap(ddc, r.root_va + kOffBumpCap, ddc.WithAddress(r.arena_lo)));
+  UF_RETURN_IF_ERROR(
+      g.StoreCap(ddc, r.root_va + kOffFreeHeadCap, Capability::Integer(0)));
+  UF_RETURN_IF_ERROR(g.Store<uint64_t>(ddc, r.root_va + kOffAllocCount, 0));
+  UF_RETURN_IF_ERROR(g.Store<uint64_t>(ddc, r.root_va + kOffFreeCount, 0));
+  UF_RETURN_IF_ERROR(g.Store<uint64_t>(ddc, r.root_va + kOffBytesInUse, 0));
+  return OkResult();
+}
+
+Result<Capability> Alloc(Guest& g, uint64_t size) {
+  if (size == 0) {
+    return Error{Code::kErrInval, "zero-size allocation"};
+  }
+  const Roots r = GetRoots(g);
+  const Capability& ddc = g.ddc();
+  UF_ASSIGN_OR_RETURN(const uint64_t magic, g.Load<uint64_t>(ddc, r.root_va + kOffMagic));
+  if (magic != kRootMagic) {
+    return Error{Code::kErrInval, "heap not initialized (corrupted allocator root)"};
+  }
+  const uint64_t rounded = AlignUp(size, kCapSize);
+
+  // First fit over the free list. Links are capabilities: walking the list in a forked child
+  // triggers CoPA faults exactly as the paper describes for allocator metadata.
+  Capability prev;  // untagged: head
+  UF_ASSIGN_OR_RETURN(Capability cursor, g.LoadCap(ddc, r.root_va + kOffFreeHeadCap));
+  while (cursor.tag()) {
+    const uint64_t header_va = cursor.address();
+    UF_ASSIGN_OR_RETURN(const uint64_t block_size, g.Load<uint64_t>(ddc, header_va));
+    UF_ASSIGN_OR_RETURN(Capability next, g.LoadCap(ddc, header_va + kHeaderSize));
+    if (block_size >= rounded && block_size <= 4 * rounded) {
+      // Unlink.
+      if (prev.tag()) {
+        UF_RETURN_IF_ERROR(g.StoreCap(ddc, prev.address() + kHeaderSize, next));
+      } else {
+        UF_RETURN_IF_ERROR(g.StoreCap(ddc, r.root_va + kOffFreeHeadCap, next));
+      }
+      UF_RETURN_IF_ERROR(g.Store<uint32_t>(ddc, header_va + 12, kStateAllocated));
+      UF_ASSIGN_OR_RETURN(const uint64_t in_use,
+                          g.Load<uint64_t>(ddc, r.root_va + kOffBytesInUse));
+      UF_RETURN_IF_ERROR(g.Store<uint64_t>(ddc, r.root_va + kOffBytesInUse,
+                                           in_use + block_size));
+      UF_ASSIGN_OR_RETURN(const uint64_t allocs,
+                          g.Load<uint64_t>(ddc, r.root_va + kOffAllocCount));
+      UF_RETURN_IF_ERROR(g.Store<uint64_t>(ddc, r.root_va + kOffAllocCount, allocs + 1));
+      // Bounds match the *request* (CHERI malloc semantics); the block keeps its stored size.
+      return ddc.WithBounds(header_va + kHeaderSize, size);
+    }
+    prev = cursor;
+    cursor = next;
+  }
+
+  // Bump allocation. Large payloads get representable-bounds alignment so the returned
+  // capability's bounds are exact even under compressed-capability encoding.
+  UF_ASSIGN_OR_RETURN(Capability bump, g.LoadCap(ddc, r.root_va + kOffBumpCap));
+  if (!bump.tag()) {
+    return Error{Code::kErrInval, "allocator bump cursor corrupted"};
+  }
+  uint64_t header_va = bump.address();
+  uint64_t payload_va = header_va + kHeaderSize;
+  uint64_t payload_size = rounded;
+  if (rounded >= (1ULL << kMantissaBits)) {
+    const uint64_t mask = RepresentableAlignmentMask(rounded);
+    payload_va = (payload_va + ~mask) & mask;  // align up to the representable granule
+    header_va = payload_va - kHeaderSize;
+    payload_size = RoundToRepresentable(payload_va, rounded).length;
+  }
+  const uint64_t new_bump = payload_va + payload_size;
+  if (new_bump > r.heap_hi) {
+    return Error{Code::kErrNoMem, "guest heap exhausted"};
+  }
+  UF_RETURN_IF_ERROR(g.Store<uint64_t>(ddc, header_va, payload_size));
+  UF_RETURN_IF_ERROR(g.Store<uint32_t>(ddc, header_va + 8, kBlockMagic));
+  UF_RETURN_IF_ERROR(g.Store<uint32_t>(ddc, header_va + 12, kStateAllocated));
+  UF_RETURN_IF_ERROR(g.StoreCap(ddc, r.root_va + kOffBumpCap, bump.WithAddress(new_bump)));
+  UF_ASSIGN_OR_RETURN(const uint64_t in_use,
+                      g.Load<uint64_t>(ddc, r.root_va + kOffBytesInUse));
+  UF_RETURN_IF_ERROR(
+      g.Store<uint64_t>(ddc, r.root_va + kOffBytesInUse, in_use + payload_size));
+  UF_ASSIGN_OR_RETURN(const uint64_t allocs,
+                      g.Load<uint64_t>(ddc, r.root_va + kOffAllocCount));
+  UF_RETURN_IF_ERROR(g.Store<uint64_t>(ddc, r.root_va + kOffAllocCount, allocs + 1));
+  // Small allocations are bounded to the request exactly; large ones to the representable
+  // (rounded) length, as hardware bounds compression dictates.
+  return ddc.WithBounds(payload_va,
+                        rounded >= (1ULL << kMantissaBits) ? payload_size : size);
+}
+
+Result<void> Free(Guest& g, const Capability& allocation) {
+  if (!allocation.tag()) {
+    return Error{Code::kErrInval, "free of an untagged capability"};
+  }
+  const Roots r = GetRoots(g);
+  const Capability& ddc = g.ddc();
+  const uint64_t header_va = allocation.base() - kHeaderSize;
+  if (header_va < r.arena_lo || header_va >= r.heap_hi) {
+    return Error{Code::kErrInval, "free of a non-heap capability"};
+  }
+  UF_ASSIGN_OR_RETURN(const uint32_t block_magic, g.Load<uint32_t>(ddc, header_va + 8));
+  UF_ASSIGN_OR_RETURN(const uint32_t state, g.Load<uint32_t>(ddc, header_va + 12));
+  if (block_magic != kBlockMagic || state != kStateAllocated) {
+    return Error{Code::kErrInval, "invalid or double free"};
+  }
+  UF_ASSIGN_OR_RETURN(const uint64_t block_size, g.Load<uint64_t>(ddc, header_va));
+  UF_RETURN_IF_ERROR(g.Store<uint32_t>(ddc, header_va + 12, kStateFree));
+  // Push onto the free list.
+  UF_ASSIGN_OR_RETURN(Capability head, g.LoadCap(ddc, r.root_va + kOffFreeHeadCap));
+  UF_RETURN_IF_ERROR(g.StoreCap(ddc, header_va + kHeaderSize, head));
+  UF_RETURN_IF_ERROR(
+      g.StoreCap(ddc, r.root_va + kOffFreeHeadCap, ddc.WithAddress(header_va)));
+  UF_ASSIGN_OR_RETURN(const uint64_t in_use,
+                      g.Load<uint64_t>(ddc, r.root_va + kOffBytesInUse));
+  UF_RETURN_IF_ERROR(
+      g.Store<uint64_t>(ddc, r.root_va + kOffBytesInUse, in_use - block_size));
+  UF_ASSIGN_OR_RETURN(const uint64_t frees, g.Load<uint64_t>(ddc, r.root_va + kOffFreeCount));
+  UF_RETURN_IF_ERROR(g.Store<uint64_t>(ddc, r.root_va + kOffFreeCount, frees + 1));
+  return OkResult();
+}
+
+Result<HeapStats> Stats(Guest& g) {
+  const Roots r = GetRoots(g);
+  const Capability& ddc = g.ddc();
+  HeapStats stats;
+  UF_ASSIGN_OR_RETURN(stats.allocations, g.Load<uint64_t>(ddc, r.root_va + kOffAllocCount));
+  UF_ASSIGN_OR_RETURN(stats.frees, g.Load<uint64_t>(ddc, r.root_va + kOffFreeCount));
+  UF_ASSIGN_OR_RETURN(stats.bytes_in_use, g.Load<uint64_t>(ddc, r.root_va + kOffBytesInUse));
+  UF_ASSIGN_OR_RETURN(const Capability bump, g.LoadCap(ddc, r.root_va + kOffBumpCap));
+  stats.bump_used = bump.address() - r.arena_lo;
+  return stats;
+}
+
+}  // namespace tinyalloc
+}  // namespace ufork

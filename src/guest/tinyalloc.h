@@ -1,0 +1,58 @@
+// tinyalloc: the guest heap allocator, with ALL metadata resident in guest memory.
+//
+// Mirrors the paper's port of Unikraft's tinyalloc to CHERI (§4.1): 16-byte alignment (one
+// capability granule), bounds set on every allocation, and — crucially for μFork — the
+// allocator's own pointers (bump cursor, free-list links) stored as tagged capabilities in the
+// first heap page, which fork proactively copies and relocates (§3.5). Large allocations are
+// aligned/padded to CHERI-representable bounds (§4.1's "comply with CHERI's 16-byte pointer
+// alignment requirements and set bounds on allocated memory").
+//
+// Layout (offsets within the heap segment):
+//   page 0           allocator root: magic, bump cursor (cap), free-list head (cap), counters
+//   page 1 .. end    arena: blocks of [16-byte header | payload]
+//
+// Block header: u64 payload_size | u32 magic | u32 state. A free block additionally stores the
+// next-free capability at payload offset 0.
+#ifndef UFORK_SRC_GUEST_TINYALLOC_H_
+#define UFORK_SRC_GUEST_TINYALLOC_H_
+
+#include <cstdint>
+
+#include "src/base/status.h"
+#include "src/cheri/capability.h"
+
+namespace ufork {
+
+class Guest;
+
+namespace tinyalloc {
+
+// Offset of the bytes-in-use counter within the allocator root page. Exported because the MAS
+// baseline's residency model reads it to size the allocator-dirtying effect (see
+// MasBackend::ExtraResidencyBytes).
+inline constexpr uint64_t kRootBytesInUseOffset = 64;
+
+struct HeapStats {
+  uint64_t allocations = 0;
+  uint64_t frees = 0;
+  uint64_t bytes_in_use = 0;
+  uint64_t bump_used = 0;  // bytes consumed from the bump arena (high-water)
+};
+
+// Formats the allocator root in the first heap page. Called by the guest runtime for fresh
+// programs only; fork children inherit the (relocated) root.
+Result<void> Init(Guest& guest);
+
+// First-fit over the free list, falling back to the bump cursor. Returns a capability bounded
+// exactly to [payload, payload + size') where size' is the 16-byte-rounded (and, for large
+// blocks, representable-bounds-rounded) size.
+Result<Capability> Alloc(Guest& guest, uint64_t size);
+
+Result<void> Free(Guest& guest, const Capability& allocation);
+
+Result<HeapStats> Stats(Guest& guest);
+
+}  // namespace tinyalloc
+}  // namespace ufork
+
+#endif  // UFORK_SRC_GUEST_TINYALLOC_H_

@@ -1,0 +1,76 @@
+#include "src/kernel/fd.h"
+
+namespace ufork {
+
+Result<int> FdTable::Install(std::shared_ptr<OpenFile> file) {
+  for (int fd = 0; fd < kMaxFds; ++fd) {
+    if (slots_[static_cast<size_t>(fd)] == nullptr) {
+      slots_[static_cast<size_t>(fd)] = std::move(file);
+      return fd;
+    }
+  }
+  return Error{Code::kErrMfile, "descriptor table full"};
+}
+
+Result<std::shared_ptr<OpenFile>> FdTable::Get(int fd) const {
+  if (fd < 0 || fd >= kMaxFds || slots_[static_cast<size_t>(fd)] == nullptr) {
+    return Error{Code::kErrBadFd, "bad file descriptor"};
+  }
+  return slots_[static_cast<size_t>(fd)];
+}
+
+Result<void> FdTable::Close(int fd) {
+  if (fd < 0 || fd >= kMaxFds || slots_[static_cast<size_t>(fd)] == nullptr) {
+    return Error{Code::kErrBadFd, "close of bad file descriptor"};
+  }
+  slots_[static_cast<size_t>(fd)]->OnClose();
+  slots_[static_cast<size_t>(fd)].reset();
+  return OkResult();
+}
+
+Result<int> FdTable::Dup2(int oldfd, int newfd) {
+  UF_ASSIGN_OR_RETURN(std::shared_ptr<OpenFile> file, Get(oldfd));
+  if (newfd < 0 || newfd >= kMaxFds) {
+    return Error{Code::kErrBadFd, "dup2 target out of range"};
+  }
+  if (newfd == oldfd) {
+    return newfd;
+  }
+  if (slots_[static_cast<size_t>(newfd)] != nullptr) {
+    slots_[static_cast<size_t>(newfd)]->OnClose();
+  }
+  file->OnDup();
+  slots_[static_cast<size_t>(newfd)] = std::move(file);
+  return newfd;
+}
+
+std::shared_ptr<FdTable> FdTable::Clone() const {
+  auto clone = std::make_shared<FdTable>();
+  for (int fd = 0; fd < kMaxFds; ++fd) {
+    const auto& file = slots_[static_cast<size_t>(fd)];
+    if (file != nullptr) {
+      file->OnDup();
+      clone->slots_[static_cast<size_t>(fd)] = file;
+    }
+  }
+  return clone;
+}
+
+void FdTable::CloseAll() {
+  for (auto& slot : slots_) {
+    if (slot != nullptr) {
+      slot->OnClose();
+      slot.reset();
+    }
+  }
+}
+
+int FdTable::OpenCount() const {
+  int n = 0;
+  for (const auto& slot : slots_) {
+    n += slot != nullptr ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace ufork

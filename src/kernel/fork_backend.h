@@ -1,0 +1,74 @@
+// Fork backend interface: the axis along which the paper's three systems differ.
+//
+//   * μFork (src/ufork)           — single address space, capability relocation, CoPA/CoA/Full.
+//   * MAS baseline (src/baseline) — CheriBSD-like: per-process page tables, classic CoW,
+//                                   trap-based syscalls, TLB flushes on context switch.
+//   * VM-clone baseline           — Nephele-like: hypervisor clones the whole unikernel.
+//
+// The kernel delegates fork, resolvable page faults, syscall entry flavour, context switch
+// pricing and residency accounting to the installed backend; everything else (μprocess state,
+// fds, VFS, pipes, scheduling) is shared, so workloads compare apples to apples.
+#ifndef UFORK_SRC_KERNEL_FORK_BACKEND_H_
+#define UFORK_SRC_KERNEL_FORK_BACKEND_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/base/status.h"
+#include "src/kernel/uproc.h"
+#include "src/machine/cost_model.h"
+#include "src/machine/machine.h"
+#include "src/sched/task.h"
+
+namespace ufork {
+
+class Kernel;
+
+// Entry point of a μprocess thread. The guest layer adapts application coroutines
+// (taking a Guest facade) into this shape.
+using UprocEntry = std::function<SimTask<void>(Kernel&, Uproc&)>;
+
+// How fork materialises the child's memory (paper §3.8).
+enum class ForkStrategy {
+  kCopa,       // Copy-on-Pointer-Access: share read-only; copy on write or tagged cap load
+  kCoa,        // Copy-on-Access: share inaccessible; copy on any access
+  kFull,       // copy everything synchronously at fork
+  kUnsafeCow,  // classic CoW without relocation faults — ISOLATION-UNSOUND in a SAS; kept to
+               // demonstrate why CoPA exists (a child can read stale parent capabilities)
+};
+
+const char* ForkStrategyName(ForkStrategy strategy);
+
+class ForkBackend {
+ public:
+  virtual ~ForkBackend() = default;
+
+  virtual const char* name() const = 0;
+
+  virtual SyscallEntryKind syscall_kind() const = 0;
+
+  // Whether each process owns a private page table (MAS/VM backends) instead of a slice of
+  // the shared single-address-space table.
+  virtual bool private_page_tables() const = 0;
+
+  // Additional cost when a core switches between these two threads (the kernel wires this into
+  // the scheduler; uprocs may be null for kernel/idle threads).
+  virtual Cycles ContextSwitchCost(const CostModel& costs, Uproc* prev, Uproc* next) const = 0;
+
+  // Creates the child: memory, fds, registers, PID, thread. Returns the child pid.
+  virtual Result<Pid> Fork(Kernel& kernel, Uproc& parent, UprocEntry entry) = 0;
+
+  // Resolves a CoW / capability-load page fault raised by the access engine.
+  virtual Result<void> ResolveFault(Kernel& kernel, const PageFaultInfo& info) = 0;
+
+  // Residency the PSS metric must add beyond frames mapped in the region (shared libraries,
+  // guest-OS image, allocator dirtying — see DESIGN.md substitutions).
+  virtual uint64_t ExtraResidencyBytes(const Kernel& kernel, const Uproc& uproc) const = 0;
+
+  // Called when a μprocess exits, before its pages are released.
+  virtual void OnExit(Kernel& kernel, Uproc& uproc) { (void)kernel, (void)uproc; }
+};
+
+}  // namespace ufork
+
+#endif  // UFORK_SRC_KERNEL_FORK_BACKEND_H_

@@ -1,0 +1,41 @@
+// Parameterised isolation (paper §3.6, building block 6).
+//
+// Real deployments have different trust models; μFork lets each pick its isolation level:
+//   * kNone  — the entire system is trusted to function correctly (e.g. Redis snapshotting a
+//              trusted child): capabilities are not confined to the μprocess region, kernel
+//              argument checks and TOCTTOU protections are off.
+//   * kFault — the program is trusted but may contain bugs (e.g. Nginx workers):
+//              non-adversarial fault isolation — capability confinement + basic kernel checks,
+//              but no TOCTTOU bounce-buffering.
+//   * kFull  — adversarial fault isolation (e.g. qmail-style privilege separation):
+//              confinement, full argument validation, and TOCTTOU copy-in/copy-out.
+#ifndef UFORK_SRC_KERNEL_ISOLATION_H_
+#define UFORK_SRC_KERNEL_ISOLATION_H_
+
+namespace ufork {
+
+enum class IsolationLevel { kNone, kFault, kFull };
+
+struct IsolationPolicy {
+  bool confine_caps = true;     // bound each μprocess's capabilities to its region
+  bool validate_args = true;    // sanity-check syscall arguments in the kernel
+  bool tocttou_protect = true;  // copy referenced buffers through kernel memory
+
+  static IsolationPolicy FromLevel(IsolationLevel level) {
+    switch (level) {
+      case IsolationLevel::kNone:
+        return IsolationPolicy{false, false, false};
+      case IsolationLevel::kFault:
+        return IsolationPolicy{true, true, false};
+      case IsolationLevel::kFull:
+        return IsolationPolicy{true, true, true};
+    }
+    return IsolationPolicy{};
+  }
+};
+
+const char* IsolationLevelName(IsolationLevel level);
+
+}  // namespace ufork
+
+#endif  // UFORK_SRC_KERNEL_ISOLATION_H_

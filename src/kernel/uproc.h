@@ -1,0 +1,96 @@
+// μprocess: the emulated POSIX process (paper §3.4, building block 1).
+//
+// Each μprocess owns a contiguous region of the single address space, a register file whose
+// capability registers are confined to that region, a descriptor table, and one thread (fork
+// copies a single thread, matching POSIX). In the MAS baseline a process owns its page table
+// instead of a region of the shared one.
+#ifndef UFORK_SRC_KERNEL_UPROC_H_
+#define UFORK_SRC_KERNEL_UPROC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/kernel/fd.h"
+#include "src/kernel/signal.h"
+#include "src/machine/register_file.h"
+#include "src/mem/page_table.h"
+#include "src/sched/scheduler.h"
+
+namespace ufork {
+
+using Pid = int64_t;
+inline constexpr Pid kInvalidPid = -1;
+
+// Per-fork accounting, reported by the benchmarks (Figs. 4, 8).
+struct ForkStats {
+  Cycles latency = 0;                  // time for the fork call to complete
+  uint64_t pages_mapped = 0;           // child PTEs created
+  uint64_t pages_copied_eagerly = 0;   // proactive copies (GOT, allocator metadata, full copy)
+  uint64_t caps_relocated_eagerly = 0;
+  uint64_t registers_relocated = 0;
+  uint64_t bytes_copied_eagerly = 0;
+};
+
+class Uproc {
+ public:
+  enum class State { kRunning, kZombie, kDead };
+
+  Uproc(Pid pid, Scheduler& sched) : child_wait(sched), pid_(pid) {}
+
+  Uproc(const Uproc&) = delete;
+  Uproc& operator=(const Uproc&) = delete;
+
+  Pid pid() const { return pid_; }
+
+  bool ContainsVa(uint64_t va) const { return va >= base && va < base + size; }
+  uint64_t OffsetOf(uint64_t va) const {
+    UF_DCHECK(ContainsVa(va));
+    return va - base;
+  }
+
+  // --- identity & lifecycle ---
+  Pid parent_pid = kInvalidPid;
+  State state = State::kRunning;
+  int exit_code = 0;
+  std::string name;
+  bool forked_child = false;  // false for freshly spawned programs (run crt initialization)
+
+  // --- memory ---
+  uint64_t base = 0;  // region base in the (shared or private) address space
+  uint64_t size = 0;
+  PageTable* page_table = nullptr;        // SAS: the kernel's shared table
+  std::unique_ptr<PageTable> owned_pt;    // MAS/VM backends: private table
+  uint64_t mmap_cursor = 0;               // bump pointer within the mmap segment
+
+  // --- architectural state ---
+  RegisterFile regs;
+  Capability syscall_sentry;  // sealed entry capability for trapless syscalls (§4.4)
+
+  // --- kernel resources ---
+  std::shared_ptr<FdTable> fds;
+  // The μprocess's main thread (the one fork duplicates) plus any it spawned (§3.4: "each
+  // μprocess may have many threads"; fork copies a single thread, matching POSIX).
+  ThreadId thread = kInvalidThread;
+  std::vector<ThreadId> threads;
+  std::unique_ptr<WaitQueue> thread_exit_wait;  // joiners block here
+  // Scheduler affinity inherited by fork children (the sched_setaffinity-before-fork pattern
+  // the FaaS coordinator uses to keep function executors off its own core). -1 = any core.
+  int child_affinity = -1;
+  std::vector<Pid> children;
+  WaitQueue child_wait;  // parent blocks here in wait()
+  SignalState signals;
+
+  // --- accounting ---
+  ForkStats fork_stats;  // stats of the fork that created this μprocess
+  uint64_t forks_performed = 0;
+
+ private:
+  Pid pid_;
+};
+
+}  // namespace ufork
+
+#endif  // UFORK_SRC_KERNEL_UPROC_H_

@@ -1,0 +1,120 @@
+#include "src/kernel/vfs.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ufork {
+
+Result<std::shared_ptr<OpenFile>> RamFs::Open(const std::string& path, uint32_t flags) {
+  if ((flags & (kOpenRead | kOpenWrite)) == 0) {
+    return Error{Code::kErrInval, "open without read or write"};
+  }
+  auto it = inodes_.find(path);
+  if (it == inodes_.end()) {
+    if ((flags & kOpenCreate) == 0) {
+      return Error{Code::kErrNoEnt, "no such file: " + path};
+    }
+    it = inodes_.emplace(path, std::make_shared<Inode>()).first;
+  }
+  if ((flags & kOpenTrunc) != 0 && (flags & kOpenWrite) != 0) {
+    it->second->data.clear();
+  }
+  return std::static_pointer_cast<OpenFile>(
+      std::make_shared<RamFileHandle>(it->second, flags));
+}
+
+Result<void> RamFs::Unlink(const std::string& path) {
+  if (inodes_.erase(path) == 0) {
+    return Error{Code::kErrNoEnt, "unlink: no such file"};
+  }
+  return OkResult();
+}
+
+Result<void> RamFs::Rename(const std::string& from, const std::string& to) {
+  auto it = inodes_.find(from);
+  if (it == inodes_.end()) {
+    return Error{Code::kErrNoEnt, "rename: no such file"};
+  }
+  inodes_[to] = it->second;
+  inodes_.erase(it);
+  return OkResult();
+}
+
+Result<uint64_t> RamFs::FileSize(const std::string& path) const {
+  auto it = inodes_.find(path);
+  if (it == inodes_.end()) {
+    return Error{Code::kErrNoEnt, "stat: no such file"};
+  }
+  return it->second->data.size();
+}
+
+std::vector<std::string> RamFs::List() const {
+  std::vector<std::string> names;
+  names.reserve(inodes_.size());
+  for (const auto& [name, inode] : inodes_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+uint64_t RamFs::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& [name, inode] : inodes_) {
+    total += inode->data.size();
+  }
+  return total;
+}
+
+SimTask<Result<int64_t>> RamFileHandle::Read(std::span<std::byte> out) {
+  if ((flags_ & kOpenRead) == 0) {
+    co_return Error{Code::kErrBadFd, "read on write-only file"};
+  }
+  const uint64_t size = inode_->data.size();
+  if (offset_ >= size) {
+    co_return 0;  // EOF
+  }
+  const uint64_t n = std::min<uint64_t>(out.size(), size - offset_);
+  std::memcpy(out.data(), inode_->data.data() + offset_, n);
+  offset_ += n;
+  co_return static_cast<int64_t>(n);
+}
+
+SimTask<Result<int64_t>> RamFileHandle::Write(std::span<const std::byte> in) {
+  if ((flags_ & kOpenWrite) == 0) {
+    co_return Error{Code::kErrBadFd, "write on read-only file"};
+  }
+  if ((flags_ & kOpenAppend) != 0) {
+    offset_ = inode_->data.size();
+  }
+  if (offset_ + in.size() > inode_->data.size()) {
+    inode_->data.resize(offset_ + in.size());
+  }
+  std::memcpy(inode_->data.data() + offset_, in.data(), in.size());
+  offset_ += in.size();
+  co_return static_cast<int64_t>(in.size());
+}
+
+Result<int64_t> RamFileHandle::Seek(int64_t offset, int whence) {
+  int64_t base = 0;
+  switch (whence) {
+    case kSeekSet:
+      base = 0;
+      break;
+    case kSeekCur:
+      base = static_cast<int64_t>(offset_);
+      break;
+    case kSeekEnd:
+      base = static_cast<int64_t>(inode_->data.size());
+      break;
+    default:
+      return Error{Code::kErrInval, "bad whence"};
+  }
+  const int64_t target = base + offset;
+  if (target < 0) {
+    return Error{Code::kErrInval, "seek before start"};
+  }
+  offset_ = static_cast<uint64_t>(target);
+  return target;
+}
+
+}  // namespace ufork

@@ -1,0 +1,70 @@
+// Ramdisk virtual filesystem.
+//
+// The paper's Redis experiment saves snapshots "to a ram-disk, minimizing I/O latency" (§5.1);
+// this VFS is that ramdisk: a flat namespace of in-(host-)memory files with POSIX-ish open
+// flags, byte-offset read/write/seek, rename (Redis saves to a temp file then renames) and
+// unlink. Transfer costs are charged through the cost model by the syscall layer.
+#ifndef UFORK_SRC_KERNEL_VFS_H_
+#define UFORK_SRC_KERNEL_VFS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/kernel/fd.h"
+
+namespace ufork {
+
+enum OpenFlags : uint32_t {
+  kOpenRead = 1u << 0,
+  kOpenWrite = 1u << 1,
+  kOpenCreate = 1u << 2,
+  kOpenTrunc = 1u << 3,
+  kOpenAppend = 1u << 4,
+};
+
+enum SeekWhence : int { kSeekSet = 0, kSeekCur = 1, kSeekEnd = 2 };
+
+class RamFs {
+ public:
+  struct Inode {
+    std::vector<std::byte> data;
+    uint64_t link_count = 1;
+  };
+
+  Result<std::shared_ptr<OpenFile>> Open(const std::string& path, uint32_t flags);
+  Result<void> Unlink(const std::string& path);
+  Result<void> Rename(const std::string& from, const std::string& to);
+  Result<uint64_t> FileSize(const std::string& path) const;
+  bool Exists(const std::string& path) const { return inodes_.count(path) != 0; }
+  std::vector<std::string> List() const;
+
+  uint64_t TotalBytes() const;
+
+ private:
+  std::map<std::string, std::shared_ptr<Inode>> inodes_;
+};
+
+// Open-file description for a ramdisk file: shared offset across dup/fork, as POSIX requires.
+class RamFileHandle : public OpenFile {
+ public:
+  RamFileHandle(std::shared_ptr<RamFs::Inode> inode, uint32_t flags)
+      : inode_(std::move(inode)), flags_(flags) {}
+
+  SimTask<Result<int64_t>> Read(std::span<std::byte> out) override;
+  SimTask<Result<int64_t>> Write(std::span<const std::byte> in) override;
+  Result<int64_t> Seek(int64_t offset, int whence) override;
+  const char* kind() const override { return "file"; }
+
+ private:
+  std::shared_ptr<RamFs::Inode> inode_;
+  uint32_t flags_;
+  uint64_t offset_ = 0;
+};
+
+}  // namespace ufork
+
+#endif  // UFORK_SRC_KERNEL_VFS_H_

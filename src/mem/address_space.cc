@@ -1,0 +1,145 @@
+#include "src/mem/address_space.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+#include "src/mem/frame.h"
+
+namespace ufork {
+
+AddressSpace::AddressSpace(uint64_t lo, uint64_t hi) : lo_(lo), hi_(hi) {
+  UF_CHECK(IsAligned(lo, kPageSize) && IsAligned(hi, kPageSize) && lo < hi);
+  free_.emplace(lo, hi - lo);
+}
+
+void AddressSpace::EnableAslr(uint64_t seed) { aslr_rng_.emplace(seed); }
+
+Result<uint64_t> AddressSpace::AllocateRegion(uint64_t size, uint64_t align) {
+  UF_CHECK(IsPowerOfTwo(align) && align >= kPageSize);
+  size = AlignUp(size, kPageSize);
+  if (size == 0) {
+    return Error{Code::kErrInval, "zero-sized region"};
+  }
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    const uint64_t block_base = it->first;
+    const uint64_t block_size = it->second;
+    const uint64_t aligned = AlignUp(block_base, align);
+    if (aligned + size > block_base + block_size || aligned + size < aligned) {
+      continue;
+    }
+    uint64_t base = aligned;
+    if (aslr_rng_.has_value()) {
+      // Random slide within the block, in units of the alignment.
+      const uint64_t max_slide = (block_base + block_size - size - aligned) / align;
+      base = aligned + aslr_rng_->NextBelow(max_slide + 1) * align;
+    }
+    // Split the free block around [base, base+size).
+    free_.erase(it);
+    if (base > block_base) {
+      free_.emplace(block_base, base - block_base);
+    }
+    if (base + size < block_base + block_size) {
+      free_.emplace(base + size, block_base + block_size - (base + size));
+    }
+    allocated_.emplace(base, size);
+    return base;
+  }
+  return Error{Code::kErrNoSpc, "address space exhausted (fragmentation)"};
+}
+
+Result<uint64_t> AddressSpace::AllocateRegionAt(uint64_t base, uint64_t size) {
+  size = AlignUp(size, kPageSize);
+  if (!IsAligned(base, kPageSize) || size == 0) {
+    return Error{Code::kErrInval, "misaligned placement"};
+  }
+  // Find the free block containing [base, base+size).
+  auto it = free_.upper_bound(base);
+  if (it == free_.begin()) {
+    return Error{Code::kErrNoSpc, "target range not free"};
+  }
+  --it;
+  const uint64_t block_base = it->first;
+  const uint64_t block_size = it->second;
+  if (base < block_base || base + size > block_base + block_size) {
+    return Error{Code::kErrNoSpc, "target range not free"};
+  }
+  free_.erase(it);
+  if (base > block_base) {
+    free_.emplace(block_base, base - block_base);
+  }
+  if (base + size < block_base + block_size) {
+    free_.emplace(base + size, block_base + block_size - (base + size));
+  }
+  allocated_.emplace(base, size);
+  return base;
+}
+
+std::optional<uint64_t> AddressSpace::FirstFitBase(uint64_t size, uint64_t align) const {
+  size = AlignUp(size, kPageSize);
+  for (const auto& [block_base, block_size] : free_) {
+    const uint64_t aligned = AlignUp(block_base, align);
+    if (aligned + size <= block_base + block_size && aligned + size >= aligned) {
+      return aligned;
+    }
+  }
+  return std::nullopt;
+}
+
+void AddressSpace::FreeRegion(uint64_t base) {
+  auto it = allocated_.find(base);
+  UF_CHECK_MSG(it != allocated_.end(), "freeing an unallocated region");
+  const uint64_t size = it->second;
+  allocated_.erase(it);
+  InsertFree(base, size);
+}
+
+void AddressSpace::InsertFree(uint64_t base, uint64_t size) {
+  // Coalesce with the neighbouring free blocks.
+  auto next = free_.lower_bound(base);
+  if (next != free_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == base) {
+      base = prev->first;
+      size += prev->second;
+      free_.erase(prev);
+    }
+  }
+  if (next != free_.end() && base + size == next->first) {
+    size += next->second;
+    free_.erase(next);
+  }
+  free_.emplace(base, size);
+}
+
+std::optional<uint64_t> AddressSpace::RegionContaining(uint64_t addr) const {
+  auto it = allocated_.upper_bound(addr);
+  if (it == allocated_.begin()) {
+    return std::nullopt;
+  }
+  --it;
+  if (addr >= it->first && addr < it->first + it->second) {
+    return it->first;
+  }
+  return std::nullopt;
+}
+
+std::optional<uint64_t> AddressSpace::RegionSize(uint64_t base) const {
+  auto it = allocated_.find(base);
+  if (it == allocated_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+AddressSpaceStats AddressSpace::Stats() const {
+  AddressSpaceStats stats;
+  stats.total_bytes = hi_ - lo_;
+  stats.region_count = allocated_.size();
+  for (const auto& [base, size] : free_) {
+    stats.free_bytes += size;
+    stats.largest_free_block = std::max(stats.largest_free_block, size);
+  }
+  return stats;
+}
+
+}  // namespace ufork

@@ -1,0 +1,79 @@
+// Single-address-space region allocator.
+//
+// In a μFork system every μprocess is loaded into one contiguous area of the shared virtual
+// address space (paper §3.7): contiguity lets capability bounds confine a μprocess cheaply.
+// This allocator hands out those contiguous regions (first fit over a free list), optionally
+// randomizing placement (the paper's ASLR note), and tracks the fragmentation statistics the
+// paper's §6 "Fragmentation" discussion is about.
+#ifndef UFORK_SRC_MEM_ADDRESS_SPACE_H_
+#define UFORK_SRC_MEM_ADDRESS_SPACE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "src/base/rng.h"
+#include "src/base/status.h"
+#include "src/base/units.h"
+
+namespace ufork {
+
+struct AddressSpaceStats {
+  uint64_t total_bytes = 0;
+  uint64_t free_bytes = 0;
+  uint64_t largest_free_block = 0;
+  uint64_t region_count = 0;
+  // External fragmentation in [0,1]: 1 - largest_free_block / free_bytes.
+  double ExternalFragmentation() const {
+    if (free_bytes == 0) {
+      return 0.0;
+    }
+    return 1.0 - static_cast<double>(largest_free_block) / static_cast<double>(free_bytes);
+  }
+};
+
+class AddressSpace {
+ public:
+  // Manages [lo, hi). lo/hi must be page aligned.
+  AddressSpace(uint64_t lo, uint64_t hi);
+
+  // Allocates a region of `size` bytes aligned to `align` (power of two). With ASLR enabled a
+  // random eligible slide inside the chosen free block is applied instead of packing left.
+  Result<uint64_t> AllocateRegion(uint64_t size, uint64_t align);
+
+  void FreeRegion(uint64_t base);
+
+  // Allocates exactly [base, base+size); fails if the range is not wholly free. Used by the
+  // compactor to place regions deterministically.
+  Result<uint64_t> AllocateRegionAt(uint64_t base, uint64_t size);
+
+  // Lowest base at which a first-fit allocation of (size, align) would land, without
+  // allocating. Ignores ASLR (the compactor packs deterministically).
+  std::optional<uint64_t> FirstFitBase(uint64_t size, uint64_t align) const;
+
+  // Returns the base of the allocated region containing `addr`, if any. The fork relocation
+  // scanner uses this to find which μprocess a stale capability points into (chained forks:
+  // a grandchild page may still hold capabilities pointing at the grandparent).
+  std::optional<uint64_t> RegionContaining(uint64_t addr) const;
+  std::optional<uint64_t> RegionSize(uint64_t base) const;
+
+  void EnableAslr(uint64_t seed);
+
+  AddressSpaceStats Stats() const;
+
+  uint64_t lo() const { return lo_; }
+  uint64_t hi() const { return hi_; }
+
+ private:
+  void InsertFree(uint64_t base, uint64_t size);
+
+  uint64_t lo_;
+  uint64_t hi_;
+  std::map<uint64_t, uint64_t> free_;       // base -> size, coalesced
+  std::map<uint64_t, uint64_t> allocated_;  // base -> size
+  std::optional<Rng> aslr_rng_;
+};
+
+}  // namespace ufork
+
+#endif  // UFORK_SRC_MEM_ADDRESS_SPACE_H_

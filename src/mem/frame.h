@@ -1,0 +1,158 @@
+// A physical page frame with CHERI tagged memory.
+//
+// Each frame holds 4 KiB of data plus one validity tag per 16-byte granule (256 tags). For
+// tagged granules the authoritative decoded capability is kept in a side table; the raw bytes
+// of a tagged granule hold the capability's cursor in the low 8 bytes so integer-view reads
+// observe the address, as on real hardware. Any data write overlapping a tagged granule clears
+// that granule's tag — the invariant μFork's relocation scan relies on (§4.2): a valid tag
+// *proves* the granule holds a pointer.
+#ifndef UFORK_SRC_MEM_FRAME_H_
+#define UFORK_SRC_MEM_FRAME_H_
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <span>
+
+#include "src/base/check.h"
+#include "src/base/units.h"
+#include "src/cheri/capability.h"
+
+namespace ufork {
+
+inline constexpr uint64_t kPageSize = 4 * kKiB;
+inline constexpr uint64_t kGranulesPerPage = kPageSize / kCapSize;  // 256
+
+class Frame {
+ public:
+  Frame() { data_.fill(std::byte{0}); }
+
+  // Raw data access. offset+size must stay within the page. Writes clear the tags of every
+  // granule they overlap.
+  void Read(uint64_t offset, std::span<std::byte> out) const {
+    UF_DCHECK(offset + out.size() <= kPageSize);
+    std::memcpy(out.data(), data_.data() + offset, out.size());
+  }
+
+  void Write(uint64_t offset, std::span<const std::byte> in) {
+    UF_DCHECK(offset + in.size() <= kPageSize);
+    std::memcpy(data_.data() + offset, in.data(), in.size());
+    ClearTags(offset, in.size());
+  }
+
+  void Fill(uint64_t offset, uint64_t size, std::byte value) {
+    UF_DCHECK(offset + size <= kPageSize);
+    std::memset(data_.data() + offset, static_cast<int>(value), size);
+    ClearTags(offset, size);
+  }
+
+  // Capability access. offset must be 16-byte aligned (the caller's capability check enforces
+  // this for guest accesses; kernel callers assert).
+  bool TagAt(uint64_t offset) const {
+    UF_DCHECK(IsAligned(offset, kCapSize));
+    return (tags_[offset / kCapSize / 64] >> (offset / kCapSize % 64)) & 1;
+  }
+
+  // Loads the granule as a capability: the authoritative record if tagged, otherwise the
+  // untagged integer view of the raw bytes.
+  Capability LoadCap(uint64_t offset) const {
+    UF_DCHECK(IsAligned(offset, kCapSize));
+    if (TagAt(offset)) {
+      auto it = caps_.find(static_cast<uint16_t>(offset / kCapSize));
+      UF_CHECK_MSG(it != caps_.end(), "tagged granule without capability record");
+      return it->second;
+    }
+    uint64_t cursor = 0;
+    std::memcpy(&cursor, data_.data() + offset, sizeof(cursor));
+    return Capability::Integer(cursor);
+  }
+
+  // Stores a capability into the granule. A tagged store records the decoded capability and
+  // writes its cursor into the low 8 raw bytes (integer view); an untagged store behaves like
+  // a 16-byte data write of (cursor, 0).
+  void StoreCap(uint64_t offset, const Capability& cap) {
+    UF_DCHECK(IsAligned(offset, kCapSize));
+    const uint64_t cursor = cap.address();
+    std::memcpy(data_.data() + offset, &cursor, sizeof(cursor));
+    std::memset(data_.data() + offset + 8, 0, 8);
+    const uint16_t granule = static_cast<uint16_t>(offset / kCapSize);
+    if (cap.tag()) {
+      caps_[granule] = cap;
+      tags_[granule / 64] |= 1ULL << (granule % 64);
+      has_tags_ = true;
+    } else {
+      ClearTagAtGranule(granule);
+    }
+  }
+
+  void ClearTags(uint64_t offset, uint64_t size) {
+    if (size == 0 || !has_tags_) {
+      return;
+    }
+    const uint64_t first = offset / kCapSize;
+    const uint64_t last = (offset + size - 1) / kCapSize;
+    for (uint64_t g = first; g <= last; ++g) {
+      ClearTagAtGranule(static_cast<uint16_t>(g));
+    }
+  }
+
+  void ClearAllTags() {
+    tags_.fill(0);
+    caps_.clear();
+    has_tags_ = false;
+  }
+
+  // Copies data *and* tags/capability records from another frame (used by CoW/CoA/CoPA copies;
+  // the relocation pass then rewrites the capability records in place).
+  void CopyFrom(const Frame& src) {
+    data_ = src.data_;
+    tags_ = src.tags_;
+    caps_ = src.caps_;
+    has_tags_ = src.has_tags_;
+  }
+
+  uint64_t CountTags() const {
+    uint64_t n = 0;
+    for (uint64_t word : tags_) {
+      n += static_cast<uint64_t>(std::popcount(word));
+    }
+    return n;
+  }
+
+  // Iterates tagged granules, invoking fn(offset, cap&) with a mutable capability record so the
+  // relocation scanner can rewrite in place. fn returning a changed cursor updates the raw
+  // integer view as well.
+  template <typename Fn>
+  void ForEachTaggedCap(Fn&& fn) {
+    for (auto& [granule, cap] : caps_) {
+      const uint64_t offset = static_cast<uint64_t>(granule) * kCapSize;
+      fn(offset, cap);
+      const uint64_t cursor = cap.address();
+      std::memcpy(data_.data() + offset, &cursor, sizeof(cursor));
+    }
+  }
+
+  const std::byte* raw() const { return data_.data(); }
+
+ private:
+  void ClearTagAtGranule(uint16_t granule) {
+    const uint64_t mask = 1ULL << (granule % 64);
+    if ((tags_[granule / 64] & mask) != 0) {
+      tags_[granule / 64] &= ~mask;
+      caps_.erase(granule);
+    }
+  }
+
+  std::array<std::byte, kPageSize> data_;
+  std::array<uint64_t, kGranulesPerPage / 64> tags_{};
+  // Ordered so ForEachTaggedCap scans in address order like the hardware-assisted 16-byte
+  // stride scan described in §4.2.
+  std::map<uint16_t, Capability> caps_;
+  bool has_tags_ = false;  // fast path: skip tag clearing on frames that never held one
+};
+
+}  // namespace ufork
+
+#endif  // UFORK_SRC_MEM_FRAME_H_

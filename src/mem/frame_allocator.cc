@@ -1,0 +1,54 @@
+#include "src/mem/frame_allocator.h"
+
+#include <algorithm>
+
+namespace ufork {
+
+FrameAllocator::FrameAllocator(uint64_t max_frames) : max_frames_(max_frames) {}
+
+Result<FrameId> FrameAllocator::Allocate() {
+  FrameId id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    if (slots_.size() >= max_frames_) {
+      return Error{Code::kErrNoMem, "out of physical frames"};
+    }
+    id = slots_.size();
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[id];
+  if (slot.frame == nullptr) {
+    slot.frame = std::make_unique<Frame>();
+  } else {
+    slot.frame->Fill(0, kPageSize, std::byte{0});
+    slot.frame->ClearAllTags();
+  }
+  slot.refcount = 1;
+  ++frames_in_use_;
+  ++total_allocations_;
+  peak_frames_ = std::max(peak_frames_, frames_in_use_);
+  return id;
+}
+
+void FrameAllocator::AddRef(FrameId id) {
+  UF_CHECK(IsLive(id));
+  ++slots_[id].refcount;
+}
+
+void FrameAllocator::Release(FrameId id) {
+  UF_CHECK(IsLive(id));
+  Slot& slot = slots_[id];
+  if (--slot.refcount == 0) {
+    --frames_in_use_;
+    free_list_.push_back(id);
+  }
+}
+
+uint32_t FrameAllocator::RefCount(FrameId id) const {
+  UF_CHECK(id < slots_.size());
+  return slots_[id].refcount;
+}
+
+}  // namespace ufork

@@ -1,0 +1,155 @@
+#include "src/mem/page_table.h"
+
+#include <vector>
+
+#include "src/base/units.h"
+
+namespace ufork {
+
+struct PageTable::Table {
+  // Interior levels use children; the leaf level uses ptes. Allocated lazily.
+  std::array<std::unique_ptr<Table>, kFanout> children;
+  std::unique_ptr<std::array<Pte, kFanout>> ptes;
+};
+
+PageTable::PageTable() : root_(std::make_unique<Table>()), node_count_(1) {}
+PageTable::~PageTable() = default;
+
+Pte* PageTable::Walk(uint64_t va, bool create) {
+  UF_DCHECK(va < kVaTop);
+  Table* t = root_.get();
+  for (int level = 0; level < kLevels - 1; ++level) {
+    auto& child = t->children[IndexAt(va, level)];
+    if (child == nullptr) {
+      if (!create) {
+        return nullptr;
+      }
+      child = std::make_unique<Table>();
+      ++node_count_;
+    }
+    t = child.get();
+  }
+  if (t->ptes == nullptr) {
+    if (!create) {
+      return nullptr;
+    }
+    t->ptes = std::make_unique<std::array<Pte, kFanout>>();
+    ++node_count_;
+  }
+  return &(*t->ptes)[IndexAt(va, kLevels - 1)];
+}
+
+const Pte* PageTable::WalkConst(uint64_t va) const {
+  UF_DCHECK(va < kVaTop);
+  const Table* t = root_.get();
+  for (int level = 0; level < kLevels - 1; ++level) {
+    const auto& child = t->children[IndexAt(va, level)];
+    if (child == nullptr) {
+      return nullptr;
+    }
+    t = child.get();
+  }
+  if (t->ptes == nullptr) {
+    return nullptr;
+  }
+  return &(*t->ptes)[IndexAt(va, kLevels - 1)];
+}
+
+void PageTable::Map(uint64_t va, FrameId frame, uint32_t flags) {
+  Pte* pte = Walk(va, /*create=*/true);
+  UF_CHECK_MSG(pte->frame == kInvalidFrame, "mapping an already mapped page");
+  UF_CHECK(frame != kInvalidFrame);
+  pte->frame = frame;
+  pte->flags = flags;
+  ++mapped_pages_;
+}
+
+FrameId PageTable::Unmap(uint64_t va) {
+  Pte* pte = Walk(va, /*create=*/false);
+  UF_CHECK_MSG(pte != nullptr && pte->frame != kInvalidFrame, "unmapping an unmapped page");
+  const FrameId frame = pte->frame;
+  pte->frame = kInvalidFrame;
+  pte->flags = 0;
+  --mapped_pages_;
+  return frame;
+}
+
+void PageTable::Remap(uint64_t va, FrameId frame, uint32_t flags) {
+  Pte* pte = Walk(va, /*create=*/false);
+  UF_CHECK_MSG(pte != nullptr && pte->frame != kInvalidFrame, "remapping an unmapped page");
+  pte->frame = frame;
+  pte->flags = flags;
+}
+
+void PageTable::SetFlags(uint64_t va, uint32_t flags) {
+  Pte* pte = Walk(va, /*create=*/false);
+  UF_CHECK_MSG(pte != nullptr && pte->frame != kInvalidFrame, "protecting an unmapped page");
+  pte->flags = flags;
+}
+
+std::optional<Pte> PageTable::Lookup(uint64_t va) const {
+  const Pte* pte = WalkConst(va);
+  if (pte == nullptr || pte->frame == kInvalidFrame) {
+    return std::nullopt;
+  }
+  return *pte;
+}
+
+Pte* PageTable::LookupMutable(uint64_t va) {
+  Pte* pte = Walk(va, /*create=*/false);
+  if (pte == nullptr || pte->frame == kInvalidFrame) {
+    return nullptr;
+  }
+  return pte;
+}
+
+void PageTable::ForEachMapped(uint64_t lo, uint64_t hi,
+                              const std::function<void(uint64_t, Pte&)>& fn) {
+  // Iterative page-by-page walk over the range, skipping unmapped subtrees level by level.
+  uint64_t va = AlignDown(lo, kPageSize);
+  while (va < hi) {
+    Table* t = root_.get();
+    uint64_t skip = kVaTop;  // bytes to skip if subtree missing
+    bool missing = false;
+    for (int level = 0; level < kLevels - 1; ++level) {
+      const int shift = 12 + kBitsPerLevel * (kLevels - 1 - level);
+      skip = 1ULL << shift;
+      Table* child = t->children[IndexAt(va, level)].get();
+      if (child == nullptr) {
+        missing = true;
+        break;
+      }
+      t = child;
+    }
+    if (missing) {
+      va = AlignDown(va, skip) + skip;
+      continue;
+    }
+    if (t->ptes == nullptr) {
+      va = AlignDown(va, kPageSize * kFanout) + kPageSize * kFanout;
+      continue;
+    }
+    // Scan the leaf table from the current index to its end.
+    uint64_t idx = IndexAt(va, kLevels - 1);
+    for (; idx < kFanout && va < hi; ++idx, va += kPageSize) {
+      Pte& pte = (*t->ptes)[idx];
+      if (pte.frame != kInvalidFrame) {
+        fn(va, pte);
+      }
+    }
+  }
+}
+
+void PageTable::ForEachMapped(uint64_t lo, uint64_t hi,
+                              const std::function<void(uint64_t, const Pte&)>& fn) const {
+  const_cast<PageTable*>(this)->ForEachMapped(
+      lo, hi, [&fn](uint64_t va, Pte& pte) { fn(va, pte); });
+}
+
+uint64_t PageTable::CountMapped(uint64_t lo, uint64_t hi) const {
+  uint64_t n = 0;
+  ForEachMapped(lo, hi, [&n](uint64_t, const Pte&) { ++n; });
+  return n;
+}
+
+}  // namespace ufork

@@ -1,0 +1,101 @@
+// Four-level radix page table over the 48-bit simulated virtual address space (9+9+9+9 index
+// bits, 4 KiB pages), mirroring an ARMv8 stage-1 table.
+//
+// PTE attribute bits include the two CHERI-specific attributes μFork builds on:
+//   * kPteLoadCapFault — "fault on capability load" (Morello CDBM/LC attribute family): a
+//     capability-width load with tag set through such a PTE raises kFaultCapLoadPage. This is
+//     the hardware hook behind Copy-on-Pointer-Access (paper §4.2).
+//   * kPteCow — kernel-software bit marking the frame as shared with a fork partner, so
+//     permission faults on this page are resolvable by the fork engine rather than fatal.
+//
+// A single-address-space kernel owns exactly one PageTable; the multi-address-space baseline
+// gives each process its own (same layout, different instances).
+#ifndef UFORK_SRC_MEM_PAGE_TABLE_H_
+#define UFORK_SRC_MEM_PAGE_TABLE_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "src/base/status.h"
+#include "src/mem/frame_allocator.h"
+
+namespace ufork {
+
+enum PteFlags : uint32_t {
+  kPteRead = 1u << 0,
+  kPteWrite = 1u << 1,
+  kPteExec = 1u << 2,
+  kPteLoadCapFault = 1u << 3,  // CoPA: tagged capability loads fault
+  kPteCow = 1u << 4,           // shared with fork partner; faults are resolvable
+  kPteShared = 1u << 5,        // MAP_SHARED memory: exempt from fork-time CoW
+
+  kPteRw = kPteRead | kPteWrite,
+  kPteRx = kPteRead | kPteExec,
+};
+
+struct Pte {
+  FrameId frame = kInvalidFrame;
+  uint32_t flags = 0;
+};
+
+class PageTable {
+ public:
+  PageTable();
+  ~PageTable();
+
+  PageTable(const PageTable&) = delete;
+  PageTable& operator=(const PageTable&) = delete;
+
+  // Maps the page containing `va` to `frame` with `flags`. The page must not be mapped.
+  // Frame refcounting is the caller's responsibility (the VM layer owns that policy).
+  void Map(uint64_t va, FrameId frame, uint32_t flags);
+
+  // Unmaps the page containing `va`, returning its frame. The page must be mapped.
+  FrameId Unmap(uint64_t va);
+
+  // Replaces the frame and/or flags of an existing mapping.
+  void Remap(uint64_t va, FrameId frame, uint32_t flags);
+  void SetFlags(uint64_t va, uint32_t flags);
+
+  std::optional<Pte> Lookup(uint64_t va) const;
+  Pte* LookupMutable(uint64_t va);
+  bool IsMapped(uint64_t va) const { return Lookup(va).has_value(); }
+
+  // Invokes fn(page_va, pte) for every mapped page in [lo, hi), in address order.
+  void ForEachMapped(uint64_t lo, uint64_t hi,
+                     const std::function<void(uint64_t, Pte&)>& fn);
+  void ForEachMapped(uint64_t lo, uint64_t hi,
+                     const std::function<void(uint64_t, const Pte&)>& fn) const;
+
+  uint64_t CountMapped(uint64_t lo, uint64_t hi) const;
+
+  uint64_t mapped_pages() const { return mapped_pages_; }
+  // Number of radix nodes allocated — the "page table memory" a real kernel would spend.
+  uint64_t node_count() const { return node_count_; }
+
+ private:
+  static constexpr int kLevels = 4;
+  static constexpr int kBitsPerLevel = 9;
+  static constexpr uint64_t kFanout = 1ULL << kBitsPerLevel;
+
+  struct Table;  // interior node: children tables or leaf PTE array
+
+  static uint64_t IndexAt(uint64_t va, int level) {
+    const int shift = 12 + kBitsPerLevel * (kLevels - 1 - level);
+    return (va >> shift) & (kFanout - 1);
+  }
+
+  Pte* Walk(uint64_t va, bool create);
+  const Pte* WalkConst(uint64_t va) const;
+
+  std::unique_ptr<Table> root_;
+  uint64_t mapped_pages_ = 0;
+  uint64_t node_count_ = 0;
+};
+
+}  // namespace ufork
+
+#endif  // UFORK_SRC_MEM_PAGE_TABLE_H_

@@ -1,0 +1,195 @@
+#include "src/sched/scheduler.h"
+
+#include <algorithm>
+
+#include "src/base/log.h"
+
+namespace ufork {
+
+Scheduler::Scheduler(int num_cores) {
+  UF_CHECK(num_cores >= 1);
+  cores_.resize(static_cast<size_t>(num_cores));
+}
+
+ThreadId Scheduler::Spawn(SimTask<void> task, std::string name, int pinned_core) {
+  UF_CHECK(pinned_core >= -1 && pinned_core < num_cores());
+  auto thread = std::make_unique<SimThread>();
+  SimThread* t = thread.get();
+  t->tid_ = threads_.size();
+  t->name_ = std::move(name);
+  t->root_ = std::move(task);
+  t->resume_point_ = t->root_.raw_handle();
+  t->pinned_core_ = pinned_core;
+  t->seq_ = next_seq_++;
+  threads_.push_back(std::move(thread));
+  MakeReady(t, Now());
+  return t->tid_;
+}
+
+void Scheduler::MakeReady(SimThread* thread, Cycles at) {
+  thread->state_ = SimThread::State::kReady;
+  thread->ready_time_ = at;
+  ready_.push_back(thread);
+}
+
+SimThread* Scheduler::PickNext(int* core_out, Cycles* start_out) {
+  // Among ready threads, choose the (thread, core) pair with the earliest feasible start.
+  // Ties: earlier ready time, then spawn order. O(ready × cores) per dispatch; both are small.
+  SimThread* best = nullptr;
+  int best_core = -1;
+  Cycles best_start = 0;
+  size_t best_index = 0;
+  for (size_t i = 0; i < ready_.size(); ++i) {
+    SimThread* t = ready_[i];
+    const int lo = t->pinned_core_ >= 0 ? t->pinned_core_ : 0;
+    const int hi = t->pinned_core_ >= 0 ? t->pinned_core_ + 1 : num_cores();
+    for (int c = lo; c < hi; ++c) {
+      const Cycles start = std::max(t->ready_time_, cores_[static_cast<size_t>(c)].free_at);
+      const bool better =
+          best == nullptr || start < best_start ||
+          (start == best_start &&
+           (t->ready_time_ < best->ready_time_ ||
+            (t->ready_time_ == best->ready_time_ && t->seq_ < best->seq_)));
+      if (better) {
+        best = t;
+        best_core = c;
+        best_start = start;
+        best_index = i;
+      }
+    }
+  }
+  if (best != nullptr) {
+    ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(best_index));
+    *core_out = best_core;
+    *start_out = best_start;
+  }
+  return best;
+}
+
+void Scheduler::Run() {
+  while (!ready_.empty()) {
+    int core_index = -1;
+    Cycles start = 0;
+    SimThread* t = PickNext(&core_index, &start);
+    UF_CHECK(t != nullptr);
+    Core& core = cores_[static_cast<size_t>(core_index)];
+
+    if (core.last_thread != t) {
+      ++context_switches_;
+      if (context_switch_hook_) {
+        start += context_switch_hook_(core.last_thread, t);
+      }
+    }
+
+    t->state_ = SimThread::State::kRunning;
+    t->slice_start_ = start;
+    t->charged_ = 0;
+    t->pending_ = SimThread::Pending::kNone;
+    current_ = t;
+    ++slices_executed_;
+
+    const std::coroutine_handle<> resume_point = t->resume_point_;
+    t->resume_point_ = nullptr;
+    resume_point.resume();
+
+    current_ = nullptr;
+    const Cycles end = t->slice_start_ + t->charged_;
+    core.free_at = end;
+    core.last_thread = t;
+    completion_time_ = std::max(completion_time_, end);
+
+    switch (t->pending_) {
+      case SimThread::Pending::kNone:
+        // No scheduler awaitable captured a resume point: the root coroutine ran to completion.
+        UF_CHECK_MSG(t->root_.done(), "thread suspended outside a scheduler awaitable");
+        FinishThread(t);
+        break;
+      case SimThread::Pending::kYield:
+      case SimThread::Pending::kSleep:
+        MakeReady(t, end + t->pending_sleep_);
+        t->pending_sleep_ = 0;
+        break;
+      case SimThread::Pending::kBlock:
+        t->state_ = SimThread::State::kBlocked;
+        t->ready_time_ = end;  // block timestamp; Wake() raises it to the waker's time
+        break;
+      case SimThread::Pending::kExit:
+        FinishThread(t);
+        break;
+    }
+  }
+
+  if (!allow_blocked_exit_) {
+    for (const auto& t : threads_) {
+      UF_CHECK_MSG(t == nullptr || t->state_ != SimThread::State::kBlocked,
+                   "deadlock: thread still blocked when the scheduler drained");
+    }
+  }
+}
+
+void Scheduler::FinishThread(SimThread* thread) {
+  thread->state_ = SimThread::State::kDone;
+  DestroyThread(thread);
+}
+
+void Scheduler::DestroyThread(SimThread* thread) {
+  for (auto& core : cores_) {
+    if (core.last_thread == thread) {
+      core.last_thread = nullptr;
+    }
+  }
+  thread->state_ = SimThread::State::kDone;
+  // Destroys the root coroutine frame and, transitively, every nested frame. The SimThread
+  // control block itself stays alive for the scheduler's lifetime so that stale pointers held
+  // by wait queues remain safe to inspect (they skip kDone threads).
+  thread->root_ = SimTask<void>();
+  thread->resume_point_ = nullptr;
+}
+
+void Scheduler::Kill(ThreadId tid) {
+  UF_CHECK(tid < threads_.size());
+  SimThread* t = threads_[tid].get();
+  if (t == nullptr || t->state_ == SimThread::State::kDone) {
+    return;  // already finished
+  }
+  UF_CHECK_MSG(t != current_, "a thread cannot Kill itself; co_await ExitThread() instead");
+  if (t->state_ == SimThread::State::kReady) {
+    ready_.erase(std::remove(ready_.begin(), ready_.end(), t), ready_.end());
+  }
+  // Blocked threads are removed from their wait queue by the owner (WaitQueue::Remove); a
+  // dangling waiter entry is tolerated: Wake() skips dead threads via IsAlive.
+  DestroyThread(t);
+}
+
+bool Scheduler::IsAlive(ThreadId tid) const {
+  return tid < threads_.size() && threads_[tid] != nullptr &&
+         threads_[tid]->state() != SimThread::State::kDone;
+}
+
+Cycles Scheduler::CompletionTime() const { return completion_time_; }
+
+uint64_t WaitQueue::Wake(uint64_t n) {
+  const Cycles wake_time = sched_.Now();
+  uint64_t woken = 0;
+  while (woken < n && !waiters_.empty()) {
+    SimThread* t = waiters_.front();
+    waiters_.pop_front();
+    if (!sched_.IsAlive(t->tid()) || t->state_ != SimThread::State::kBlocked) {
+      continue;  // killed while blocked
+    }
+    sched_.MakeReady(t, std::max(t->ready_time_, wake_time) + resume_delay_);
+    ++woken;
+  }
+  return woken;
+}
+
+bool WaitQueue::Remove(SimThread* thread) {
+  auto it = std::find(waiters_.begin(), waiters_.end(), thread);
+  if (it == waiters_.end()) {
+    return false;
+  }
+  waiters_.erase(it);
+  return true;
+}
+
+}  // namespace ufork

@@ -1,0 +1,145 @@
+// Coroutine task types for the discrete-event simulator.
+//
+// All guest programs and blocking kernel services are C++20 coroutines returning SimTask<T>.
+// A SimTask is lazily started and awaitable: `co_await child` transfers control into the child
+// symmetrically and resumes the parent when the child co_returns. Suspension *into the
+// scheduler* (sleeping, blocking on a wait queue) happens through awaitables defined by the
+// Scheduler; when any nested coroutine suspends that way, control unwinds to the scheduler's
+// dispatch loop, which later resumes the innermost frame.
+//
+// Exceptions are not used for guest-visible errors (Result<T> carries those); an escaped
+// exception inside a coroutine is a simulator bug and terminates.
+#ifndef UFORK_SRC_SCHED_TASK_H_
+#define UFORK_SRC_SCHED_TASK_H_
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace ufork {
+
+template <typename T>
+class SimTask;
+
+namespace internal {
+
+template <typename T>
+struct PromiseBase {
+  std::coroutine_handle<> continuation = std::noop_coroutine();
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) noexcept {
+      return h.promise().continuation;
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() { std::terminate(); }
+};
+
+}  // namespace internal
+
+// A lazily-started coroutine producing a value of type T when awaited.
+template <typename T>
+class [[nodiscard]] SimTask {
+ public:
+  struct promise_type : internal::PromiseBase<T> {
+    std::optional<T> value;
+    SimTask get_return_object() {
+      return SimTask(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value.emplace(std::move(v)); }
+  };
+
+  SimTask() = default;
+  explicit SimTask(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  SimTask(SimTask&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  SimTask& operator=(SimTask&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  SimTask(const SimTask&) = delete;
+  SimTask& operator=(const SimTask&) = delete;
+  ~SimTask() { Destroy(); }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+    handle_.promise().continuation = cont;
+    return handle_;
+  }
+  T await_resume() {
+    UF_CHECK_MSG(handle_.promise().value.has_value(), "SimTask finished without a value");
+    return std::move(*handle_.promise().value);
+  }
+
+  std::coroutine_handle<> raw_handle() const { return handle_; }
+  bool done() const { return handle_ && handle_.done(); }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class [[nodiscard]] SimTask<void> {
+ public:
+  struct promise_type : internal::PromiseBase<void> {
+    SimTask get_return_object() {
+      return SimTask(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+  };
+
+  SimTask() = default;
+  explicit SimTask(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  SimTask(SimTask&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  SimTask& operator=(SimTask&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  SimTask(const SimTask&) = delete;
+  SimTask& operator=(const SimTask&) = delete;
+  ~SimTask() { Destroy(); }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+    handle_.promise().continuation = cont;
+    return handle_;
+  }
+  void await_resume() {}
+
+  std::coroutine_handle<> raw_handle() const { return handle_; }
+  bool done() const { return handle_ && handle_.done(); }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace ufork
+
+#endif  // UFORK_SRC_SCHED_TASK_H_

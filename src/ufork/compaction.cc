@@ -1,0 +1,96 @@
+#include "src/ufork/compaction.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/ufork/relocate.h"
+
+namespace ufork {
+
+Result<CompactionStats> CompactAddressSpace(Kernel& kernel) {
+  CompactionStats stats;
+  AddressSpace& as = kernel.address_space();
+  Machine& machine = kernel.machine();
+  const CostModel& costs = kernel.costs();
+  const uint64_t before_largest = as.Stats().largest_free_block;
+
+  // Live μprocesses in the shared address space, lowest region first so holes migrate right.
+  std::vector<Uproc*> movable;
+  for (const Pid pid : kernel.LivePids()) {
+    Uproc* uproc = kernel.FindUproc(pid);
+    if (uproc != nullptr && uproc->owned_pt == nullptr && uproc->page_table != nullptr) {
+      movable.push_back(uproc);
+    }
+  }
+  std::sort(movable.begin(), movable.end(),
+            [](const Uproc* a, const Uproc* b) { return a->base < b->base; });
+
+  for (Uproc* uproc : movable) {
+    ++stats.regions_considered;
+    PageTable& pt = *uproc->page_table;
+
+    // A region still CoW/CoPA-entangled with a fork partner must not move: the partner's
+    // stale capabilities are resolved against this region's address. Shared-memory windows
+    // (kPteShared) are fine — they are tag-free by construction.
+    std::vector<std::pair<uint64_t, Pte>> pages;
+    bool entangled = false;
+    pt.ForEachMapped(uproc->base, uproc->base + uproc->size,
+                     [&](uint64_t va, const Pte& pte) {
+                       pages.emplace_back(va, pte);
+                       if ((pte.flags & kPteShared) == 0 &&
+                           machine.frames().RefCount(pte.frame) > 1) {
+                         entangled = true;
+                       }
+                       if ((pte.flags & kPteCow) != 0) {
+                         entangled = true;
+                       }
+                     });
+    if (entangled) {
+      ++stats.regions_skipped_shared;
+      continue;
+    }
+
+    const auto candidate = as.FirstFitBase(uproc->size, 2 * kMiB);
+    if (!candidate.has_value() || *candidate >= uproc->base) {
+      continue;  // already as far left as it can go
+    }
+    const uint64_t old_base = uproc->base;
+    const uint64_t new_base = *candidate;
+    UF_ASSIGN_OR_RETURN(const uint64_t granted, as.AllocateRegionAt(new_base, uproc->size));
+    UF_CHECK(granted == new_base);
+
+    // Move the mappings (ascending order; the target block is disjoint from the source).
+    for (const auto& [va, pte] : pages) {
+      machine.Charge(costs.pte_update);
+      const FrameId frame = pt.Unmap(va);
+      pt.Map(new_base + (va - old_base), frame, pte.flags);
+      ++stats.pages_remapped;
+    }
+    // Rewrite every tagged capability in the moved frames — the same offset translation fork
+    // performs, applied region-to-region. The old region is still registered, so chained
+    // lookups resolve.
+    for (const auto& [va, pte] : pages) {
+      if ((pte.flags & kPteShared) != 0) {
+        continue;  // tag-free shared windows
+      }
+      machine.Charge(costs.page_tag_scan);
+      const RelocationResult reloc = RelocateFrameInto(machine.frames().frame(pte.frame), as,
+                                                       new_base, uproc->size);
+      machine.Charge(costs.cap_relocate * reloc.relocated);
+      stats.caps_relocated += reloc.relocated;
+    }
+    const RelocationResult reg_reloc =
+        RelocateRegisterFile(uproc->regs, old_base, uproc->size, new_base);
+    stats.caps_relocated += reg_reloc.relocated;
+
+    uproc->mmap_cursor = new_base + (uproc->mmap_cursor - old_base);
+    uproc->base = new_base;
+    as.FreeRegion(old_base);
+    ++stats.regions_moved;
+  }
+
+  stats.bytes_reclaimed_contiguity = as.Stats().largest_free_block - before_largest;
+  return stats;
+}
+
+}  // namespace ufork

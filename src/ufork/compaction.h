@@ -1,0 +1,37 @@
+// Address-space compaction — the paper's §6 "Fragmentation" future work.
+//
+// Long-running μFork systems can fragment the single address space: regions of exited
+// μprocesses leave holes (and tombstones, when shared frames outlive their owner). Because
+// μFork already owns a complete capability-relocation mechanism, a *stop-the-world* compactor
+// falls out naturally: slide live regions left, rewriting every tagged capability in the moved
+// region (and its register file) by the same offset translation fork uses.
+//
+// Safepoint contract (like a moving GC): compaction may only run while every movable μprocess
+// is parked at a quiescent point and will re-derive its working pointers from relocated state
+// (registers, GOT, heap) afterwards. Regions are skipped — not moved — when any frame is still
+// CoW/CoPA-shared with a fork partner (the partner's stale capabilities relocate through
+// AddressSpace::RegionContaining, which must keep naming the original region).
+#ifndef UFORK_SRC_UFORK_COMPACTION_H_
+#define UFORK_SRC_UFORK_COMPACTION_H_
+
+#include "src/kernel/kernel.h"
+
+namespace ufork {
+
+struct CompactionStats {
+  uint64_t regions_considered = 0;
+  uint64_t regions_moved = 0;
+  uint64_t regions_skipped_shared = 0;  // still CoW/CoPA-entangled with a fork partner
+  uint64_t pages_remapped = 0;
+  uint64_t caps_relocated = 0;
+  uint64_t bytes_reclaimed_contiguity = 0;  // growth of the largest free block
+};
+
+// Compacts the single address space of a μFork kernel. Must be called from outside any
+// simulated thread (between Run() phases) or from a designated compactor context while all
+// other μprocesses are parked. Only usable with the μFork (shared-page-table) backend.
+Result<CompactionStats> CompactAddressSpace(Kernel& kernel);
+
+}  // namespace ufork
+
+#endif  // UFORK_SRC_UFORK_COMPACTION_H_

@@ -1,0 +1,182 @@
+#include "src/ufork/ufork_backend.h"
+
+#include <vector>
+
+#include "src/ufork/relocate.h"
+
+namespace ufork {
+
+Result<FrameId> UforkBackend::CopyAndRelocate(Kernel& kernel, FrameId src_frame,
+                                              uint64_t region_lo, uint64_t region_size,
+                                              RelocationResult* out) {
+  Machine& machine = kernel.machine();
+  const CostModel& costs = kernel.costs();
+  UF_ASSIGN_OR_RETURN(const FrameId dst, machine.frames().Allocate());
+  machine.Charge(costs.frame_alloc + costs.page_copy + costs.page_tag_scan);
+  Frame& dst_frame = machine.frames().frame(dst);
+  dst_frame.CopyFrom(machine.frames().frame(src_frame));
+  const RelocationResult reloc =
+      RelocateFrameInto(dst_frame, kernel.address_space(), region_lo, region_size);
+  machine.Charge(costs.cap_relocate * reloc.relocated);
+  kernel.stats().caps_stripped += reloc.stripped;
+  if (out != nullptr) {
+    out->tags_seen += reloc.tags_seen;
+    out->relocated += reloc.relocated;
+    out->stripped += reloc.stripped;
+  }
+  return dst;
+}
+
+Result<Pid> UforkBackend::Fork(Kernel& kernel, Uproc& parent, UprocEntry entry) {
+  Machine& machine = kernel.machine();
+  const CostModel& costs = kernel.costs();
+  const ForkStrategy strategy = kernel.config().strategy;
+  const UprocLayout& layout = kernel.layout();
+
+  machine.Charge(costs.fork_base_sas);
+
+  // 1. Parent state duplication (§3.5 step 1): reserve a contiguous region and duplicate the
+  //    parent's page-table entries into it.
+  Uproc& child = kernel.CreateUprocShell(parent.name + "+", parent.pid());
+  UF_RETURN_IF_ERROR(kernel.AllocateUprocMemory(child, /*private_page_table=*/false));
+
+  ForkStats stats;
+  PageTable& pt = *parent.page_table;  // the shared table
+  std::vector<std::pair<uint64_t, Pte>> parent_pages;
+  parent_pages.reserve(layout.TotalPages());
+  pt.ForEachMapped(parent.base, parent.base + parent.size,
+                   [&](uint64_t va, const Pte& pte) { parent_pages.emplace_back(va, pte); });
+
+  RelocationResult eager_reloc;
+  for (const auto& [parent_va, parent_pte] : parent_pages) {
+    const uint64_t offset = parent_va - parent.base;
+    const uint64_t child_va = child.base + offset;
+    const uint32_t seg_flags = kernel.SegmentFlagsAt(offset);
+    machine.Charge(costs.pte_dup);
+
+    if ((parent_pte.flags & kPteShared) != 0) {
+      // MAP_SHARED window: the child maps the same frames writable — POSIX keeps shared
+      // mappings shared across fork; no CoW, no relocation (the window holds no tags).
+      machine.frames().AddRef(parent_pte.frame);
+      pt.Map(child_va, parent_pte.frame, parent_pte.flags);
+      ++stats.pages_mapped;
+      continue;
+    }
+    const bool proactive =
+        strategy == ForkStrategy::kFull || layout.IsProactiveCopyPage(offset);
+    if (proactive) {
+      auto copied =
+          CopyAndRelocate(kernel, parent_pte.frame, child.base, child.size, &eager_reloc);
+      if (!copied.ok()) {
+        kernel.ReleaseUprocMemory(child);
+        return copied.error();
+      }
+      pt.Map(child_va, *copied, seg_flags);
+      ++stats.pages_copied_eagerly;
+      stats.bytes_copied_eagerly += kPageSize;
+      ++stats.pages_mapped;
+      continue;
+    }
+
+    // Shared mapping. The child side carries kPteCow (faults resolvable) and, under CoPA, the
+    // load-cap-fault attribute; under CoA no access bits at all.
+    uint32_t child_flags = 0;
+    switch (strategy) {
+      case ForkStrategy::kCopa:
+        child_flags = (seg_flags & ~kPteWrite) | kPteCow | kPteLoadCapFault;
+        break;
+      case ForkStrategy::kCoa:
+        // CoA shares pages *inaccessible* on the child side; clearing the parent's access
+        // bits one at a time (instead of CoPA's batched write-protect) costs slightly more.
+        machine.Charge(costs.coa_parent_clear);
+        child_flags = kPteCow;
+        break;
+      case ForkStrategy::kUnsafeCow:
+        child_flags = (seg_flags & ~kPteWrite) | kPteCow;
+        break;
+      case ForkStrategy::kFull:
+        UF_UNREACHABLE();
+    }
+    machine.frames().AddRef(parent_pte.frame);
+    pt.Map(child_va, parent_pte.frame, child_flags);
+    ++stats.pages_mapped;
+    // Write-protect the parent's writable pages so its writes also break the share (Fig. 2 ⓐ).
+    if ((parent_pte.flags & kPteWrite) != 0) {
+      pt.SetFlags(parent_va, (parent_pte.flags & ~kPteWrite) | kPteCow);
+    }
+  }
+  stats.caps_relocated_eagerly = eager_reloc.relocated;
+
+  // 2. Post-copy phase (§3.5 step 2): kernel resources, fresh PID (already assigned by the
+  //    shell), registers relocated via their tags.
+  child.fds = parent.fds->Clone();
+  machine.Charge(costs.fd_dup * static_cast<uint64_t>(child.fds->OpenCount()));
+  child.mmap_cursor = child.base + (parent.mmap_cursor - parent.base);
+
+  child.regs = parent.regs;
+  const RelocationResult reg_reloc =
+      RelocateRegisterFile(child.regs, parent.base, parent.size, child.base);
+  machine.Charge(costs.cap_relocate * (reg_reloc.relocated + 3));
+  stats.registers_relocated = reg_reloc.relocated;
+  child.syscall_sentry = parent.syscall_sentry;  // sealed kernel entry is per-system, not per-proc
+  if (kernel.policy().confine_caps) {
+    UF_CHECK_MSG(!child.regs.ddc.EscapesRegion(child.base, child.base + child.size),
+                 "child DDC must be confined to the child region");
+  } else {
+    // Isolation disabled (R4): the ambient DDC spans the whole user area and must stay that
+    // way — the relocation pass would otherwise clamp it whenever its base happens to
+    // coincide with the parent's region.
+    child.regs.ddc = parent.regs.ddc;
+  }
+
+  child.signals = parent.signals.ForkCopy();
+  child.forked_child = true;
+  child.fork_stats = stats;
+  child.child_affinity = parent.child_affinity;
+  kernel.StartUprocThread(child, std::move(entry), parent.child_affinity);
+  return child.pid();
+}
+
+Result<void> UforkBackend::ResolveFault(Kernel& kernel, const PageFaultInfo& info) {
+  Machine& machine = kernel.machine();
+  const CostModel& costs = kernel.costs();
+  Uproc* uproc = kernel.UprocByAddress(info.va);
+  if (uproc == nullptr) {
+    return Error{Code::kFaultNotMapped, "fault in unowned region"};
+  }
+  PageTable& pt = *info.page_table;
+  Pte* pte = pt.LookupMutable(info.va);
+  UF_CHECK(pte != nullptr);
+  if ((pte->flags & (kPteCow | kPteLoadCapFault)) == 0) {
+    return Error{Code::kFaultPageProt, "fault on a non-shared page"};
+  }
+  const uint64_t offset = uproc->OffsetOf(info.va);
+  const uint32_t seg_flags = kernel.SegmentFlagsAt(offset);
+
+  if (machine.frames().RefCount(pte->frame) > 1) {
+    // Copy + relocate, then repoint this mapping (Fig. 2: the copying μprocess gets the fresh
+    // frame; the other sharer keeps the original and resolves lazily on its own fault).
+    RelocationResult reloc;
+    UF_ASSIGN_OR_RETURN(const FrameId copy,
+                        CopyAndRelocate(kernel, pte->frame, uproc->base, uproc->size, &reloc));
+    machine.Charge(costs.pte_update);
+    const FrameId old = pte->frame;
+    pt.Remap(info.va, copy, seg_flags);
+    machine.frames().Release(old);
+    ++kernel.stats().pages_copied_on_fault;
+    kernel.stats().caps_relocated_on_fault += reloc.relocated;
+  } else {
+    // Last sharer: reclaim the page in place. Relocation is still required if the frame holds
+    // stale capabilities (e.g. the partner copied first and this is the child's original view).
+    machine.Charge(costs.page_tag_scan + costs.pte_update);
+    const RelocationResult reloc = RelocateFrameInto(
+        machine.frames().frame(pte->frame), kernel.address_space(), uproc->base, uproc->size);
+    machine.Charge(costs.cap_relocate * reloc.relocated);
+    kernel.stats().caps_relocated_on_fault += reloc.relocated;
+    kernel.stats().caps_stripped += reloc.stripped;
+    pt.SetFlags(info.va, seg_flags);
+  }
+  return OkResult();
+}
+
+}  // namespace ufork

@@ -1,0 +1,131 @@
+// Tests for the single-address-space region allocator: first fit, coalescing, region lookup
+// (used by the fork relocation scanner), ASLR and fragmentation statistics.
+#include "src/mem/address_space.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/mem/frame.h"
+
+namespace ufork {
+namespace {
+
+constexpr uint64_t kLo = 0x100000;
+constexpr uint64_t kHi = 0x100000 + 64 * kMiB;
+
+TEST(AddressSpace, AllocateIsAlignedAndInRange) {
+  AddressSpace as(kLo, kHi);
+  auto r = as.AllocateRegion(1 * kMiB, 2 * kMiB);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(IsAligned(*r, 2 * kMiB));
+  EXPECT_GE(*r, kLo);
+  EXPECT_LE(*r + 1 * kMiB, kHi);
+}
+
+TEST(AddressSpace, RegionsDoNotOverlap) {
+  AddressSpace as(kLo, kHi);
+  std::vector<std::pair<uint64_t, uint64_t>> regions;
+  for (int i = 0; i < 10; ++i) {
+    auto r = as.AllocateRegion(3 * kMiB, kPageSize);
+    ASSERT_TRUE(r.ok());
+    for (const auto& [b, s] : regions) {
+      EXPECT_TRUE(*r + 3 * kMiB <= b || b + s <= *r);
+    }
+    regions.emplace_back(*r, 3 * kMiB);
+  }
+}
+
+TEST(AddressSpace, FreeCoalescesNeighbours) {
+  AddressSpace as(kLo, kHi);
+  auto a = as.AllocateRegion(1 * kMiB, kPageSize);
+  auto b = as.AllocateRegion(1 * kMiB, kPageSize);
+  auto c = as.AllocateRegion(1 * kMiB, kPageSize);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  as.FreeRegion(*a);
+  as.FreeRegion(*c);
+  as.FreeRegion(*b);  // middle: must merge into one block
+  const AddressSpaceStats stats = as.Stats();
+  EXPECT_EQ(stats.free_bytes, kHi - kLo);
+  EXPECT_EQ(stats.largest_free_block, kHi - kLo);
+  EXPECT_EQ(stats.region_count, 0u);
+}
+
+TEST(AddressSpace, ExhaustionReturnsNoSpc) {
+  AddressSpace as(kLo, kLo + 4 * kMiB);
+  ASSERT_TRUE(as.AllocateRegion(4 * kMiB, kPageSize).ok());
+  EXPECT_EQ(as.AllocateRegion(kPageSize, kPageSize).code(), Code::kErrNoSpc);
+}
+
+TEST(AddressSpace, FragmentationBlocksLargeAllocation) {
+  // Allocate alternating regions and free every other one: total free space is sufficient but
+  // no contiguous block is — the paper's §6 fragmentation concern.
+  AddressSpace as(kLo, kLo + 16 * kMiB);
+  std::vector<uint64_t> bases;
+  for (int i = 0; i < 16; ++i) {
+    bases.push_back(as.AllocateRegion(1 * kMiB, 1 * kMiB).value());
+  }
+  for (size_t i = 0; i < bases.size(); i += 2) {
+    as.FreeRegion(bases[i]);
+  }
+  const AddressSpaceStats stats = as.Stats();
+  EXPECT_EQ(stats.free_bytes, 8 * kMiB);
+  EXPECT_EQ(stats.largest_free_block, 1 * kMiB);
+  EXPECT_GT(stats.ExternalFragmentation(), 0.8);
+  EXPECT_EQ(as.AllocateRegion(2 * kMiB, kPageSize).code(), Code::kErrNoSpc);
+  EXPECT_TRUE(as.AllocateRegion(1 * kMiB, kPageSize).ok());
+}
+
+TEST(AddressSpace, RegionContainingFindsOwner) {
+  AddressSpace as(kLo, kHi);
+  auto a = as.AllocateRegion(2 * kMiB, kPageSize);
+  auto b = as.AllocateRegion(2 * kMiB, kPageSize);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(as.RegionContaining(*a), *a);
+  EXPECT_EQ(as.RegionContaining(*a + 2 * kMiB - 1), *a);
+  EXPECT_EQ(as.RegionContaining(*b + 123), *b);
+  EXPECT_EQ(as.RegionContaining(kLo - 1), std::nullopt);
+  as.FreeRegion(*a);
+  EXPECT_EQ(as.RegionContaining(*a), std::nullopt);
+  EXPECT_EQ(as.RegionSize(*b), 2 * kMiB);
+}
+
+TEST(AddressSpace, AslrRandomizesPlacementDeterministically) {
+  std::set<uint64_t> bases_seed1;
+  for (int trial = 0; trial < 5; ++trial) {
+    AddressSpace as(kLo, kHi);
+    as.EnableAslr(/*seed=*/1);
+    bases_seed1.insert(as.AllocateRegion(1 * kMiB, kPageSize).value());
+  }
+  EXPECT_EQ(bases_seed1.size(), 1u) << "same seed must give the same placement";
+
+  std::set<uint64_t> bases;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    AddressSpace as(kLo, kHi);
+    as.EnableAslr(seed);
+    bases.insert(as.AllocateRegion(1 * kMiB, kPageSize).value());
+  }
+  EXPECT_GT(bases.size(), 1u) << "different seeds should spread placements";
+  for (uint64_t b : bases) {
+    EXPECT_GE(b, kLo);
+    EXPECT_LE(b + 1 * kMiB, kHi);
+  }
+}
+
+TEST(AddressSpace, AslrAllocationsStillDisjoint) {
+  AddressSpace as(kLo, kHi);
+  as.EnableAslr(7);
+  std::vector<uint64_t> bases;
+  for (int i = 0; i < 12; ++i) {
+    auto r = as.AllocateRegion(1 * kMiB, kPageSize);
+    ASSERT_TRUE(r.ok());
+    bases.push_back(*r);
+  }
+  std::sort(bases.begin(), bases.end());
+  for (size_t i = 1; i < bases.size(); ++i) {
+    EXPECT_GE(bases[i] - bases[i - 1], 1 * kMiB);
+  }
+}
+
+}  // namespace
+}  // namespace ufork

@@ -1,0 +1,300 @@
+// End-to-end tests for the mini applications (Redis, FaaS/Zygote, httpd, Unixbench) across
+// fork backends.
+#include <gtest/gtest.h>
+
+#include "src/apps/faas.h"
+#include "src/apps/httpd.h"
+#include "src/apps/miniredis.h"
+#include "src/apps/unixbench.h"
+#include "src/baseline/system.h"
+#include "tests/guest_test_util.h"
+
+namespace ufork {
+namespace {
+
+KernelConfig AppConfig() {
+  KernelConfig config;
+  config.layout.heap_size = 8 * kMiB;
+  return config;
+}
+
+std::vector<std::byte> Blob(size_t n, uint8_t seed) {
+  std::vector<std::byte> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>(seed + i * 13);
+  }
+  return v;
+}
+
+TEST(MiniRedisTest, SetGetDel) {
+  auto kernel = MakeUforkKernel(AppConfig());
+  auto pid = kernel->Spawn(
+      MakeGuestEntry([](Guest& g) -> SimTask<void> {
+        auto db = MiniRedis::Create(g);
+        CO_ASSERT_OK(db);
+        CO_ASSERT_OK(db->Set("alpha", Blob(100, 1)));
+        CO_ASSERT_OK(db->Set("beta", Blob(5000, 2)));
+        auto got = db->Get("alpha");
+        CO_ASSERT_OK(got);
+        CO_ASSERT_TRUE(got->has_value());
+        EXPECT_EQ(**got, Blob(100, 1));
+        auto missing = db->Get("gamma");
+        CO_ASSERT_OK(missing);
+        EXPECT_FALSE(missing->has_value());
+        auto erased = db->Del("alpha");
+        CO_ASSERT_OK(erased);
+        EXPECT_TRUE(*erased);
+        auto size = db->DbSize();
+        CO_ASSERT_OK(size);
+        EXPECT_EQ(*size, 1u);
+        co_return;
+      }),
+      "redis");
+  ASSERT_TRUE(pid.ok());
+  kernel->Run();
+}
+
+TEST(MiniRedisTest, SaveAndVerifyDump) {
+  auto kernel = MakeUforkKernel(AppConfig());
+  auto pid = kernel->Spawn(
+      MakeGuestEntry([](Guest& g) -> SimTask<void> {
+        auto db = MiniRedis::Create(g);
+        CO_ASSERT_OK(db);
+        for (int i = 0; i < 20; ++i) {
+          CO_ASSERT_OK(db->Set("key-" + std::to_string(i), Blob(2048, static_cast<uint8_t>(i))));
+        }
+        auto written = co_await db->Save("/dump.rdb");
+        CO_ASSERT_OK(written);
+        EXPECT_GT(*written, 20u * 2048u);
+        auto info = co_await db->VerifyDump("/dump.rdb");
+        CO_ASSERT_OK(info);
+        EXPECT_EQ(info->entries, 20u);
+        EXPECT_EQ(info->value_bytes, 20u * 2048u);
+        co_return;
+      }),
+      "redis-save");
+  ASSERT_TRUE(pid.ok());
+  kernel->Run();
+}
+
+// The headline Redis property: BGSAVE snapshots the database at fork time; writes the parent
+// performs while the child serializes do NOT appear in the dump (CoW semantics), and the
+// parent's updates survive.
+void RunBgSaveSnapshotTest(Kernel& kernel) {
+  auto pid = kernel.Spawn(
+      MakeGuestEntry([](Guest& g) -> SimTask<void> {
+        auto db = MiniRedis::Create(g);
+        CO_ASSERT_OK(db);
+        for (int i = 0; i < 30; ++i) {
+          CO_ASSERT_OK(db->Set("key-" + std::to_string(i), Blob(4096, 7)));
+        }
+        auto child = co_await db->BgSave("/bg.rdb");
+        CO_ASSERT_OK(child);
+        // Mutate while the child saves: overwrite, add, delete.
+        CO_ASSERT_OK(db->Set("key-0", Blob(4096, 99)));
+        CO_ASSERT_OK(db->Set("new-key", Blob(512, 50)));
+        auto erased = db->Del("key-1");
+        CO_ASSERT_OK(erased);
+        auto waited = co_await g.Wait();
+        CO_ASSERT_OK(waited);
+        EXPECT_EQ(waited->status, 0);
+        // The dump reflects the fork-time state: 30 entries, original bytes.
+        auto info = co_await db->VerifyDump("/bg.rdb");
+        CO_ASSERT_OK(info);
+        EXPECT_EQ(info->entries, 30u);
+        EXPECT_EQ(info->value_bytes, 30u * 4096u);
+        // The parent's post-fork mutations are intact.
+        auto v = db->Get("key-0");
+        CO_ASSERT_OK(v);
+        CO_ASSERT_TRUE(v->has_value());
+        EXPECT_EQ(**v, Blob(4096, 99));
+        auto size = db->DbSize();
+        CO_ASSERT_OK(size);
+        EXPECT_EQ(*size, 30u);  // 30 - 1 deleted + 1 added
+        co_return;
+      }),
+      "redis-bgsave");
+  ASSERT_TRUE(pid.ok());
+  kernel.Run();
+}
+
+TEST(MiniRedisTest, BgSaveSnapshotIsolation_UforkCopa) {
+  auto kernel = MakeUforkKernel(AppConfig());
+  RunBgSaveSnapshotTest(*kernel);
+  EXPECT_GT(kernel->machine().cap_load_faults(), 0u) << "CoPA must have fired";
+}
+
+TEST(MiniRedisTest, BgSaveSnapshotIsolation_UforkCoa) {
+  KernelConfig config = AppConfig();
+  config.strategy = ForkStrategy::kCoa;
+  auto kernel = MakeUforkKernel(config);
+  RunBgSaveSnapshotTest(*kernel);
+}
+
+TEST(MiniRedisTest, BgSaveSnapshotIsolation_UforkFullCopy) {
+  KernelConfig config = AppConfig();
+  config.strategy = ForkStrategy::kFull;
+  auto kernel = MakeUforkKernel(config);
+  RunBgSaveSnapshotTest(*kernel);
+}
+
+TEST(MiniRedisTest, BgSaveSnapshotIsolation_MasBaseline) {
+  auto kernel = MakeMasKernel(AppConfig());
+  RunBgSaveSnapshotTest(*kernel);
+}
+
+TEST(MiniRedisTest, BgSaveSnapshotIsolation_VmClone) {
+  auto kernel = MakeVmCloneKernel(AppConfig());
+  RunBgSaveSnapshotTest(*kernel);
+}
+
+TEST(MiniRedisTest, CopaCopiesLessThanCoa) {
+  // CoPA's point (§3.8): child reads of plain data do not copy; only pointer-bearing pages do.
+  // Values must be large enough that data pages dominate pointer pages.
+  auto run = [](ForkStrategy strategy) {
+    KernelConfig config = AppConfig();
+    config.strategy = strategy;
+    auto kernel = MakeUforkKernel(config);
+    auto pid = kernel->Spawn(
+        MakeGuestEntry([](Guest& g) -> SimTask<void> {
+          auto db = MiniRedis::Create(g);
+          CO_ASSERT_OK(db);
+          for (int i = 0; i < 10; ++i) {
+            CO_ASSERT_OK(db->Set("key-" + std::to_string(i), Blob(64 * 1024, 7)));
+          }
+          auto child = co_await db->BgSave("/copa.rdb");
+          CO_ASSERT_OK(child);
+          auto waited = co_await g.Wait();
+          CO_ASSERT_OK(waited);
+          EXPECT_EQ(waited->status, 0);
+          co_return;
+        }),
+        "redis");
+    UF_CHECK(pid.ok());
+    kernel->Run();
+    return kernel->stats().pages_copied_on_fault;
+  };
+  const uint64_t copa_pages = run(ForkStrategy::kCopa);
+  const uint64_t coa_pages = run(ForkStrategy::kCoa);
+  EXPECT_LT(copa_pages, coa_pages / 2)
+      << "CoPA should copy far fewer pages than CoA for a read-mostly child";
+}
+
+TEST(ZygoteTest, RuntimeSurvivesFork) {
+  auto kernel = MakeUforkKernel(AppConfig());
+  auto pid = kernel->Spawn(
+      MakeGuestEntry([](Guest& g) -> SimTask<void> {
+        CO_ASSERT_OK(InitializeZygoteRuntime(g));
+        auto parent_value = FloatOperation(g, 100);
+        CO_ASSERT_OK(parent_value);
+        double child_value = 0.0;
+        auto child = co_await g.Fork([&child_value](Guest& cg) -> SimTask<void> {
+          auto v = FloatOperation(cg, 100);
+          CO_ASSERT_OK(v);
+          child_value = *v;
+          co_await cg.Exit(0);
+        });
+        CO_ASSERT_OK(child);
+        auto waited = co_await g.Wait();
+        CO_ASSERT_OK(waited);
+        EXPECT_EQ(waited->status, 0);
+        EXPECT_DOUBLE_EQ(child_value, *parent_value)
+            << "the forked runtime must compute the same result";
+        co_return;
+      }),
+      "zygote");
+  ASSERT_TRUE(pid.ok());
+  kernel->Run();
+}
+
+TEST(ZygoteTest, CoordinatorCompletesFunctions) {
+  KernelConfig config = AppConfig();
+  config.cores = 4;
+  auto kernel = MakeUforkKernel(config);
+  ZygoteResult result;
+  auto pid = kernel->Spawn(
+      MakeGuestEntry([&result](Guest& g) -> SimTask<void> {
+        CO_ASSERT_OK(InitializeZygoteRuntime(g));
+        ZygoteParams params;
+        params.window = Milliseconds(20);
+        params.worker_cores = 3;
+        params.float_iterations = 2000;
+        co_await ZygoteCoordinator(g, params, &result);
+      }),
+      "zygote", /*pinned_core=*/0);
+  ASSERT_TRUE(pid.ok());
+  kernel->Run();
+  EXPECT_GT(result.functions_completed, 10u);
+  EXPECT_GT(result.FunctionsPerSecond(), 0.0);
+}
+
+TEST(HttpdTest, ServesAllRequests) {
+  for (int workers : {1, 2}) {
+    KernelConfig config = AppConfig();
+    config.cores = 4;
+    auto kernel = MakeUforkKernel(config);
+    HttpdResult result;
+    HttpdParams params;
+    params.workers = workers;
+    params.connections = 4;
+    params.requests_per_connection = 25;
+    auto pid = kernel->Spawn(
+        MakeGuestEntry([params, &result](Guest& g) -> SimTask<void> {
+          co_await HttpdBenchmark(g, params, &result);
+        }),
+        "httpd");
+    ASSERT_TRUE(pid.ok());
+    kernel->Run();
+    EXPECT_EQ(result.requests_completed, 100u) << "workers=" << workers;
+    EXPECT_GT(result.elapsed, 0u);
+  }
+}
+
+TEST(UnixbenchTest, SpawnLoop) {
+  auto kernel = MakeUforkKernel(AppConfig());
+  SpawnResult result;
+  auto pid = kernel->Spawn(
+      MakeGuestEntry([&result](Guest& g) -> SimTask<void> {
+        co_await UnixbenchSpawn(g, 25, &result);
+      }),
+      "spawn");
+  ASSERT_TRUE(pid.ok());
+  kernel->Run();
+  EXPECT_EQ(result.iterations, 25u);
+  EXPECT_GT(result.ForkLatencyUs(), 0.0);
+  EXPECT_EQ(kernel->stats().forks, 25u);
+}
+
+TEST(UnixbenchTest, Context1ReachesTarget) {
+  auto kernel = MakeUforkKernel(AppConfig());
+  Context1Result result;
+  auto pid = kernel->Spawn(
+      MakeGuestEntry([&result](Guest& g) -> SimTask<void> {
+        co_await UnixbenchContext1(g, 1000, &result);
+      }),
+      "context1");
+  ASSERT_TRUE(pid.ok());
+  kernel->Run();
+  EXPECT_GE(result.round_trips, 499u);
+  EXPECT_GT(result.elapsed, 0u);
+}
+
+TEST(UnixbenchTest, SpawnWorksOnAllBackends) {
+  for (int backend = 0; backend < 3; ++backend) {
+    auto kernel = backend == 0   ? MakeUforkKernel(AppConfig())
+                  : backend == 1 ? MakeMasKernel(AppConfig())
+                                 : MakeVmCloneKernel(AppConfig());
+    SpawnResult result;
+    auto pid = kernel->Spawn(
+        MakeGuestEntry([&result](Guest& g) -> SimTask<void> {
+          co_await UnixbenchSpawn(g, 5, &result);
+        }),
+        "spawn");
+    ASSERT_TRUE(pid.ok());
+    kernel->Run();
+    EXPECT_EQ(result.iterations, 5u) << "backend " << backend;
+  }
+}
+
+}  // namespace
+}  // namespace ufork

@@ -1,0 +1,256 @@
+// Unit and property tests for the CHERI capability model: monotonicity, sealing, dereference
+// checking, and the relocation primitive μFork builds on.
+#include "src/cheri/capability.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+
+namespace ufork {
+namespace {
+
+Capability MakeCap(uint64_t base, uint64_t len, uint32_t perms = kPermAllData) {
+  return Capability::Root(base, len, perms);
+}
+
+TEST(Capability, DefaultIsUntaggedNull) {
+  Capability c;
+  EXPECT_FALSE(c.tag());
+  EXPECT_EQ(c.address(), 0u);
+  EXPECT_EQ(c.CheckAccess(0, 1, kPermLoad).code(), Code::kFaultTag);
+}
+
+TEST(Capability, IntegerCarriesValueOnly) {
+  Capability c = Capability::Integer(0xdeadbeef);
+  EXPECT_FALSE(c.tag());
+  EXPECT_EQ(c.address(), 0xdeadbeefu);
+}
+
+TEST(Capability, RootSpansRequestedRange) {
+  Capability c = MakeCap(0x1000, 0x2000);
+  EXPECT_TRUE(c.tag());
+  EXPECT_EQ(c.base(), 0x1000u);
+  EXPECT_EQ(c.top(), 0x3000u);
+  EXPECT_EQ(c.length(), 0x2000u);
+  EXPECT_TRUE(c.CheckAccess(0x1000, 0x2000, kPermLoad).ok());
+}
+
+TEST(Capability, WithAddressKeepsBoundsAndTag) {
+  Capability c = MakeCap(0x1000, 0x2000).WithAddress(0x1500);
+  EXPECT_TRUE(c.tag());
+  EXPECT_EQ(c.address(), 0x1500u);
+  EXPECT_EQ(c.base(), 0x1000u);
+}
+
+TEST(Capability, OutOfBoundsCursorKeepsTagButFaultsOnDeref) {
+  // CHERI permits out-of-bounds cursors (pointer arithmetic past the end); only dereference
+  // faults.
+  Capability c = MakeCap(0x1000, 0x1000).WithAddress(0x5000);
+  EXPECT_TRUE(c.tag());
+  EXPECT_EQ(c.CheckCursorAccess(1, kPermLoad).code(), Code::kFaultBounds);
+}
+
+TEST(Capability, WithBoundsNarrows) {
+  Capability c = MakeCap(0x1000, 0x2000).WithBounds(0x1800, 0x100);
+  EXPECT_TRUE(c.tag());
+  EXPECT_EQ(c.base(), 0x1800u);
+  EXPECT_EQ(c.top(), 0x1900u);
+}
+
+TEST(Capability, WithBoundsCannotGrow) {
+  Capability c = MakeCap(0x1000, 0x1000);
+  EXPECT_FALSE(c.WithBounds(0x800, 0x100).tag());     // below base
+  EXPECT_FALSE(c.WithBounds(0x1f00, 0x200).tag());    // past top
+  EXPECT_FALSE(c.WithBounds(0x1000, 0x1001).tag());   // longer than source
+}
+
+TEST(Capability, PermsOnlyShrink) {
+  Capability c = MakeCap(0, 0x1000, kPermLoad | kPermStore);
+  Capability ro = c.WithPermsAnd(kPermLoad);
+  EXPECT_TRUE(ro.HasPerms(kPermLoad));
+  EXPECT_FALSE(ro.HasPerms(kPermStore));
+  // Re-adding a permission via the mask has no effect: AND is intersection.
+  Capability back = ro.WithPermsAnd(kPermLoad | kPermStore);
+  EXPECT_FALSE(back.HasPerms(kPermStore));
+}
+
+TEST(Capability, CheckAccessPermissionFault) {
+  Capability ro = MakeCap(0, 0x1000, kPermLoad);
+  EXPECT_EQ(ro.CheckAccess(0x10, 8, kPermStore).code(), Code::kFaultPermission);
+  EXPECT_TRUE(ro.CheckAccess(0x10, 8, kPermLoad).ok());
+}
+
+TEST(Capability, CheckAccessBoundsEdge) {
+  Capability c = MakeCap(0x1000, 0x100, kPermLoad);
+  EXPECT_TRUE(c.CheckAccess(0x10f8, 8, kPermLoad).ok());     // last 8 bytes
+  EXPECT_EQ(c.CheckAccess(0x10f9, 8, kPermLoad).code(), Code::kFaultBounds);
+  EXPECT_EQ(c.CheckAccess(0xfff, 1, kPermLoad).code(), Code::kFaultBounds);
+}
+
+TEST(Capability, CheckAccessOverflowingRange) {
+  Capability c = MakeCap(0x1000, 0x100, kPermLoad);
+  EXPECT_EQ(c.CheckAccess(~0ULL - 3, 8, kPermLoad).code(), Code::kFaultBounds);
+}
+
+TEST(Capability, CapWidthAccessMustBeAligned) {
+  Capability c = MakeCap(0x1000, 0x100, kPermLoad | kPermLoadCap);
+  EXPECT_TRUE(c.CheckAccess(0x1010, 16, kPermLoad | kPermLoadCap).ok());
+  EXPECT_EQ(c.CheckAccess(0x1018, 16, kPermLoad | kPermLoadCap).code(),
+            Code::kFaultAlignment);
+}
+
+// --- Sealing ----------------------------------------------------------------------------------
+
+TEST(CapabilitySealing, SealUnsealRoundTrip) {
+  Capability data = MakeCap(0x4000, 0x1000);
+  Capability sealer = Capability::Root(0, 1024, kPermSeal | kPermUnseal).WithAddress(42);
+  auto sealed = data.Sealed(sealer);
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_TRUE(sealed->sealed());
+  EXPECT_EQ(sealed->otype(), 42u);
+  // Sealed capabilities cannot be dereferenced or mutated.
+  EXPECT_EQ(sealed->CheckAccess(0x4000, 8, kPermLoad).code(), Code::kFaultSeal);
+  EXPECT_FALSE(sealed->WithAddress(0x4100).tag());
+  EXPECT_FALSE(sealed->WithBounds(0x4000, 16).tag());
+
+  auto unsealed = sealed->Unsealed(sealer);
+  ASSERT_TRUE(unsealed.ok());
+  EXPECT_FALSE(unsealed->sealed());
+  EXPECT_TRUE(unsealed->IdenticalTo(data));
+}
+
+TEST(CapabilitySealing, UnsealWrongOtypeFails) {
+  Capability data = MakeCap(0x4000, 0x1000);
+  Capability sealer = Capability::Root(0, 1024, kPermSeal | kPermUnseal).WithAddress(42);
+  auto sealed = data.Sealed(sealer);
+  ASSERT_TRUE(sealed.ok());
+  Capability wrong = Capability::Root(0, 1024, kPermUnseal).WithAddress(43);
+  EXPECT_EQ(sealed->Unsealed(wrong).code(), Code::kFaultSeal);
+}
+
+TEST(CapabilitySealing, SealRequiresPermission) {
+  Capability data = MakeCap(0x4000, 0x1000);
+  Capability no_perm = Capability::Root(0, 1024, kPermUnseal).WithAddress(42);
+  EXPECT_EQ(data.Sealed(no_perm).code(), Code::kFaultPermission);
+}
+
+TEST(CapabilitySealing, ReservedOtypesRejected) {
+  Capability data = MakeCap(0x4000, 0x1000);
+  Capability sealer = Capability::Root(0, 1024, kPermSeal).WithAddress(kOtypeSentry);
+  EXPECT_EQ(data.Sealed(sealer).code(), Code::kFaultSeal);
+}
+
+TEST(CapabilitySealing, SentryInvokeRoundTrip) {
+  Capability code = Capability::Root(0x7000, 0x1000, kPermExecute | kPermLoad);
+  Capability sentry = code.AsSentry();
+  ASSERT_TRUE(sentry.tag());
+  EXPECT_TRUE(sentry.IsSentry());
+  // A sentry cannot be modified without losing its tag.
+  EXPECT_FALSE(sentry.WithAddress(0x7100).tag());
+  auto target = sentry.InvokedSentry();
+  ASSERT_TRUE(target.ok());
+  EXPECT_FALSE(target->sealed());
+  EXPECT_EQ(target->base(), 0x7000u);
+}
+
+TEST(CapabilitySealing, SentryRequiresExecute) {
+  Capability data = MakeCap(0x7000, 0x1000, kPermLoad);
+  EXPECT_FALSE(data.AsSentry().tag());
+}
+
+TEST(CapabilitySealing, InvokeOfNonSentryFaults) {
+  Capability data = MakeCap(0x7000, 0x1000);
+  EXPECT_EQ(data.InvokedSentry().code(), Code::kFaultSeal);
+}
+
+// --- Relocation primitive ----------------------------------------------------------------------
+
+TEST(CapabilityRelocation, EscapesRegion) {
+  Capability inside = MakeCap(0x10000, 0x100).WithAddress(0x10050);
+  EXPECT_FALSE(inside.EscapesRegion(0x10000, 0x20000));
+  EXPECT_TRUE(inside.EscapesRegion(0x10100, 0x20000));  // base below region
+  Capability integer = Capability::Integer(0x5);
+  EXPECT_FALSE(integer.EscapesRegion(0x10000, 0x20000));  // integers carry no authority
+}
+
+TEST(CapabilityRelocation, RebaseShiftsCursorAndBounds) {
+  // Parent region [0x100000, 0x200000), child at [0x900000, 0xa00000).
+  Capability parent_ptr = MakeCap(0x150000, 0x1000).WithAddress(0x150010);
+  Capability child_ptr = parent_ptr.RelocatedInto(0x100000, 0x900000, 0xa00000);
+  EXPECT_TRUE(child_ptr.tag());
+  EXPECT_EQ(child_ptr.address(), 0x950010u);
+  EXPECT_EQ(child_ptr.base(), 0x950000u);
+  EXPECT_EQ(child_ptr.top(), 0x951000u);
+  EXPECT_FALSE(child_ptr.EscapesRegion(0x900000, 0xa00000));
+}
+
+TEST(CapabilityRelocation, RebaseClampsEscapingBounds) {
+  // A capability whose bounds span beyond the parent region is clamped into the child region.
+  Capability wide = MakeCap(0x0f0000, 0x200000).WithAddress(0x150000);
+  Capability moved = wide.RelocatedInto(0x100000, 0x900000, 0xa00000);
+  EXPECT_TRUE(moved.tag());
+  EXPECT_GE(moved.base(), 0x900000u);
+  EXPECT_LE(moved.top(), 0xa00000u);
+}
+
+TEST(CapabilityRelocation, RelocationToLowerAddressWorks) {
+  Capability p = MakeCap(0x900000, 0x1000).WithAddress(0x900800);
+  Capability c = p.RelocatedInto(0x900000, 0x100000, 0x200000);
+  EXPECT_EQ(c.address(), 0x100800u);
+}
+
+// Property: relocation preserves the region-relative offset of cursor and bounds for any
+// capability fully inside the source region.
+TEST(CapabilityRelocationProperty, OffsetPreservingForInRegionCaps) {
+  Rng rng(20250706);
+  const uint64_t old_lo = 0x10000000;
+  const uint64_t new_lo = 0x90000000;
+  const uint64_t region = 0x1000000;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t off = rng.NextBelow(region - 16);
+    const uint64_t len = 1 + rng.NextBelow(region - off - 1);
+    const uint64_t cur = off + rng.NextBelow(len);
+    Capability c =
+        MakeCap(old_lo + off, len).WithAddress(old_lo + cur);
+    Capability r = c.RelocatedInto(old_lo, new_lo, new_lo + region);
+    ASSERT_TRUE(r.tag());
+    EXPECT_EQ(r.base() - new_lo, off);
+    EXPECT_EQ(r.top() - new_lo, off + len);
+    EXPECT_EQ(r.address() - new_lo, cur);
+    EXPECT_EQ(r.perms(), c.perms());
+    EXPECT_FALSE(r.EscapesRegion(new_lo, new_lo + region));
+  }
+}
+
+// Property: monotonicity — any chain of derivations never widens bounds or adds permissions.
+TEST(CapabilityProperty, DerivationChainsAreMonotonic) {
+  Rng rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    Capability root = MakeCap(0x1000, 0x100000, kPermAllData | kPermExecute);
+    Capability c = root;
+    for (int step = 0; step < 10 && c.tag(); ++step) {
+      switch (rng.NextBelow(3)) {
+        case 0: {
+          const uint64_t nb = c.base() + rng.NextBelow(c.length() + 1);
+          const uint64_t nl = rng.NextBelow(c.top() - nb + 1);
+          c = c.WithBounds(nb, nl);
+          break;
+        }
+        case 1:
+          c = c.WithPermsAnd(static_cast<uint32_t>(rng.NextU64()));
+          break;
+        case 2:
+          c = c.WithAddress(rng.NextU64() % kVaTop);
+          break;
+      }
+      if (c.tag()) {
+        EXPECT_GE(c.base(), root.base());
+        EXPECT_LE(c.top(), root.top());
+        EXPECT_EQ(c.perms() & ~root.perms(), 0u);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ufork

@@ -1,0 +1,104 @@
+// Tests for the CHERI-Concentrate-style compressed capability codec: exactness for small
+// objects, outward-only rounding, and round-tripping against the exact model.
+#include "src/cheri/compressed_cap.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+
+namespace ufork {
+namespace {
+
+TEST(RepresentableBounds, SmallLengthsAreExact) {
+  for (uint64_t len : {0ULL, 1ULL, 16ULL, 4096ULL, (1ULL << kMantissaBits) - 1}) {
+    const RepresentableBounds rb = RoundToRepresentable(0x12345, len);
+    EXPECT_TRUE(rb.exact) << len;
+    EXPECT_EQ(rb.base, 0x12345u);
+    EXPECT_EQ(rb.length, len);
+  }
+}
+
+TEST(RepresentableBounds, LargeUnalignedLengthsRoundOutward) {
+  const uint64_t base = 0x100001;  // deliberately misaligned
+  const uint64_t len = 100 * kMiB;
+  const RepresentableBounds rb = RoundToRepresentable(base, len);
+  EXPECT_FALSE(rb.exact);
+  EXPECT_LE(rb.base, base);
+  EXPECT_GE(rb.base + rb.length, base + len);
+}
+
+TEST(RepresentableBounds, AlignmentMaskMakesBoundsExact) {
+  const uint64_t len = 64 * kMiB + 12345;
+  const uint64_t mask = RepresentableAlignmentMask(len);
+  const uint64_t base = 0x123456789ULL & mask;
+  // An aligned base with an aligned-up length is exactly representable.
+  const uint64_t aligned_len = AlignUp(len, ~mask + 1);
+  const RepresentableBounds rb = RoundToRepresentable(base, aligned_len);
+  EXPECT_TRUE(rb.exact);
+}
+
+TEST(CompressedCap, UntaggedRoundTripsCursorOnly) {
+  const Capability c = Capability::Integer(0xabcdef0123456789ULL);
+  const CompressedCapBits bits = Compress(c);
+  const Capability d = Decompress(bits, /*tag=*/false);
+  EXPECT_FALSE(d.tag());
+  EXPECT_EQ(d.address(), c.address());
+}
+
+TEST(CompressedCap, SmallCapRoundTripsExactly) {
+  Capability c = Capability::Root(0x123450, 0x800, kPermLoad | kPermStore)
+                     .WithAddress(0x123460);
+  const Capability d = Decompress(Compress(c), /*tag=*/true);
+  EXPECT_TRUE(d.tag());
+  EXPECT_EQ(d.base(), c.base());
+  EXPECT_EQ(d.top(), c.top());
+  EXPECT_EQ(d.address(), c.address());
+  EXPECT_EQ(d.perms(), c.perms());
+}
+
+TEST(CompressedCap, SentryRoundTrips) {
+  Capability c = Capability::Root(0x4000, 0x1000, kPermExecute | kPermLoad).AsSentry();
+  const Capability d = Decompress(Compress(c), /*tag=*/true);
+  EXPECT_TRUE(d.IsSentry());
+}
+
+TEST(CompressedCap, SealedOtypeRoundTrips) {
+  Capability sealer = Capability::Root(0, 1024, kPermSeal).WithAddress(77);
+  auto sealed = Capability::Root(0x8000, 0x100, kPermLoad).Sealed(sealer);
+  ASSERT_TRUE(sealed.ok());
+  const Capability d = Decompress(Compress(*sealed), /*tag=*/true);
+  EXPECT_TRUE(d.sealed());
+  EXPECT_EQ(d.otype(), 77u);
+}
+
+// Property: for random capabilities with in-bounds cursors, decompression yields bounds that
+// contain the original object (rounding is outward-only) and identical cursor/perms; when the
+// bounds were exactly representable, the round trip is exact.
+TEST(CompressedCapProperty, RoundTripContainsOriginal) {
+  Rng rng(31337);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t base = rng.NextBelow(kVaTop / 2);
+    const uint64_t max_len = kVaTop / 2;
+    const uint64_t len = 1 + rng.NextBelow(max_len);
+    const uint64_t cursor = base + rng.NextBelow(len);
+    Capability c = Capability::Root(0, kVaTop, kPermAllData)
+                       .WithBounds(base, len)
+                       .WithAddress(cursor);
+    ASSERT_TRUE(c.tag());
+    const RepresentableBounds rb = RoundToRepresentable(base, len);
+    const Capability d = Decompress(Compress(c), /*tag=*/true);
+    ASSERT_TRUE(d.tag());
+    EXPECT_EQ(d.address(), cursor);
+    EXPECT_LE(d.base(), base);
+    EXPECT_GE(d.top(), base + len);
+    EXPECT_EQ(d.base(), rb.base);
+    EXPECT_EQ(d.top(), rb.base + rb.length);
+    if (rb.exact) {
+      EXPECT_EQ(d.base(), base);
+      EXPECT_EQ(d.top(), base + len);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ufork

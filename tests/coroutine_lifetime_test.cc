@@ -1,0 +1,64 @@
+// Regression test for the GCC 12 coroutine temporary-lifetime defect and its workaround.
+//
+// GCC 12 mis-destroys a non-trivially-destructible temporary (e.g. a lambda closure capturing
+// std::strings) materialized inside a co_await full-expression: the closure's cleanup runs
+// against a stale frame slot, producing a bad free. The repo-wide rule (documented on
+// Guest::Fork) is to hoist such closures into named locals before awaiting. This test encodes
+// the safe pattern; the unsafe pattern is kept in a comment as the reproducer.
+#include <gtest/gtest.h>
+
+#include "src/baseline/system.h"
+#include "src/guest/guest.h"
+#include "tests/guest_test_util.h"
+
+namespace ufork {
+namespace {
+
+SimTask<Result<Pid>> NestedForkWithStringCaptures(Guest& g, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  // UNSAFE on GCC 12 (bad free at the end of the co_await full-expression):
+  //   auto child = co_await g.Fork([path, tmp](Guest& cg) -> SimTask<void> { ... });
+  // SAFE: hoist the closure.
+  GuestFn child_fn = [path, tmp](Guest& cg) -> SimTask<void> {
+    EXPECT_EQ(tmp, "/x.tmp");
+    EXPECT_EQ(path, "/x");
+    co_await cg.Exit(3);
+  };
+  auto child = co_await g.Fork(std::move(child_fn));
+  co_return child;
+}
+
+TEST(CoroutineLifetime, HoistedClosureSurvivesNestedFork) {
+  auto kernel = MakeUforkKernel({});
+  auto pid = kernel->Spawn(MakeGuestEntry([](Guest& g) -> SimTask<void> {
+                             auto child = co_await NestedForkWithStringCaptures(g, "/x");
+                             CO_ASSERT_OK(child);
+                             auto waited = co_await g.Wait();
+                             CO_ASSERT_OK(waited);
+                             EXPECT_EQ(waited->status, 3);
+                           }),
+                           "lifetime");
+  ASSERT_TRUE(pid.ok());
+  kernel->Run();
+}
+
+TEST(CoroutineLifetime, TriviallyDestructibleInlineClosureIsFine) {
+  auto kernel = MakeUforkKernel({});
+  int observed = 0;
+  auto pid = kernel->Spawn(MakeGuestEntry([&observed](Guest& g) -> SimTask<void> {
+                             // Inline closures with only trivial captures are allowed.
+                             auto child = co_await g.Fork([&observed](Guest& cg) -> SimTask<void> {
+                               observed = 17;
+                               co_await cg.Exit(0);
+                             });
+                             CO_ASSERT_OK(child);
+                             (void)co_await g.Wait();
+                           }),
+                           "trivial");
+  ASSERT_TRUE(pid.ok());
+  kernel->Run();
+  EXPECT_EQ(observed, 17);
+}
+
+}  // namespace
+}  // namespace ufork

@@ -1,0 +1,199 @@
+// Tests for tagged physical frames: tag-clear-on-overwrite (the invariant the fork relocation
+// scan relies on), capability store/load round trips, and frame copies.
+#include "src/mem/frame.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/mem/frame_allocator.h"
+
+namespace ufork {
+namespace {
+
+Capability TestCap(uint64_t addr) {
+  return Capability::Root(0x1000, 0x100000, kPermAllData).WithAddress(addr);
+}
+
+std::span<const std::byte> BytesOf(const uint64_t& v) {
+  return std::as_bytes(std::span(&v, 1));
+}
+
+TEST(Frame, DataRoundTrip) {
+  Frame f;
+  const uint64_t v = 0x1122334455667788ULL;
+  f.Write(40, BytesOf(v));
+  uint64_t out = 0;
+  f.Read(40, std::as_writable_bytes(std::span(&out, 1)));
+  EXPECT_EQ(out, v);
+}
+
+TEST(Frame, CapStoreLoadRoundTrip) {
+  Frame f;
+  const Capability c = TestCap(0x2040);
+  f.StoreCap(32, c);
+  EXPECT_TRUE(f.TagAt(32));
+  const Capability loaded = f.LoadCap(32);
+  EXPECT_TRUE(loaded.IdenticalTo(c));
+}
+
+TEST(Frame, IntegerViewOfTaggedGranuleIsCursor) {
+  Frame f;
+  f.StoreCap(64, TestCap(0xabcd));
+  uint64_t low = 0;
+  f.Read(64, std::as_writable_bytes(std::span(&low, 1)));
+  EXPECT_EQ(low, 0xabcdu);
+}
+
+TEST(Frame, DataWriteClearsOverlappingTag) {
+  Frame f;
+  f.StoreCap(16, TestCap(0x2000));
+  // Overwrite one byte inside the granule: the tag must drop (pointer forgery prevention).
+  const uint8_t b = 0xff;
+  f.Write(20, std::as_bytes(std::span(&b, 1)));
+  EXPECT_FALSE(f.TagAt(16));
+  // The loaded value is now an integer, not a capability.
+  EXPECT_FALSE(f.LoadCap(16).tag());
+}
+
+TEST(Frame, DataWriteSpanningGranulesClearsAllTouchedTags) {
+  Frame f;
+  f.StoreCap(0, TestCap(0x2000));
+  f.StoreCap(16, TestCap(0x3000));
+  f.StoreCap(32, TestCap(0x4000));
+  std::array<std::byte, 20> blob{};
+  f.Write(8, blob);  // touches granules 0 and 1, not 2
+  EXPECT_FALSE(f.TagAt(0));
+  EXPECT_FALSE(f.TagAt(16));
+  EXPECT_TRUE(f.TagAt(32));
+}
+
+TEST(Frame, UntaggedCapStoreClearsTag) {
+  Frame f;
+  f.StoreCap(16, TestCap(0x2000));
+  f.StoreCap(16, Capability::Integer(99));
+  EXPECT_FALSE(f.TagAt(16));
+  EXPECT_EQ(f.LoadCap(16).address(), 99u);
+}
+
+TEST(Frame, FillClearsTags) {
+  Frame f;
+  f.StoreCap(128, TestCap(0x2000));
+  f.Fill(0, kPageSize, std::byte{0});
+  EXPECT_FALSE(f.TagAt(128));
+  EXPECT_EQ(f.CountTags(), 0u);
+}
+
+TEST(Frame, CopyFromCarriesDataAndTags) {
+  Frame a;
+  a.StoreCap(48, TestCap(0x9000));
+  const uint64_t v = 42;
+  a.Write(1024, BytesOf(v));
+  Frame b;
+  b.CopyFrom(a);
+  EXPECT_TRUE(b.TagAt(48));
+  EXPECT_TRUE(b.LoadCap(48).IdenticalTo(a.LoadCap(48)));
+  uint64_t out = 0;
+  b.Read(1024, std::as_writable_bytes(std::span(&out, 1)));
+  EXPECT_EQ(out, 42u);
+}
+
+TEST(Frame, ForEachTaggedCapVisitsInAddressOrderAndRewrites) {
+  Frame f;
+  f.StoreCap(96, TestCap(0x9600));
+  f.StoreCap(16, TestCap(0x1600));
+  f.StoreCap(240, TestCap(0x2400));
+  std::vector<uint64_t> offsets;
+  f.ForEachTaggedCap([&](uint64_t off, Capability& cap) {
+    offsets.push_back(off);
+    cap = cap.WithAddress(cap.address() + 0x10);
+  });
+  EXPECT_EQ(offsets, (std::vector<uint64_t>{16, 96, 240}));
+  // Rewrites are visible through both the capability view and the integer view.
+  EXPECT_EQ(f.LoadCap(16).address(), 0x1610u);
+  uint64_t raw = 0;
+  f.Read(96, std::as_writable_bytes(std::span(&raw, 1)));
+  EXPECT_EQ(raw, 0x9610u);
+}
+
+TEST(Frame, CountTagsMatchesStores) {
+  Frame f;
+  Rng rng(5);
+  uint64_t expected = 0;
+  std::array<bool, kGranulesPerPage> tagged{};
+  for (int i = 0; i < 300; ++i) {
+    const uint64_t g = rng.NextBelow(kGranulesPerPage);
+    if (!tagged[g]) {
+      tagged[g] = true;
+      ++expected;
+    }
+    f.StoreCap(g * kCapSize, TestCap(0x2000 + g));
+  }
+  EXPECT_EQ(f.CountTags(), expected);
+}
+
+// --- FrameAllocator ----------------------------------------------------------------------------
+
+TEST(FrameAllocator, AllocateReleaseReuse) {
+  FrameAllocator alloc(4);
+  auto a = alloc.Allocate();
+  auto b = alloc.Allocate();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(alloc.frames_in_use(), 2u);
+  alloc.Release(*a);
+  EXPECT_EQ(alloc.frames_in_use(), 1u);
+  auto c = alloc.Allocate();
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, *a);  // slot reused
+}
+
+TEST(FrameAllocator, ReusedFrameIsZeroedAndUntagged) {
+  FrameAllocator alloc(2);
+  auto a = alloc.Allocate();
+  ASSERT_TRUE(a.ok());
+  alloc.frame(*a).StoreCap(0, TestCap(0x2000));
+  const uint64_t v = 7;
+  alloc.frame(*a).Write(100, std::as_bytes(std::span(&v, 1)));
+  alloc.Release(*a);
+  auto b = alloc.Allocate();
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(alloc.frame(*b).CountTags(), 0u);
+  uint64_t out = 1;
+  alloc.frame(*b).Read(100, std::as_writable_bytes(std::span(&out, 1)));
+  EXPECT_EQ(out, 0u);
+}
+
+TEST(FrameAllocator, RefcountKeepsFrameAlive) {
+  FrameAllocator alloc(2);
+  auto a = alloc.Allocate();
+  ASSERT_TRUE(a.ok());
+  alloc.AddRef(*a);
+  EXPECT_EQ(alloc.RefCount(*a), 2u);
+  alloc.Release(*a);
+  EXPECT_TRUE(alloc.IsLive(*a));
+  alloc.Release(*a);
+  EXPECT_FALSE(alloc.IsLive(*a));
+}
+
+TEST(FrameAllocator, ExhaustionReturnsNoMem) {
+  FrameAllocator alloc(2);
+  ASSERT_TRUE(alloc.Allocate().ok());
+  ASSERT_TRUE(alloc.Allocate().ok());
+  EXPECT_EQ(alloc.Allocate().code(), Code::kErrNoMem);
+}
+
+TEST(FrameAllocator, PeakTracksHighWaterMark) {
+  FrameAllocator alloc(8);
+  std::vector<FrameId> ids;
+  for (int i = 0; i < 5; ++i) {
+    ids.push_back(alloc.Allocate().value());
+  }
+  for (FrameId id : ids) {
+    alloc.Release(id);
+  }
+  EXPECT_EQ(alloc.peak_frames(), 5u);
+  EXPECT_EQ(alloc.frames_in_use(), 0u);
+}
+
+}  // namespace
+}  // namespace ufork

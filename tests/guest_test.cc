@@ -1,0 +1,243 @@
+// Tests for the guest runtime: tinyalloc (with metadata in guest memory), guest containers
+// (property-tested against a host reference model), and GOT semantics.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/base/rng.h"
+#include "src/baseline/system.h"
+#include "src/guest/containers.h"
+#include "src/guest/guest.h"
+#include "src/cheri/compressed_cap.h"
+#include "src/guest/tinyalloc.h"
+#include "tests/guest_test_util.h"
+
+namespace ufork {
+namespace {
+
+KernelConfig GuestConfig() {
+  KernelConfig config;
+  config.layout.heap_size = 64 * kMiB;  // room for representable-bounds tests
+  return config;
+}
+
+void RunGuest(const KernelConfig& config, GuestFn fn) {
+  auto kernel = MakeUforkKernel(config);
+  auto pid = kernel->Spawn(MakeGuestEntry(std::move(fn)), "guest");
+  ASSERT_TRUE(pid.ok());
+  kernel->Run();
+}
+
+TEST(Tinyalloc, AllocationsAreDisjointAndAligned) {
+  RunGuest(GuestConfig(), [](Guest& g) -> SimTask<void> {
+    std::vector<Capability> blocks;
+    for (uint64_t size : {1ULL, 16ULL, 17ULL, 100ULL, 4096ULL}) {
+      auto cap = g.Malloc(size);
+      CO_ASSERT_OK(cap);
+      EXPECT_TRUE(IsAligned(cap->base(), kCapSize));
+      EXPECT_EQ(cap->length(), size);
+      for (const Capability& other : blocks) {
+        EXPECT_TRUE(cap->base() >= other.top() || cap->top() <= other.base())
+            << "allocations must not overlap";
+      }
+      blocks.push_back(*cap);
+    }
+    co_return;
+  });
+}
+
+TEST(Tinyalloc, FreeListReuse) {
+  RunGuest(GuestConfig(), [](Guest& g) -> SimTask<void> {
+    auto a = g.Malloc(256);
+    CO_ASSERT_OK(a);
+    auto stats0 = tinyalloc::Stats(g);
+    CO_ASSERT_OK(stats0);
+    CO_ASSERT_OK(g.Free(*a));
+    auto b = g.Malloc(256);  // exact-fit reuse
+    CO_ASSERT_OK(b);
+    EXPECT_EQ(b->base(), a->base());
+    auto stats1 = tinyalloc::Stats(g);
+    CO_ASSERT_OK(stats1);
+    EXPECT_EQ(stats1->bump_used, stats0->bump_used) << "reuse must not grow the arena";
+    co_return;
+  });
+}
+
+TEST(Tinyalloc, DoubleFreeDetected) {
+  RunGuest(GuestConfig(), [](Guest& g) -> SimTask<void> {
+    auto a = g.Malloc(64);
+    CO_ASSERT_OK(a);
+    CO_ASSERT_OK(g.Free(*a));
+    EXPECT_EQ(g.Free(*a).code(), Code::kErrInval);
+    co_return;
+  });
+}
+
+TEST(Tinyalloc, FreeOfForeignCapabilityRejected) {
+  RunGuest(GuestConfig(), [](Guest& g) -> SimTask<void> {
+    const Capability bogus = g.ddc().WithBounds(g.base() + g.layout().data_off(), 64);
+    EXPECT_EQ(g.Free(bogus).code(), Code::kErrInval);
+    EXPECT_EQ(g.Free(Capability::Integer(42)).code(), Code::kErrInval);
+    co_return;
+  });
+}
+
+TEST(Tinyalloc, LargeAllocationsGetRepresentableBounds) {
+  RunGuest(GuestConfig(), [](Guest& g) -> SimTask<void> {
+    // 20 MB exceeds the exact-bounds mantissa: the allocator must pad/align so the bounds are
+    // representable under compression.
+    auto big = g.Malloc(20 * kMiB);
+    CO_ASSERT_OK(big);
+    const RepresentableBounds rb = RoundToRepresentable(big->base(), big->length());
+    EXPECT_TRUE(rb.exact) << "large allocation bounds must be exactly representable";
+    const Capability round_trip = Decompress(Compress(*big), /*tag=*/true);
+    EXPECT_EQ(round_trip.base(), big->base());
+    EXPECT_EQ(round_trip.top(), big->top());
+    co_return;
+  });
+}
+
+TEST(Tinyalloc, ExhaustionReportsNoMem) {
+  KernelConfig config;
+  config.layout.heap_size = 256 * kKiB;
+  RunGuest(config, [](Guest& g) -> SimTask<void> {
+    Result<Capability> last = g.Malloc(64 * kKiB);
+    int allocated = 0;
+    while (last.ok() && allocated < 100) {
+      ++allocated;
+      last = g.Malloc(64 * kKiB);
+    }
+    EXPECT_EQ(last.code(), Code::kErrNoMem);
+    EXPECT_GT(allocated, 1);
+    co_return;
+  });
+}
+
+TEST(Tinyalloc, StatsTrackAllocationsAndFrees) {
+  RunGuest(GuestConfig(), [](Guest& g) -> SimTask<void> {
+    auto s0 = tinyalloc::Stats(g);
+    CO_ASSERT_OK(s0);
+    auto a = g.Malloc(100);
+    auto b = g.Malloc(200);
+    CO_ASSERT_OK(a);
+    CO_ASSERT_OK(b);
+    CO_ASSERT_OK(g.Free(*a));
+    auto s1 = tinyalloc::Stats(g);
+    CO_ASSERT_OK(s1);
+    EXPECT_EQ(s1->allocations, s0->allocations + 2);
+    EXPECT_EQ(s1->frees, s0->frees + 1);
+    EXPECT_GT(s1->bytes_in_use, s0->bytes_in_use);
+    co_return;
+  });
+}
+
+// --- GOT -----------------------------------------------------------------------------------
+
+TEST(Got, SlotBoundsEnforced) {
+  RunGuest(GuestConfig(), [](Guest& g) -> SimTask<void> {
+    const int last_slot = static_cast<int>(g.layout().got_size() / kCapSize) - 1;
+    CO_ASSERT_OK(g.GotStore(last_slot, g.ddc()));
+    EXPECT_EQ(g.GotStore(last_slot + 1, g.ddc()).code(), Code::kErrInval);
+    EXPECT_EQ(g.GotLoad(-1).code(), Code::kErrInval);
+    co_return;
+  });
+}
+
+TEST(Got, RuntimeSlotsPopulatedByCrt) {
+  RunGuest(GuestConfig(), [](Guest& g) -> SimTask<void> {
+    auto heap_root = g.GotLoad(kGotSlotHeapRoot);
+    CO_ASSERT_OK(heap_root);
+    EXPECT_TRUE(heap_root->tag());
+    EXPECT_EQ(heap_root->base(), g.base() + g.layout().heap_off());
+    auto data_seg = g.GotLoad(kGotSlotDataSeg);
+    CO_ASSERT_OK(data_seg);
+    EXPECT_EQ(data_seg->base(), g.base() + g.layout().data_off());
+    co_return;
+  });
+}
+
+// --- GuestHashMap property test ----------------------------------------------------------------
+
+TEST(GuestHashMapProperty, MatchesHostReferenceModel) {
+  RunGuest(GuestConfig(), [](Guest& g) -> SimTask<void> {
+    auto map = GuestHashMap::Create(g, 16);  // small bucket count: force chains
+    CO_ASSERT_OK(map);
+    std::map<std::string, std::vector<std::byte>> reference;
+    Rng rng(2026);
+    for (int step = 0; step < 800; ++step) {
+      const std::string key = "k" + std::to_string(rng.NextBelow(60));
+      const uint64_t op = rng.NextBelow(10);
+      if (op < 5) {  // put
+        std::vector<std::byte> value(1 + rng.NextBelow(300));
+        for (auto& byte : value) {
+          byte = static_cast<std::byte>(rng.NextU64());
+        }
+        CO_ASSERT_OK(map->Put(key, value));
+        reference[key] = std::move(value);
+      } else if (op < 8) {  // get
+        auto got = map->Get(key);
+        CO_ASSERT_OK(got);
+        auto it = reference.find(key);
+        if (it == reference.end()) {
+          EXPECT_FALSE(got->has_value());
+        } else {
+          CO_ASSERT_TRUE(got->has_value());
+          EXPECT_EQ(**got, it->second);
+        }
+      } else {  // erase
+        auto erased = map->Erase(key);
+        CO_ASSERT_OK(erased);
+        EXPECT_EQ(*erased, reference.erase(key) > 0);
+      }
+      auto size = map->Size();
+      CO_ASSERT_OK(size);
+      EXPECT_EQ(*size, reference.size());
+    }
+    // Full scan must visit exactly the reference contents.
+    std::map<std::string, uint64_t> visited;
+    CO_ASSERT_OK(map->ForEach([&](const std::string& key, const Capability&,
+                                  uint64_t len) -> Result<void> {
+      visited[key] = len;
+      return OkResult();
+    }));
+    EXPECT_EQ(visited.size(), reference.size());
+    for (const auto& [key, value] : reference) {
+      CO_ASSERT_TRUE(visited.count(key) == 1);
+      EXPECT_EQ(visited[key], value.size());
+    }
+    co_return;
+  });
+}
+
+TEST(GuestHashMap, SurvivesForkWithChains) {
+  // The container's capability links must all relocate correctly in a forked child, including
+  // hash chains (multiple entries per bucket).
+  RunGuest(GuestConfig(), [](Guest& g) -> SimTask<void> {
+    auto map = GuestHashMap::Create(g, 4);  // heavy chaining
+    CO_ASSERT_OK(map);
+    for (int i = 0; i < 40; ++i) {
+      std::vector<std::byte> value(64, static_cast<std::byte>(i));
+      CO_ASSERT_OK(map->Put("key" + std::to_string(i), value));
+    }
+    CO_ASSERT_OK(g.GotStore(kGotSlotFirstUser, map->table()));
+    auto child = co_await g.Fork([](Guest& cg) -> SimTask<void> {
+      auto table = cg.GotLoad(kGotSlotFirstUser);
+      CO_ASSERT_OK(table);
+      GuestHashMap child_map = GuestHashMap::Attach(cg, *table);
+      for (int i = 0; i < 40; ++i) {
+        auto got = child_map.Get("key" + std::to_string(i));
+        CO_ASSERT_OK(got);
+        CO_ASSERT_TRUE(got->has_value());
+        EXPECT_EQ(**got, std::vector<std::byte>(64, static_cast<std::byte>(i)));
+      }
+      co_await cg.Exit(0);
+    });
+    CO_ASSERT_OK(child);
+    auto waited = co_await g.Wait();
+    CO_ASSERT_OK(waited);
+    EXPECT_EQ(waited->status, 0);
+  });
+}
+
+}  // namespace
+}  // namespace ufork

@@ -1,0 +1,40 @@
+// Test helpers for guest-coroutine tests.
+//
+// gtest's ASSERT_* macros expand to `return;` which is ill-formed inside a coroutine; these
+// variants record the failure and co_return instead. Use only inside SimTask<void> coroutines.
+#ifndef UFORK_TESTS_GUEST_TEST_UTIL_H_
+#define UFORK_TESTS_GUEST_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#define CO_ASSERT_TRUE(cond)                                 \
+  do {                                                       \
+    const bool co_assert_ok_ = static_cast<bool>(cond);      \
+    EXPECT_TRUE(co_assert_ok_) << #cond;                     \
+    if (!co_assert_ok_) {                                    \
+      co_return;                                             \
+    }                                                        \
+  } while (0)
+
+#define CO_ASSERT_OK(expr) CO_ASSERT_OK_IMPL_(CO_CONCAT_(co_assert_res_, __LINE__), expr)
+#define CO_ASSERT_OK_IMPL_(tmp, expr)                               \
+  do {                                                              \
+    const auto& tmp = (expr);                                       \
+    EXPECT_TRUE(tmp.ok()) << #expr << " failed: "                   \
+                          << ::ufork::CodeName(tmp.code());         \
+    if (!tmp.ok()) {                                                \
+      co_return;                                                    \
+    }                                                               \
+  } while (0)
+#define CO_CONCAT_(a, b) CO_CONCAT_IMPL_(a, b)
+#define CO_CONCAT_IMPL_(a, b) a##b
+
+#define CO_ASSERT_EQ(a, b)       \
+  do {                           \
+    EXPECT_EQ(a, b);             \
+    if (!((a) == (b))) {         \
+      co_return;                 \
+    }                            \
+  } while (0)
+
+#endif  // UFORK_TESTS_GUEST_TEST_UTIL_H_

@@ -1,0 +1,144 @@
+// Tests for GuestVector: growth/reallocation in guest memory, reference-model property test,
+// and fork inheritance through the relocated data capability.
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/baseline/system.h"
+#include "src/guest/gvector.h"
+#include "tests/guest_test_util.h"
+
+namespace ufork {
+namespace {
+
+void RunGuest(GuestFn fn) {
+  KernelConfig config;
+  config.layout.heap_size = 4 * kMiB;
+  auto kernel = MakeUforkKernel(config);
+  auto pid = kernel->Spawn(MakeGuestEntry(std::move(fn)), "gvec");
+  ASSERT_TRUE(pid.ok());
+  kernel->Run();
+}
+
+TEST(GuestVectorTest, PushAtPopAcrossGrowth) {
+  RunGuest([](Guest& g) -> SimTask<void> {
+    auto vec = GuestVector<uint64_t>::Create(g, 2);  // tiny capacity: force reallocations
+    CO_ASSERT_OK(vec);
+    for (uint64_t i = 0; i < 100; ++i) {
+      CO_ASSERT_OK(vec->PushBack(i * i));
+    }
+    auto size = vec->Size();
+    CO_ASSERT_OK(size);
+    EXPECT_EQ(*size, 100u);
+    for (uint64_t i = 0; i < 100; ++i) {
+      auto v = vec->At(i);
+      CO_ASSERT_OK(v);
+      EXPECT_EQ(*v, i * i);
+    }
+    auto popped = vec->PopBack();
+    CO_ASSERT_OK(popped);
+    EXPECT_EQ(*popped, 99u * 99u);
+    EXPECT_EQ(vec->At(99).code(), Code::kErrInval);
+    CO_ASSERT_OK(vec->Set(0, 777));
+    auto head = vec->At(0);
+    CO_ASSERT_OK(head);
+    EXPECT_EQ(*head, 777u);
+    co_return;
+  });
+}
+
+TEST(GuestVectorTest, EmptyEdgeCases) {
+  RunGuest([](Guest& g) -> SimTask<void> {
+    auto vec = GuestVector<uint32_t>::Create(g);
+    CO_ASSERT_OK(vec);
+    EXPECT_EQ(vec->PopBack().code(), Code::kErrInval);
+    EXPECT_EQ(vec->At(0).code(), Code::kErrInval);
+    EXPECT_EQ(vec->Set(0, 1).code(), Code::kErrInval);
+    auto size = vec->Size();
+    CO_ASSERT_OK(size);
+    EXPECT_EQ(*size, 0u);
+    co_return;
+  });
+}
+
+TEST(GuestVectorTest, PropertyMatchesHostVector) {
+  RunGuest([](Guest& g) -> SimTask<void> {
+    auto vec = GuestVector<uint64_t>::Create(g, 1);
+    CO_ASSERT_OK(vec);
+    std::vector<uint64_t> model;
+    Rng rng(606);
+    for (int step = 0; step < 1500; ++step) {
+      const uint64_t op = rng.NextBelow(10);
+      if (op < 5 || model.empty()) {
+        const uint64_t v = rng.NextU64();
+        CO_ASSERT_OK(vec->PushBack(v));
+        model.push_back(v);
+      } else if (op < 7) {
+        const uint64_t i = rng.NextBelow(model.size());
+        const uint64_t v = rng.NextU64();
+        CO_ASSERT_OK(vec->Set(i, v));
+        model[i] = v;
+      } else if (op < 9) {
+        const uint64_t i = rng.NextBelow(model.size());
+        auto v = vec->At(i);
+        CO_ASSERT_OK(v);
+        CO_ASSERT_EQ(*v, model[i]);
+      } else {
+        auto v = vec->PopBack();
+        CO_ASSERT_OK(v);
+        CO_ASSERT_EQ(*v, model.back());
+        model.pop_back();
+      }
+    }
+    uint64_t visited = 0;
+    CO_ASSERT_OK(vec->ForEach([&](uint64_t i, uint64_t v) -> Result<void> {
+      UF_CHECK(v == model[i]);
+      ++visited;
+      return OkResult();
+    }));
+    EXPECT_EQ(visited, model.size());
+    co_return;
+  });
+}
+
+TEST(GuestVectorTest, SurvivesForkViaGot) {
+  RunGuest([](Guest& g) -> SimTask<void> {
+    auto vec = GuestVector<uint64_t>::Create(g, 4);
+    CO_ASSERT_OK(vec);
+    for (uint64_t i = 0; i < 50; ++i) {
+      CO_ASSERT_OK(vec->PushBack(1000 + i));
+    }
+    CO_ASSERT_OK(g.GotStore(kGotSlotFirstUser, vec->header()));
+    auto child = co_await g.Fork([](Guest& cg) -> SimTask<void> {
+      auto header = cg.GotLoad(kGotSlotFirstUser);
+      CO_ASSERT_OK(header);
+      auto child_vec = GuestVector<uint64_t>::Attach(cg, *header);
+      // Read the snapshot, then grow it in the child: the parent must see neither the growth
+      // nor any writes.
+      for (uint64_t i = 0; i < 50; ++i) {
+        auto v = child_vec.At(i);
+        CO_ASSERT_OK(v);
+        CO_ASSERT_EQ(*v, 1000 + i);
+      }
+      for (uint64_t i = 0; i < 200; ++i) {
+        CO_ASSERT_OK(child_vec.PushBack(i));  // forces reallocation in the child
+      }
+      auto size = child_vec.Size();
+      CO_ASSERT_OK(size);
+      CO_ASSERT_EQ(*size, 250u);
+      co_await cg.Exit(0);
+    });
+    CO_ASSERT_OK(child);
+    auto waited = co_await g.Wait();
+    CO_ASSERT_OK(waited);
+    EXPECT_EQ(waited->status, 0);
+    auto size = vec->Size();
+    CO_ASSERT_OK(size);
+    EXPECT_EQ(*size, 50u) << "the child's growth must not leak back";
+    auto v = vec->At(49);
+    CO_ASSERT_OK(v);
+    EXPECT_EQ(*v, 1049u);
+  });
+}
+
+}  // namespace
+}  // namespace ufork

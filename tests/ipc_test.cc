@@ -1,0 +1,301 @@
+// Edge-case tests for the IPC and filesystem substrates: pipe blocking/EOF/EPIPE semantics,
+// message-queue boundaries, VFS seek/append/rename behaviour, and descriptor-table mechanics.
+#include <gtest/gtest.h>
+
+#include "src/baseline/system.h"
+#include "src/guest/guest.h"
+#include "tests/guest_test_util.h"
+
+namespace ufork {
+namespace {
+
+void RunGuest(GuestFn fn, int cores = 4) {
+  KernelConfig config;
+  config.cores = cores;
+  config.layout.heap_size = 1 * kMiB;
+  auto kernel = MakeUforkKernel(config);
+  auto pid = kernel->Spawn(MakeGuestEntry(std::move(fn)), "ipc");
+  ASSERT_TRUE(pid.ok());
+  kernel->Run();
+}
+
+// --- pipes ---------------------------------------------------------------------------------
+
+TEST(PipeSemantics, WriteToClosedReadEndIsEpipe) {
+  RunGuest([](Guest& g) -> SimTask<void> {
+    auto pipe_fds = co_await g.Pipe();
+    CO_ASSERT_OK(pipe_fds);
+    const auto [rfd, wfd] = *pipe_fds;
+    CO_ASSERT_OK(co_await g.Close(rfd));
+    auto buf = g.Malloc(16);
+    CO_ASSERT_OK(buf);
+    auto written = co_await g.Write(wfd, *buf, 8);
+    EXPECT_EQ(written.code(), Code::kErrPipe);
+  });
+}
+
+TEST(PipeSemantics, ReadOnWriteEndAndViceVersaRejected) {
+  RunGuest([](Guest& g) -> SimTask<void> {
+    auto pipe_fds = co_await g.Pipe();
+    CO_ASSERT_OK(pipe_fds);
+    const auto [rfd, wfd] = *pipe_fds;
+    auto buf = g.Malloc(16);
+    CO_ASSERT_OK(buf);
+    EXPECT_EQ((co_await g.Read(wfd, *buf, 8)).code(), Code::kErrBadFd);
+    EXPECT_EQ((co_await g.Write(rfd, *buf, 8)).code(), Code::kErrBadFd);
+    co_return;
+  });
+}
+
+TEST(PipeSemantics, WriterBlocksWhenFullReaderDrains) {
+  RunGuest([](Guest& g) -> SimTask<void> {
+    auto pipe_fds = co_await g.Pipe();
+    CO_ASSERT_OK(pipe_fds);
+    const auto [rfd, wfd] = *pipe_fds;
+    // Child fills the pipe beyond capacity and reports how much it wrote.
+    auto child = co_await g.Fork([rfd = rfd, wfd = wfd](Guest& cg) -> SimTask<void> {
+      (void)co_await cg.Close(rfd);
+      auto big = cg.Malloc(96 * 1024);  // 1.5x pipe capacity
+      CO_ASSERT_OK(big);
+      auto n = co_await cg.Write(wfd, *big, 96 * 1024);  // must block, then complete
+      CO_ASSERT_OK(n);
+      co_await cg.Exit(*n == 96 * 1024 ? 0 : 1);
+    });
+    CO_ASSERT_OK(child);
+    CO_ASSERT_OK(co_await g.Close(wfd));
+    // Parent drains slowly.
+    auto buf = g.Malloc(16 * 1024);
+    CO_ASSERT_OK(buf);
+    uint64_t total = 0;
+    for (;;) {
+      auto n = co_await g.Read(rfd, *buf, 16 * 1024);
+      CO_ASSERT_OK(n);
+      if (*n == 0) {
+        break;
+      }
+      total += static_cast<uint64_t>(*n);
+    }
+    EXPECT_EQ(total, 96u * 1024u);
+    auto waited = co_await g.Wait();
+    CO_ASSERT_OK(waited);
+    EXPECT_EQ(waited->status, 0);
+  });
+}
+
+TEST(PipeSemantics, BytesArriveInOrderAcrossManyWrites) {
+  RunGuest([](Guest& g) -> SimTask<void> {
+    auto pipe_fds = co_await g.Pipe();
+    CO_ASSERT_OK(pipe_fds);
+    const auto [rfd, wfd] = *pipe_fds;
+    auto child = co_await g.Fork([rfd = rfd, wfd = wfd](Guest& cg) -> SimTask<void> {
+      (void)co_await cg.Close(rfd);
+      auto buf = cg.Malloc(256);
+      CO_ASSERT_OK(buf);
+      for (uint32_t i = 0; i < 200; ++i) {
+        CO_ASSERT_OK(cg.StoreAt<uint32_t>(*buf, 0, i));
+        CO_ASSERT_OK(co_await cg.Write(wfd, *buf, 4));
+      }
+      co_await cg.Exit(0);
+    });
+    CO_ASSERT_OK(child);
+    CO_ASSERT_OK(co_await g.Close(wfd));
+    auto buf = g.Malloc(16);
+    CO_ASSERT_OK(buf);
+    for (uint32_t expected = 0; expected < 200; ++expected) {
+      auto n = co_await g.Read(rfd, *buf, 4);
+      CO_ASSERT_OK(n);
+      CO_ASSERT_EQ(*n, 4);
+      auto v = g.LoadAt<uint32_t>(*buf, 0);
+      CO_ASSERT_OK(v);
+      CO_ASSERT_EQ(*v, expected);
+    }
+    (void)co_await g.Wait();
+  });
+}
+
+// --- message queues ------------------------------------------------------------------------
+
+TEST(MqSemantics, MessageBoundariesPreserved) {
+  RunGuest([](Guest& g) -> SimTask<void> {
+    auto fd = co_await g.MqOpen("/mq/bounds", true);
+    CO_ASSERT_OK(fd);
+    auto msg = g.PlaceString("0123456789");
+    CO_ASSERT_OK(msg);
+    CO_ASSERT_OK(co_await g.Write(*fd, *msg, 10));
+    CO_ASSERT_OK(co_await g.Write(*fd, *msg, 4));
+    auto buf = g.Malloc(64);
+    CO_ASSERT_OK(buf);
+    auto first = co_await g.Read(*fd, *buf, 64);
+    CO_ASSERT_OK(first);
+    EXPECT_EQ(*first, 10) << "one receive = one whole message, not a byte stream";
+    auto second = co_await g.Read(*fd, *buf, 64);
+    CO_ASSERT_OK(second);
+    EXPECT_EQ(*second, 4);
+    co_return;
+  });
+}
+
+TEST(MqSemantics, ShortReceiveTruncates) {
+  RunGuest([](Guest& g) -> SimTask<void> {
+    auto fd = co_await g.MqOpen("/mq/trunc", true);
+    CO_ASSERT_OK(fd);
+    auto msg = g.PlaceString("abcdefgh");
+    CO_ASSERT_OK(msg);
+    CO_ASSERT_OK(co_await g.Write(*fd, *msg, 8));
+    auto buf = g.Malloc(16);
+    CO_ASSERT_OK(buf);
+    auto n = co_await g.Read(*fd, *buf, 3);
+    CO_ASSERT_OK(n);
+    EXPECT_EQ(*n, 3);
+    co_return;
+  });
+}
+
+TEST(MqSemantics, OpenWithoutCreateFails) {
+  RunGuest([](Guest& g) -> SimTask<void> {
+    auto fd = co_await g.MqOpen("/mq/nonexistent", false);
+    EXPECT_EQ(fd.code(), Code::kErrNoEnt);
+    co_return;
+  });
+}
+
+TEST(MqSemantics, QueueSharedByName) {
+  RunGuest([](Guest& g) -> SimTask<void> {
+    auto a = co_await g.MqOpen("/mq/shared", true);
+    auto b = co_await g.MqOpen("/mq/shared", true);  // same underlying queue
+    CO_ASSERT_OK(a);
+    CO_ASSERT_OK(b);
+    auto msg = g.PlaceString("x");
+    CO_ASSERT_OK(msg);
+    CO_ASSERT_OK(co_await g.Write(*a, *msg, 1));
+    auto buf = g.Malloc(16);
+    CO_ASSERT_OK(buf);
+    auto n = co_await g.Read(*b, *buf, 16);
+    CO_ASSERT_OK(n);
+    EXPECT_EQ(*n, 1);
+    co_return;
+  });
+}
+
+// --- VFS ---------------------------------------------------------------------------------------
+
+TEST(VfsSemantics, SeekSetCurEnd) {
+  RunGuest([](Guest& g) -> SimTask<void> {
+    auto fd = co_await g.Open("/seek", kOpenRead | kOpenWrite | kOpenCreate);
+    CO_ASSERT_OK(fd);
+    auto msg = g.PlaceString("0123456789");
+    CO_ASSERT_OK(msg);
+    CO_ASSERT_OK(co_await g.Write(*fd, *msg, 10));
+    auto pos = co_await g.Seek(*fd, 2, kSeekSet);
+    CO_ASSERT_OK(pos);
+    EXPECT_EQ(*pos, 2);
+    auto buf = g.Malloc(16);
+    CO_ASSERT_OK(buf);
+    auto n = co_await g.Read(*fd, *buf, 3);
+    CO_ASSERT_OK(n);
+    auto bytes = g.FetchBytes(*buf, 3);
+    CO_ASSERT_OK(bytes);
+    EXPECT_EQ(std::string(reinterpret_cast<const char*>(bytes->data()), 3), "234");
+    pos = co_await g.Seek(*fd, -2, kSeekEnd);
+    CO_ASSERT_OK(pos);
+    EXPECT_EQ(*pos, 8);
+    pos = co_await g.Seek(*fd, 1, kSeekCur);
+    CO_ASSERT_OK(pos);
+    EXPECT_EQ(*pos, 9);
+    EXPECT_EQ((co_await g.Seek(*fd, -100, kSeekSet)).code(), Code::kErrInval);
+    co_return;
+  });
+}
+
+TEST(VfsSemantics, AppendModeWritesAtEnd) {
+  RunGuest([](Guest& g) -> SimTask<void> {
+    auto fd = co_await g.Open("/log", kOpenWrite | kOpenCreate);
+    CO_ASSERT_OK(fd);
+    auto msg = g.PlaceString("base");
+    CO_ASSERT_OK(msg);
+    CO_ASSERT_OK(co_await g.Write(*fd, *msg, 4));
+    CO_ASSERT_OK(co_await g.Close(*fd));
+    auto afd = co_await g.Open("/log", kOpenWrite | kOpenAppend);
+    CO_ASSERT_OK(afd);
+    CO_ASSERT_OK(co_await g.Write(*afd, *msg, 4));
+    auto size = co_await g.FileSize("/log");
+    CO_ASSERT_OK(size);
+    EXPECT_EQ(*size, 8u);
+    co_return;
+  });
+}
+
+TEST(VfsSemantics, TruncateOnOpen) {
+  RunGuest([](Guest& g) -> SimTask<void> {
+    auto fd = co_await g.Open("/t", kOpenWrite | kOpenCreate);
+    CO_ASSERT_OK(fd);
+    auto msg = g.PlaceString("longcontent");
+    CO_ASSERT_OK(msg);
+    CO_ASSERT_OK(co_await g.Write(*fd, *msg, 11));
+    auto tfd = co_await g.Open("/t", kOpenWrite | kOpenTrunc);
+    CO_ASSERT_OK(tfd);
+    auto size = co_await g.FileSize("/t");
+    CO_ASSERT_OK(size);
+    EXPECT_EQ(*size, 0u);
+    co_return;
+  });
+}
+
+TEST(VfsSemantics, RenameReplacesTarget) {
+  RunGuest([](Guest& g) -> SimTask<void> {
+    auto a = co_await g.Open("/a", kOpenWrite | kOpenCreate);
+    auto b = co_await g.Open("/b", kOpenWrite | kOpenCreate);
+    CO_ASSERT_OK(a);
+    CO_ASSERT_OK(b);
+    auto msg = g.PlaceString("A-content");
+    CO_ASSERT_OK(msg);
+    CO_ASSERT_OK(co_await g.Write(*a, *msg, 9));
+    CO_ASSERT_OK(co_await g.Rename("/a", "/b"));
+    auto size = co_await g.FileSize("/b");
+    CO_ASSERT_OK(size);
+    EXPECT_EQ(*size, 9u);
+    EXPECT_EQ((co_await g.FileSize("/a")).code(), Code::kErrNoEnt);
+    co_return;
+  });
+}
+
+// --- descriptor table -----------------------------------------------------------------------
+
+TEST(FdSemantics, Dup2SharesOffset) {
+  RunGuest([](Guest& g) -> SimTask<void> {
+    auto fd = co_await g.Open("/dup", kOpenRead | kOpenWrite | kOpenCreate);
+    CO_ASSERT_OK(fd);
+    auto dup = co_await g.Dup2(*fd, 7);
+    CO_ASSERT_OK(dup);
+    EXPECT_EQ(*dup, 7);
+    auto msg = g.PlaceString("xyz");
+    CO_ASSERT_OK(msg);
+    CO_ASSERT_OK(co_await g.Write(*fd, *msg, 3));
+    // The duplicate shares the open file description, hence the offset.
+    auto pos = co_await g.Seek(7, 0, kSeekCur);
+    CO_ASSERT_OK(pos);
+    EXPECT_EQ(*pos, 3);
+    // Closing the original keeps the duplicate usable.
+    CO_ASSERT_OK(co_await g.Close(*fd));
+    CO_ASSERT_OK(co_await g.Write(7, *msg, 3));
+    auto size = co_await g.FileSize("/dup");
+    CO_ASSERT_OK(size);
+    EXPECT_EQ(*size, 6u);
+    co_return;
+  });
+}
+
+TEST(FdSemantics, BadDescriptorsRejected) {
+  RunGuest([](Guest& g) -> SimTask<void> {
+    auto buf = g.Malloc(16);
+    CO_ASSERT_OK(buf);
+    EXPECT_EQ((co_await g.Read(99, *buf, 4)).code(), Code::kErrBadFd);
+    EXPECT_EQ((co_await g.Close(-1)).code(), Code::kErrBadFd);
+    EXPECT_EQ((co_await g.Dup2(99, 5)).code(), Code::kErrBadFd);
+    EXPECT_EQ((co_await g.Dup2(0, kMaxFds + 3)).code(), Code::kErrBadFd);
+    co_return;
+  });
+}
+
+}  // namespace
+}  // namespace ufork

@@ -1,0 +1,196 @@
+// Tests for the capability-checked memory access engine: translation, capability faults,
+// resolvable CoW / capability-load (CoPA) faults, and cost charging.
+#include "src/machine/machine.h"
+
+#include <gtest/gtest.h>
+
+namespace ufork {
+namespace {
+
+class MachineTest : public ::testing::Test {
+ protected:
+  MachineTest() : machine_(MachineConfig{.phys_frames = 1024, .costs = {}}) {
+    machine_.set_cycle_sink([this](Cycles c) { charged_ += c; });
+  }
+
+  // Maps `pages` fresh frames at va_base with flags.
+  void MapRange(uint64_t va_base, int pages, uint32_t flags) {
+    for (int i = 0; i < pages; ++i) {
+      pt_.Map(va_base + static_cast<uint64_t>(i) * kPageSize,
+              machine_.frames().Allocate().value(), flags);
+    }
+  }
+
+  Capability DataCap(uint64_t base, uint64_t len, uint32_t perms = kPermAllData) {
+    return Capability::Root(base, len, perms);
+  }
+
+  Machine machine_;
+  PageTable pt_;
+  Cycles charged_ = 0;
+};
+
+TEST_F(MachineTest, ScalarRoundTrip) {
+  MapRange(0x10000, 1, kPteRw);
+  const Capability cap = DataCap(0x10000, kPageSize);
+  ASSERT_TRUE(machine_.StoreScalar<uint64_t>(pt_, cap, 0x10008, 0xfeedface).ok());
+  auto v = machine_.LoadScalar<uint64_t>(pt_, cap, 0x10008);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 0xfeedfaceu);
+  EXPECT_GT(charged_, 0u);
+}
+
+TEST_F(MachineTest, CrossPageAccessSpansFrames) {
+  MapRange(0x10000, 2, kPteRw);
+  const Capability cap = DataCap(0x10000, 2 * kPageSize);
+  std::vector<std::byte> out(256);
+  std::vector<std::byte> in(256, std::byte{0x5a});
+  ASSERT_TRUE(machine_.Store(pt_, cap, 0x10000 + kPageSize - 128, in).ok());
+  ASSERT_TRUE(machine_.Load(pt_, cap, 0x10000 + kPageSize - 128, out).ok());
+  EXPECT_EQ(out, in);
+}
+
+TEST_F(MachineTest, CapabilityBoundsFaultBeforeTranslation) {
+  const Capability cap = DataCap(0x10000, 16);
+  std::array<std::byte, 8> buf{};
+  EXPECT_EQ(machine_.Load(pt_, cap, 0x10010, buf).code(), Code::kFaultBounds);
+}
+
+TEST_F(MachineTest, UnmappedPageFaults) {
+  const Capability cap = DataCap(0x10000, kPageSize);
+  std::array<std::byte, 8> buf{};
+  EXPECT_EQ(machine_.Load(pt_, cap, 0x10000, buf).code(), Code::kFaultNotMapped);
+}
+
+TEST_F(MachineTest, WriteToReadOnlyPageFaults) {
+  MapRange(0x10000, 1, kPteRead);
+  const Capability cap = DataCap(0x10000, kPageSize);
+  std::array<std::byte, 8> buf{};
+  EXPECT_EQ(machine_.Store(pt_, cap, 0x10000, buf).code(), Code::kFaultPageProt);
+}
+
+TEST_F(MachineTest, CowWriteFaultIsResolvedAndRetried) {
+  MapRange(0x10000, 1, kPteRead | kPteCow);
+  int resolver_calls = 0;
+  machine_.set_fault_resolver([&](const PageFaultInfo& info) -> Result<void> {
+    ++resolver_calls;
+    EXPECT_EQ(info.kind, Code::kFaultPageProt);
+    EXPECT_TRUE(info.is_write);
+    EXPECT_EQ(info.va, 0x10000u);
+    info.page_table->SetFlags(info.va, kPteRw);  // "copy" resolved: grant write
+    return OkResult();
+  });
+  const Capability cap = DataCap(0x10000, kPageSize);
+  ASSERT_TRUE(machine_.StoreScalar<uint32_t>(pt_, cap, 0x10000, 1).ok());
+  EXPECT_EQ(resolver_calls, 1);
+  EXPECT_EQ(machine_.cow_faults(), 1u);
+  // Second write: no fault.
+  ASSERT_TRUE(machine_.StoreScalar<uint32_t>(pt_, cap, 0x10000, 2).ok());
+  EXPECT_EQ(resolver_calls, 1);
+}
+
+TEST_F(MachineTest, CowReadFaultOnNoAccessPage) {
+  // CoA: page mapped with no read permission but CoW bit set — any access resolves.
+  MapRange(0x10000, 1, kPteCow);
+  machine_.set_fault_resolver([&](const PageFaultInfo& info) -> Result<void> {
+    EXPECT_FALSE(info.is_write);
+    info.page_table->SetFlags(info.va, kPteRw);
+    return OkResult();
+  });
+  const Capability cap = DataCap(0x10000, kPageSize);
+  EXPECT_TRUE(machine_.LoadScalar<uint32_t>(pt_, cap, 0x10000).ok());
+}
+
+TEST_F(MachineTest, UnresolvedCowFaultPropagates) {
+  MapRange(0x10000, 1, kPteRead | kPteCow);
+  machine_.set_fault_resolver(
+      [](const PageFaultInfo&) -> Result<void> { return Code::kErrNoMem; });
+  const Capability cap = DataCap(0x10000, kPageSize);
+  std::array<std::byte, 4> buf{};
+  EXPECT_EQ(machine_.Store(pt_, cap, 0x10000, buf).code(), Code::kErrNoMem);
+}
+
+TEST_F(MachineTest, CapLoadFaultFiresOnlyForTaggedGranules) {
+  MapRange(0x10000, 1, kPteRead | kPteLoadCapFault | kPteCow);
+  // Plant a tagged capability at 0x10020 and an integer at 0x10040 via kernel stores.
+  machine_.KernelStoreCap(pt_, 0x10020, DataCap(0x10000, 64));
+  machine_.KernelStoreCap(pt_, 0x10040, Capability::Integer(1234));
+
+  int resolver_calls = 0;
+  machine_.set_fault_resolver([&](const PageFaultInfo& info) -> Result<void> {
+    ++resolver_calls;
+    EXPECT_EQ(info.kind, Code::kFaultCapLoadPage);
+    // Resolve by dropping the attribute (the fork engine would copy + relocate).
+    info.page_table->SetFlags(info.va, kPteRead);
+    return OkResult();
+  });
+
+  const Capability cap = DataCap(0x10000, kPageSize);
+  // Integer load: no fault even though the attribute is set.
+  auto integer = machine_.LoadCap(pt_, cap, 0x10040);
+  ASSERT_TRUE(integer.ok());
+  EXPECT_FALSE(integer->tag());
+  EXPECT_EQ(integer->address(), 1234u);
+  EXPECT_EQ(resolver_calls, 0);
+  // Tagged load: faults once, then succeeds.
+  auto tagged = machine_.LoadCap(pt_, cap, 0x10020);
+  ASSERT_TRUE(tagged.ok());
+  EXPECT_TRUE(tagged->tag());
+  EXPECT_EQ(resolver_calls, 1);
+  EXPECT_EQ(machine_.cap_load_faults(), 1u);
+}
+
+TEST_F(MachineTest, LoadCapRequiresLoadCapPermission) {
+  MapRange(0x10000, 1, kPteRead);
+  const Capability cap = DataCap(0x10000, kPageSize, kPermLoad);  // no LoadCap
+  EXPECT_EQ(machine_.LoadCap(pt_, cap, 0x10000).code(), Code::kFaultPermission);
+}
+
+TEST_F(MachineTest, StoreCapOfIntegerNeedsNoStoreCapPerm) {
+  MapRange(0x10000, 1, kPteRw);
+  const Capability cap = DataCap(0x10000, kPageSize, kPermLoad | kPermStore);
+  EXPECT_TRUE(machine_.StoreCap(pt_, cap, 0x10000, Capability::Integer(5)).ok());
+  // But storing a tagged capability requires kPermStoreCap.
+  EXPECT_EQ(machine_.StoreCap(pt_, cap, 0x10010, DataCap(0x10000, 16)).code(),
+            Code::kFaultPermission);
+}
+
+TEST_F(MachineTest, CapStoreThenDataOverwriteDropsTagThroughEngine) {
+  MapRange(0x10000, 1, kPteRw);
+  const Capability cap = DataCap(0x10000, kPageSize);
+  ASSERT_TRUE(machine_.StoreCap(pt_, cap, 0x10020, DataCap(0x10000, 32)).ok());
+  ASSERT_TRUE(machine_.StoreScalar<uint8_t>(pt_, cap, 0x10025, 0xff).ok());
+  auto loaded = machine_.LoadCap(pt_, cap, 0x10020);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded->tag());
+}
+
+TEST_F(MachineTest, GuestCopyMovesBytes) {
+  MapRange(0x10000, 4, kPteRw);
+  const Capability cap = DataCap(0x10000, 4 * kPageSize);
+  std::vector<std::byte> blob(3 * kPageSize / 2);
+  for (size_t i = 0; i < blob.size(); ++i) {
+    blob[i] = static_cast<std::byte>(i * 31);
+  }
+  ASSERT_TRUE(machine_.Store(pt_, cap, 0x10000, blob).ok());
+  ASSERT_TRUE(machine_.Copy(pt_, cap, 0x10000 + 2 * kPageSize, cap, 0x10000,
+                            blob.size()).ok());
+  std::vector<std::byte> out(blob.size());
+  ASSERT_TRUE(machine_.Load(pt_, cap, 0x10000 + 2 * kPageSize, out).ok());
+  EXPECT_EQ(out, blob);
+}
+
+TEST_F(MachineTest, BulkCostScalesWithSize) {
+  MapRange(0x10000, 16, kPteRw);
+  const Capability cap = DataCap(0x10000, 16 * kPageSize);
+  std::vector<std::byte> small(64), large(16 * kKiB);
+  charged_ = 0;
+  ASSERT_TRUE(machine_.Store(pt_, cap, 0x10000, small).ok());
+  const Cycles small_cost = charged_;
+  charged_ = 0;
+  ASSERT_TRUE(machine_.Store(pt_, cap, 0x10000, large).ok());
+  EXPECT_GT(charged_, small_cost * 10);
+}
+
+}  // namespace
+}  // namespace ufork

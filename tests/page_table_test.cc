@@ -1,0 +1,130 @@
+// Tests for the 4-level radix page table: map/unmap/protect, range walks across radix node
+// boundaries, and node accounting.
+#include "src/mem/page_table.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/cheri/capability.h"
+
+namespace ufork {
+namespace {
+
+TEST(PageTable, MapLookupUnmap) {
+  PageTable pt;
+  pt.Map(0x1000, 7, kPteRw);
+  const auto pte = pt.Lookup(0x1abc);  // any address within the page
+  ASSERT_TRUE(pte.has_value());
+  EXPECT_EQ(pte->frame, 7u);
+  EXPECT_EQ(pte->flags, static_cast<uint32_t>(kPteRw));
+  EXPECT_EQ(pt.mapped_pages(), 1u);
+  EXPECT_EQ(pt.Unmap(0x1000), 7u);
+  EXPECT_FALSE(pt.Lookup(0x1000).has_value());
+  EXPECT_EQ(pt.mapped_pages(), 0u);
+}
+
+TEST(PageTable, DistinctPagesAreIndependent) {
+  PageTable pt;
+  pt.Map(0x1000, 1, kPteRead);
+  pt.Map(0x2000, 2, kPteRw);
+  EXPECT_EQ(pt.Lookup(0x1000)->frame, 1u);
+  EXPECT_EQ(pt.Lookup(0x2000)->frame, 2u);
+  EXPECT_FALSE(pt.Lookup(0x3000).has_value());
+}
+
+TEST(PageTable, SetFlagsAndRemap) {
+  PageTable pt;
+  pt.Map(0x5000, 3, kPteRead | kPteCow);
+  pt.SetFlags(0x5000, kPteRw);
+  EXPECT_EQ(pt.Lookup(0x5000)->flags, static_cast<uint32_t>(kPteRw));
+  pt.Remap(0x5000, 9, kPteRead | kPteLoadCapFault);
+  EXPECT_EQ(pt.Lookup(0x5000)->frame, 9u);
+  EXPECT_EQ(pt.Lookup(0x5000)->flags, static_cast<uint32_t>(kPteRead | kPteLoadCapFault));
+}
+
+TEST(PageTable, HighAddressesWork) {
+  PageTable pt;
+  const uint64_t va = kVaTop - kPageSize;
+  pt.Map(va, 11, kPteRead);
+  EXPECT_EQ(pt.Lookup(va)->frame, 11u);
+}
+
+TEST(PageTable, ForEachMappedVisitsInOrderAcrossLeafBoundaries) {
+  PageTable pt;
+  // Pages straddling a leaf table boundary (512 pages per leaf = 2 MiB span).
+  const uint64_t two_mib = 512 * kPageSize;
+  std::vector<uint64_t> vas = {0x1000, two_mib - kPageSize, two_mib, two_mib + kPageSize,
+                               8 * two_mib + 5 * kPageSize};
+  FrameId f = 1;
+  for (uint64_t va : vas) {
+    pt.Map(va, f++, kPteRead);
+  }
+  std::vector<uint64_t> visited;
+  pt.ForEachMapped(0, kVaTop, [&](uint64_t va, Pte&) { visited.push_back(va); });
+  EXPECT_EQ(visited, vas);
+}
+
+TEST(PageTable, ForEachMappedHonoursRange) {
+  PageTable pt;
+  for (uint64_t i = 0; i < 20; ++i) {
+    pt.Map(0x10000 + i * kPageSize, i + 1, kPteRead);
+  }
+  uint64_t count = 0;
+  pt.ForEachMapped(0x10000 + 5 * kPageSize, 0x10000 + 11 * kPageSize,
+                   [&](uint64_t, const Pte&) { ++count; });
+  EXPECT_EQ(count, 6u);
+  EXPECT_EQ(pt.CountMapped(0, kVaTop), 20u);
+}
+
+TEST(PageTable, ForEachMappedCanMutateFlags) {
+  PageTable pt;
+  pt.Map(0x4000, 1, kPteRw);
+  pt.Map(0x8000, 2, kPteRw);
+  pt.ForEachMapped(0, kVaTop, [](uint64_t, Pte& pte) { pte.flags = kPteRead | kPteCow; });
+  EXPECT_EQ(pt.Lookup(0x4000)->flags, static_cast<uint32_t>(kPteRead | kPteCow));
+  EXPECT_EQ(pt.Lookup(0x8000)->flags, static_cast<uint32_t>(kPteRead | kPteCow));
+}
+
+TEST(PageTable, NodeCountGrowsWithSpread) {
+  PageTable pt;
+  const uint64_t n0 = pt.node_count();
+  pt.Map(0x1000, 1, kPteRead);
+  const uint64_t n1 = pt.node_count();
+  EXPECT_GT(n1, n0);
+  pt.Map(0x2000, 2, kPteRead);  // same leaf: no new nodes
+  EXPECT_EQ(pt.node_count(), n1);
+  pt.Map(1ULL << 40, 3, kPteRead);  // far away: new subtree
+  EXPECT_GT(pt.node_count(), n1);
+}
+
+// Property: a randomized sequence of map/unmap operations matches a reference std::map model.
+TEST(PageTableProperty, MatchesReferenceModel) {
+  PageTable pt;
+  std::map<uint64_t, Pte> model;
+  Rng rng(99);
+  for (int step = 0; step < 5000; ++step) {
+    const uint64_t va = rng.NextBelow(1ULL << 30) & ~(kPageSize - 1);
+    const bool mapped = model.count(va) != 0;
+    if (!mapped && rng.NextBelow(100) < 60) {
+      const FrameId frame = 1 + rng.NextBelow(1000);
+      const uint32_t flags = static_cast<uint32_t>(1 + rng.NextBelow(31));
+      pt.Map(va, frame, flags);
+      model[va] = Pte{frame, flags};
+    } else if (mapped) {
+      EXPECT_EQ(pt.Unmap(va), model[va].frame);
+      model.erase(va);
+    }
+  }
+  EXPECT_EQ(pt.mapped_pages(), model.size());
+  std::vector<uint64_t> visited;
+  pt.ForEachMapped(0, kVaTop, [&](uint64_t va, const Pte& pte) {
+    visited.push_back(va);
+    ASSERT_TRUE(model.count(va));
+    EXPECT_EQ(pte.frame, model[va].frame);
+    EXPECT_EQ(pte.flags, model[va].flags);
+  });
+  EXPECT_EQ(visited.size(), model.size());
+}
+
+}  // namespace
+}  // namespace ufork

@@ -1,0 +1,168 @@
+// Tests for the kernel introspection reports and the isolation-policy matrix (TEST_P over the
+// three isolation levels, checking exactly which protections each level enables).
+#include <gtest/gtest.h>
+
+#include "src/baseline/system.h"
+#include "src/guest/guest.h"
+#include "src/kernel/proc_report.h"
+#include "tests/guest_test_util.h"
+
+namespace ufork {
+namespace {
+
+TEST(ProcReport, TablesContainTheExpectedRows) {
+  KernelConfig config;
+  config.layout.heap_size = 1 * kMiB;
+  auto kernel = MakeUforkKernel(config);
+  std::string table;
+  std::string memmap;
+  std::string summary;
+  auto pid = kernel->Spawn(
+      MakeGuestEntry([&](Guest& g) -> SimTask<void> {
+        auto block = g.Malloc(64);
+        CO_ASSERT_OK(block);
+        CO_ASSERT_OK(g.GotStore(kGotSlotFirstUser, *block));
+        GuestFn child_fn = [&](Guest& cg) -> SimTask<void> {
+          // Snapshot the reports while parent + child coexist.
+          table = ProcessTableReport(cg.kernel());
+          memmap = MemoryMapReport(cg.kernel(), cg.pid());
+          summary = KernelSummaryReport(cg.kernel());
+          co_await cg.Exit(0);
+        };
+        auto child = co_await g.Fork(std::move(child_fn));
+        CO_ASSERT_OK(child);
+        (void)co_await g.Wait();
+      }),
+      "reportee");
+  ASSERT_TRUE(pid.ok());
+  kernel->Run();
+
+  EXPECT_NE(table.find("PID"), std::string::npos);
+  EXPECT_NE(table.find("reportee"), std::string::npos);
+  EXPECT_NE(table.find("reportee+"), std::string::npos) << "the forked child must be listed";
+  EXPECT_NE(memmap.find("heap"), std::string::npos);
+  EXPECT_NE(memmap.find("COPA-ARMED"), std::string::npos);
+  EXPECT_NE(summary.find("forks=1"), std::string::npos);
+  EXPECT_NE(summary.find("uFork"), std::string::npos);
+  EXPECT_EQ(MemoryMapReport(*kernel, 999), "(no such process)\n");
+}
+
+// --- isolation matrix -------------------------------------------------------------------------
+
+class IsolationMatrixTest : public ::testing::TestWithParam<IsolationLevel> {};
+
+INSTANTIATE_TEST_SUITE_P(Levels, IsolationMatrixTest,
+                         ::testing::Values(IsolationLevel::kNone, IsolationLevel::kFault,
+                                           IsolationLevel::kFull),
+                         [](const ::testing::TestParamInfo<IsolationLevel>& param_info) {
+                           return IsolationLevelName(param_info.param);
+                         });
+
+TEST_P(IsolationMatrixTest, PolicyBitsMatchTheLevel) {
+  const IsolationPolicy policy = IsolationPolicy::FromLevel(GetParam());
+  switch (GetParam()) {
+    case IsolationLevel::kNone:
+      EXPECT_FALSE(policy.confine_caps);
+      EXPECT_FALSE(policy.validate_args);
+      EXPECT_FALSE(policy.tocttou_protect);
+      break;
+    case IsolationLevel::kFault:
+      EXPECT_TRUE(policy.confine_caps);
+      EXPECT_TRUE(policy.validate_args);
+      EXPECT_FALSE(policy.tocttou_protect);
+      break;
+    case IsolationLevel::kFull:
+      EXPECT_TRUE(policy.confine_caps);
+      EXPECT_TRUE(policy.validate_args);
+      EXPECT_TRUE(policy.tocttou_protect);
+      break;
+  }
+}
+
+TEST_P(IsolationMatrixTest, CrossProcessReadMatchesPolicy) {
+  KernelConfig config;
+  config.layout.heap_size = 1 * kMiB;
+  config.isolation = GetParam();
+  auto kernel = MakeUforkKernel(config);
+  const bool confined = IsolationPolicy::FromLevel(GetParam()).confine_caps;
+  auto pid = kernel->Spawn(
+      MakeGuestEntry([confined](Guest& g) -> SimTask<void> {
+        auto secret = g.Malloc(16);
+        CO_ASSERT_OK(secret);
+        CO_ASSERT_OK(g.StoreAt<uint64_t>(*secret, 0, 77));
+        const uint64_t secret_va = secret->base();
+        auto child = co_await g.Fork([confined, secret_va](Guest& cg) -> SimTask<void> {
+          auto peek = cg.Load<uint64_t>(cg.ddc(), secret_va);
+          if (confined) {
+            EXPECT_EQ(peek.code(), Code::kFaultBounds);
+          } else {
+            CO_ASSERT_OK(peek);
+            EXPECT_EQ(*peek, 77u);
+          }
+          co_await cg.Exit(0);
+        });
+        CO_ASSERT_OK(child);
+        (void)co_await g.Wait();
+      }),
+      "matrix");
+  ASSERT_TRUE(pid.ok());
+  kernel->Run();
+}
+
+TEST_P(IsolationMatrixTest, TocttouCopiesOnlyAtFullIsolation) {
+  KernelConfig config;
+  config.layout.heap_size = 1 * kMiB;
+  config.isolation = GetParam();
+  auto kernel = MakeUforkKernel(config);
+  auto pid = kernel->Spawn(
+      MakeGuestEntry([](Guest& g) -> SimTask<void> {
+        auto fd = co_await g.Open("/f", kOpenWrite | kOpenCreate);
+        CO_ASSERT_OK(fd);
+        auto buf = g.PlaceString("payload");
+        CO_ASSERT_OK(buf);
+        CO_ASSERT_OK(co_await g.Write(*fd, *buf, 7));
+        co_return;
+      }),
+      "tocttou");
+  ASSERT_TRUE(pid.ok());
+  kernel->Run();
+  const bool protects = IsolationPolicy::FromLevel(GetParam()).tocttou_protect;
+  if (protects) {
+    EXPECT_GT(kernel->stats().tocttou_copies, 0u);
+  } else {
+    EXPECT_EQ(kernel->stats().tocttou_copies, 0u);
+  }
+}
+
+TEST(IsolationCost, LevelsArePricedInOrder) {
+  // Same workload, rising isolation: virtual completion time must be monotone.
+  auto run = [](IsolationLevel level) {
+    KernelConfig config;
+    config.layout.heap_size = 1 * kMiB;
+    config.isolation = level;
+    auto kernel = MakeUforkKernel(config);
+    auto pid = kernel->Spawn(
+        MakeGuestEntry([](Guest& g) -> SimTask<void> {
+          auto fd = co_await g.Open("/w", kOpenWrite | kOpenCreate);
+          CO_ASSERT_OK(fd);
+          auto buf = g.Malloc(4096);
+          CO_ASSERT_OK(buf);
+          for (int i = 0; i < 50; ++i) {
+            CO_ASSERT_OK(co_await g.Write(*fd, *buf, 4096));
+          }
+          co_return;
+        }),
+        "cost");
+    UF_CHECK(pid.ok());
+    kernel->Run();
+    return kernel->sched().CompletionTime();
+  };
+  const Cycles none = run(IsolationLevel::kNone);
+  const Cycles fault = run(IsolationLevel::kFault);
+  const Cycles full = run(IsolationLevel::kFull);
+  EXPECT_LT(none, fault);
+  EXPECT_LT(fault, full);
+}
+
+}  // namespace
+}  // namespace ufork

@@ -1,0 +1,323 @@
+// Tests for the discrete-event scheduler: virtual-time accounting, multi-core parallelism,
+// pinning, wait queues, locks, determinism, and kill semantics.
+#include "src/sched/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sched/sync.h"
+
+namespace ufork {
+namespace {
+
+TEST(Scheduler, SingleThreadChargesTime) {
+  Scheduler sched(1);
+  Cycles observed = 0;
+  sched.Spawn(
+      [](Scheduler& s, Cycles* out) -> SimTask<void> {
+        s.Charge(100);
+        *out = s.Now();
+        co_return;
+      }(sched, &observed),
+      "t");
+  sched.Run();
+  EXPECT_EQ(observed, 100u);
+  EXPECT_EQ(sched.CompletionTime(), 100u);
+}
+
+TEST(Scheduler, SleepAdvancesVirtualTime) {
+  Scheduler sched(1);
+  Cycles observed = 0;
+  sched.Spawn(
+      [](Scheduler& s, Cycles* out) -> SimTask<void> {
+        s.Charge(10);
+        co_await s.Sleep(1000);
+        s.Charge(5);
+        *out = s.Now();
+      }(sched, &observed),
+      "sleeper");
+  sched.Run();
+  EXPECT_EQ(observed, 1015u);
+}
+
+TEST(Scheduler, TwoThreadsOneCoreSerialize) {
+  Scheduler sched(1);
+  std::vector<std::pair<int, Cycles>> log;
+  for (int i = 0; i < 2; ++i) {
+    sched.Spawn(
+        [](Scheduler& s, int id, std::vector<std::pair<int, Cycles>>* l) -> SimTask<void> {
+          s.Charge(100);
+          l->emplace_back(id, s.Now());
+          co_return;
+        }(sched, i, &log),
+        "t" + std::to_string(i));
+  }
+  sched.Run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], std::make_pair(0, Cycles{100}));
+  EXPECT_EQ(log[1], std::make_pair(1, Cycles{200}));  // serialized on the single core
+}
+
+TEST(Scheduler, TwoThreadsTwoCoresRunInParallel) {
+  Scheduler sched(2);
+  std::vector<Cycles> ends;
+  for (int i = 0; i < 2; ++i) {
+    sched.Spawn(
+        [](Scheduler& s, std::vector<Cycles>* e) -> SimTask<void> {
+          s.Charge(100);
+          e->push_back(s.Now());
+          co_return;
+        }(sched, &ends),
+        "t" + std::to_string(i));
+  }
+  sched.Run();
+  ASSERT_EQ(ends.size(), 2u);
+  EXPECT_EQ(ends[0], 100u);
+  EXPECT_EQ(ends[1], 100u);  // parallel in virtual time
+  EXPECT_EQ(sched.CompletionTime(), 100u);
+}
+
+TEST(Scheduler, PinnedThreadsShareTheirCore) {
+  Scheduler sched(2);
+  std::vector<Cycles> ends;
+  for (int i = 0; i < 2; ++i) {
+    sched.Spawn(
+        [](Scheduler& s, std::vector<Cycles>* e) -> SimTask<void> {
+          s.Charge(100);
+          e->push_back(s.Now());
+          co_return;
+        }(sched, &ends),
+        "pinned" + std::to_string(i), /*pinned_core=*/0);
+  }
+  sched.Run();
+  ASSERT_EQ(ends.size(), 2u);
+  EXPECT_EQ(ends[1], 200u);  // both pinned to core 0: serialized despite 2 cores
+}
+
+TEST(Scheduler, NestedTaskReturnsValue) {
+  Scheduler sched(1);
+  int result = 0;
+  auto child = [](Scheduler& s) -> SimTask<int> {
+    s.Charge(7);
+    co_return 41;
+  };
+  sched.Spawn(
+      [](Scheduler& s, decltype(child) c, int* out) -> SimTask<void> {
+        const int v = co_await c(s);
+        *out = v + 1;
+      }(sched, child, &result),
+      "parent");
+  sched.Run();
+  EXPECT_EQ(result, 42);
+}
+
+TEST(Scheduler, NestedTaskBlockingUnwindsToScheduler) {
+  Scheduler sched(1);
+  WaitQueue queue(sched);
+  std::vector<int> order;
+  auto blocking_child = [](Scheduler&, WaitQueue& q, std::vector<int>* o) -> SimTask<int> {
+    o->push_back(1);
+    co_await q.Wait();  // suspends the whole coroutine stack
+    o->push_back(3);
+    co_return 9;
+  };
+  sched.Spawn(
+      [](Scheduler& s, WaitQueue& q, decltype(blocking_child) c,
+         std::vector<int>* o) -> SimTask<void> {
+        const int v = co_await c(s, q, o);
+        o->push_back(v);
+      }(sched, queue, blocking_child, &order),
+      "blocker");
+  sched.Spawn(
+      [](Scheduler& s, WaitQueue& q, std::vector<int>* o) -> SimTask<void> {
+        s.Charge(500);
+        o->push_back(2);
+        q.Wake();
+        co_return;
+      }(sched, queue, &order),
+      "waker");
+  sched.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 9}));
+}
+
+TEST(Scheduler, WakeStampsWakerTime) {
+  Scheduler sched(2);
+  WaitQueue queue(sched);
+  Cycles resumed_at = 0;
+  sched.Spawn(
+      [](Scheduler& s, WaitQueue& q, Cycles* out) -> SimTask<void> {
+        co_await q.Wait();  // blocks at t=0
+        *out = s.Now();
+      }(sched, queue, &resumed_at),
+      "waiter");
+  sched.Spawn(
+      [](Scheduler& s, WaitQueue& q) -> SimTask<void> {
+        s.Charge(2500);
+        q.Wake();
+        co_return;
+      }(sched, queue),
+      "waker");
+  sched.Run();
+  EXPECT_EQ(resumed_at, 2500u);  // not earlier than the waker's clock
+}
+
+TEST(Scheduler, ContextSwitchHookCharged) {
+  Scheduler sched(1);
+  sched.set_context_switch_hook([](SimThread*, SimThread*) -> Cycles { return 1000; });
+  std::vector<Cycles> ends;
+  for (int i = 0; i < 2; ++i) {
+    sched.Spawn(
+        [](Scheduler& s, std::vector<Cycles>* e) -> SimTask<void> {
+          s.Charge(10);
+          e->push_back(s.Now());
+          co_return;
+        }(sched, &ends),
+        "t" + std::to_string(i));
+  }
+  sched.Run();
+  ASSERT_EQ(ends.size(), 2u);
+  EXPECT_EQ(ends[0], 1010u);           // switch from idle
+  EXPECT_EQ(ends[1], 1010u + 1010u);   // second switch + work
+  EXPECT_EQ(sched.context_switches(), 2u);
+}
+
+TEST(Scheduler, YieldInterleavesEqualThreads) {
+  Scheduler sched(1);
+  std::vector<int> order;
+  for (int i = 0; i < 2; ++i) {
+    sched.Spawn(
+        [](Scheduler& s, int id, std::vector<int>* o) -> SimTask<void> {
+          for (int k = 0; k < 3; ++k) {
+            s.Charge(10);
+            o->push_back(id);
+            co_await s.Yield();
+          }
+        }(sched, i, &order),
+        "y" + std::to_string(i));
+  }
+  sched.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 0, 1, 0, 1}));
+}
+
+TEST(Scheduler, SpawnFromThreadStartsAtSpawnersTime) {
+  Scheduler sched(2);
+  Cycles child_start = 0;
+  sched.Spawn(
+      [](Scheduler& s, Cycles* out) -> SimTask<void> {
+        s.Charge(300);
+        s.Spawn(
+            [](Scheduler& s2, Cycles* o2) -> SimTask<void> {
+              *o2 = s2.Now();
+              co_return;
+            }(s, out),
+            "child");
+        s.Charge(50);
+        co_return;
+      }(sched, &child_start),
+      "parent");
+  sched.Run();
+  EXPECT_EQ(child_start, 300u);
+}
+
+TEST(Scheduler, KillRemovesReadyThread) {
+  Scheduler sched(1);
+  bool ran = false;
+  ThreadId victim = sched.Spawn(
+      [](bool* r) -> SimTask<void> {
+        *r = true;
+        co_return;
+      }(&ran),
+      "victim");
+  sched.Kill(victim);
+  sched.Run();
+  EXPECT_FALSE(ran);
+  EXPECT_FALSE(sched.IsAlive(victim));
+}
+
+TEST(Scheduler, KillBlockedThreadSkippedByWake) {
+  Scheduler sched(1);
+  WaitQueue queue(sched);
+  bool resumed = false;
+  ThreadId victim = sched.Spawn(
+      [](WaitQueue& q, bool* r) -> SimTask<void> {
+        co_await q.Wait();
+        *r = true;
+      }(queue, &resumed),
+      "victim");
+  sched.Spawn(
+      [](Scheduler& s, WaitQueue& q, ThreadId v) -> SimTask<void> {
+        s.Charge(10);
+        s.Kill(v);
+        q.Wake();
+        co_return;
+      }(sched, queue, victim),
+      "killer");
+  sched.Run();
+  EXPECT_FALSE(resumed);
+}
+
+TEST(VirtualLock, UncontendedAcquireDoesNotSuspend) {
+  Scheduler sched(1);
+  VirtualLock lock(sched);
+  bool done = false;
+  sched.Spawn(
+      [](Scheduler& s, VirtualLock& l, bool* d) -> SimTask<void> {
+        co_await l.Acquire();
+        s.Charge(10);
+        l.Release();
+        *d = true;
+      }(sched, lock, &done),
+      "t");
+  sched.Run();
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(lock.held());
+}
+
+TEST(VirtualLock, ContendedHandoffIsFifoAndTimed) {
+  Scheduler sched(3);
+  VirtualLock lock(sched);
+  std::vector<std::pair<int, Cycles>> critical;
+  for (int i = 0; i < 3; ++i) {
+    sched.Spawn(
+        [](Scheduler& s, VirtualLock& l, int id,
+           std::vector<std::pair<int, Cycles>>* log) -> SimTask<void> {
+          co_await l.Acquire();
+          s.Charge(100);
+          log->emplace_back(id, s.Now());
+          l.Release();
+        }(sched, lock, i, &critical),
+        "t" + std::to_string(i));
+  }
+  sched.Run();
+  ASSERT_EQ(critical.size(), 3u);
+  // FIFO handoff; each critical section starts after the previous one released.
+  EXPECT_EQ(critical[0].first, 0);
+  EXPECT_EQ(critical[1].first, 1);
+  EXPECT_EQ(critical[2].first, 2);
+  EXPECT_EQ(critical[0].second, 100u);
+  EXPECT_EQ(critical[1].second, 200u);
+  EXPECT_EQ(critical[2].second, 300u);
+}
+
+TEST(Scheduler, DeterministicAcrossRuns) {
+  auto run_once = []() {
+    Scheduler sched(3);
+    std::vector<int> order;
+    WaitQueue queue(sched);
+    for (int i = 0; i < 5; ++i) {
+      sched.Spawn(
+          [](Scheduler& s, int id, std::vector<int>* o) -> SimTask<void> {
+            s.Charge(static_cast<Cycles>(37 * (id + 1)));
+            co_await s.Yield();
+            s.Charge(11);
+            o->push_back(id);
+          }(sched, i, &order),
+          "t" + std::to_string(i));
+    }
+    sched.Run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace ufork

@@ -1,0 +1,221 @@
+// Tests for the two remaining fork usage patterns: the mini-shell (U1: fork + exec, with
+// redirections and pipelines) and the fork-server fuzzer (U5: fork to avoid per-case setup).
+#include <gtest/gtest.h>
+
+#include "src/apps/forkfuzz.h"
+#include "src/apps/shell.h"
+#include "src/baseline/system.h"
+#include "tests/guest_test_util.h"
+
+namespace ufork {
+namespace {
+
+KernelConfig ShellConfig() {
+  KernelConfig config;
+  config.layout.heap_size = 1 * kMiB;
+  return config;
+}
+
+// --- command-line parser (host-side unit tests) ----------------------------------------------
+
+TEST(ShellParser, PlainCommandWithArgs) {
+  auto cmd = ParseCommandLine("seq 10 extra");
+  ASSERT_TRUE(cmd.ok());
+  EXPECT_EQ(cmd->program, "seq");
+  EXPECT_EQ(cmd->args, (std::vector<std::string>{"10", "extra"}));
+  EXPECT_TRUE(cmd->stdin_file.empty());
+  EXPECT_TRUE(cmd->pipe_to.empty());
+}
+
+TEST(ShellParser, Redirections) {
+  auto cmd = ParseCommandLine("upper < in.txt > out.txt");
+  ASSERT_TRUE(cmd.ok());
+  EXPECT_EQ(cmd->program, "upper");
+  EXPECT_EQ(cmd->stdin_file, "in.txt");
+  EXPECT_EQ(cmd->stdout_file, "out.txt");
+}
+
+TEST(ShellParser, Pipeline) {
+  auto cmd = ParseCommandLine("seq 5 | count");
+  ASSERT_TRUE(cmd.ok());
+  EXPECT_EQ(cmd->program, "seq");
+  EXPECT_EQ(cmd->pipe_to, "count");
+}
+
+TEST(ShellParser, Errors) {
+  EXPECT_EQ(ParseCommandLine("").code(), Code::kErrInval);
+  EXPECT_EQ(ParseCommandLine("cat <").code(), Code::kErrInval);
+  EXPECT_EQ(ParseCommandLine("a | b extra").code(), Code::kErrInval);
+}
+
+// --- shell end to end ----------------------------------------------------------------------
+
+void RunShell(GuestFn fn) {
+  auto kernel = MakeUforkKernel(ShellConfig());
+  RegisterShellUtilities(*kernel);
+  auto pid = kernel->Spawn(MakeGuestEntry(std::move(fn)), "sh");
+  ASSERT_TRUE(pid.ok());
+  kernel->Run();
+}
+
+TEST(ShellTest, CatWithRedirections) {
+  RunShell([](Guest& g) -> SimTask<void> {
+    Shell shell(g);
+    // Seed the input file.
+    auto fd = co_await g.Open("/in.txt", kOpenWrite | kOpenCreate);
+    CO_ASSERT_OK(fd);
+    auto msg = g.PlaceString("hello shell\n");
+    CO_ASSERT_OK(msg);
+    CO_ASSERT_OK(co_await g.Write(*fd, *msg, 12));
+    CO_ASSERT_OK(co_await g.Close(*fd));
+
+    auto status = co_await shell.Run("cat < /in.txt > /out.txt");
+    CO_ASSERT_OK(status);
+    EXPECT_EQ(*status, 0);
+    auto out = co_await shell.Slurp("/out.txt");
+    CO_ASSERT_OK(out);
+    EXPECT_EQ(*out, "hello shell\n");
+  });
+}
+
+TEST(ShellTest, UpperFilter) {
+  RunShell([](Guest& g) -> SimTask<void> {
+    Shell shell(g);
+    auto fd = co_await g.Open("/in.txt", kOpenWrite | kOpenCreate);
+    CO_ASSERT_OK(fd);
+    auto msg = g.PlaceString("MiXeD case");
+    CO_ASSERT_OK(msg);
+    CO_ASSERT_OK(co_await g.Write(*fd, *msg, 10));
+    CO_ASSERT_OK(co_await g.Close(*fd));
+    auto status = co_await shell.Run("upper < /in.txt > /up.txt");
+    CO_ASSERT_OK(status);
+    EXPECT_EQ(*status, 0);
+    auto out = co_await shell.Slurp("/up.txt");
+    CO_ASSERT_OK(out);
+    EXPECT_EQ(*out, "MIXED CASE");
+  });
+}
+
+TEST(ShellTest, SeqWithArgumentAcrossExec) {
+  RunShell([](Guest& g) -> SimTask<void> {
+    Shell shell(g);
+    auto status = co_await shell.Run("seq 4 > /seq.txt");
+    CO_ASSERT_OK(status);
+    EXPECT_EQ(*status, 0);
+    auto out = co_await shell.Slurp("/seq.txt");
+    CO_ASSERT_OK(out);
+    EXPECT_EQ(*out, "1\n2\n3\n4\n");
+  });
+}
+
+TEST(ShellTest, PipelineSeqIntoCount) {
+  RunShell([](Guest& g) -> SimTask<void> {
+    Shell shell(g);
+    auto status = co_await shell.Run("seq 100 | count > /wc.txt");
+    CO_ASSERT_OK(status);
+    EXPECT_EQ(*status, 0);
+    auto out = co_await shell.Slurp("/wc.txt");
+    CO_ASSERT_OK(out);
+    // seq 1..100 emits 100 lines totalling 9*2 + 90*3 + 4 = 292 bytes.
+    EXPECT_EQ(*out, "100 292\n");
+  });
+}
+
+TEST(ShellTest, UnknownProgramExits127) {
+  RunShell([](Guest& g) -> SimTask<void> {
+    Shell shell(g);
+    auto status = co_await shell.Run("no-such-binary");
+    CO_ASSERT_OK(status);
+    EXPECT_EQ(*status, 127);
+  });
+}
+
+// --- fork-server fuzzer -------------------------------------------------------------------------
+
+TEST(ForkFuzz, FindsTheCrashDeterministically) {
+  auto kernel = MakeUforkKernel(ShellConfig());
+  FuzzStats stats;
+  auto pid = kernel->Spawn(
+      MakeGuestEntry([&stats](Guest& g) -> SimTask<void> {
+        const FuzzTarget target = MakeLookupTableTarget();
+        CO_ASSERT_OK(target.initialize(g));
+        co_await RunForkServer(g, target, /*iterations=*/120, /*seed=*/11, &stats);
+      }),
+      "fuzz");
+  ASSERT_TRUE(pid.ok());
+  kernel->Run();
+  EXPECT_EQ(stats.executions, 120u);
+  // Random 1-64 byte inputs hit the 0xEE trigger with probability ~12% per case.
+  EXPECT_GT(stats.crashes, 0u) << "the planted out-of-bounds bug must be caught";
+  EXPECT_LT(stats.crashes, stats.executions) << "clean inputs must pass";
+}
+
+TEST(ForkFuzz, CrashesDoNotCorruptTheServer) {
+  // After a crashing child, the next case must still see pristine initialized state.
+  auto kernel = MakeUforkKernel(ShellConfig());
+  bool post_crash_clean_run = false;
+  auto pid = kernel->Spawn(
+      MakeGuestEntry([&post_crash_clean_run](Guest& g) -> SimTask<void> {
+        const FuzzTarget target = MakeLookupTableTarget();
+        CO_ASSERT_OK(target.initialize(g));
+        // Case 1: guaranteed crash input.
+        FuzzStats crash_stats;
+        GuestFn crash_fn = [&target](Guest& cg) -> SimTask<void> {
+          const std::vector<std::byte> bad = {std::byte{0xEE}};
+          const Result<void> verdict = target.execute(cg, bad);
+          co_await cg.Exit(verdict.ok() ? 0 : 139);
+        };
+        auto crash_child = co_await g.Fork(std::move(crash_fn));
+        CO_ASSERT_OK(crash_child);
+        auto crash_wait = co_await g.Wait();
+        CO_ASSERT_OK(crash_wait);
+        EXPECT_EQ(crash_wait->status, 139);
+        (void)crash_stats;
+        // Case 2: clean input against the (unchanged) server state.
+        GuestFn clean_fn = [&target](Guest& cg) -> SimTask<void> {
+          const std::vector<std::byte> good = {std::byte{0x01}, std::byte{0x02}};
+          const Result<void> verdict = target.execute(cg, good);
+          co_await cg.Exit(verdict.ok() ? 0 : 139);
+        };
+        auto clean_child = co_await g.Fork(std::move(clean_fn));
+        CO_ASSERT_OK(clean_child);
+        auto clean_wait = co_await g.Wait();
+        CO_ASSERT_OK(clean_wait);
+        post_crash_clean_run = clean_wait->status == 0;
+      }),
+      "fuzz2");
+  ASSERT_TRUE(pid.ok());
+  kernel->Run();
+  EXPECT_TRUE(post_crash_clean_run);
+}
+
+TEST(ForkFuzz, ForkServerBeatsRespawn) {
+  // U5's whole point: amortizing initialization. Same cases, same seed.
+  auto run = [](bool fork_server) {
+    auto kernel = MakeUforkKernel(ShellConfig());
+    FuzzStats stats;
+    auto pid = kernel->Spawn(
+        MakeGuestEntry([&stats, fork_server](Guest& g) -> SimTask<void> {
+          const FuzzTarget target = MakeLookupTableTarget();
+          CO_ASSERT_OK(target.initialize(g));
+          if (fork_server) {
+            co_await RunForkServer(g, target, 40, 3, &stats);
+          } else {
+            co_await RunRespawnBaseline(g, target, 40, 3, &stats);
+          }
+        }),
+        "fuzz3");
+    UF_CHECK(pid.ok());
+    kernel->Run();
+    return stats;
+  };
+  const FuzzStats with_server = run(true);
+  const FuzzStats without = run(false);
+  EXPECT_EQ(with_server.executions, without.executions);
+  EXPECT_EQ(with_server.crashes, without.crashes) << "same seed, same verdicts";
+  EXPECT_LT(with_server.elapsed * 3, without.elapsed)
+      << "the fork server must amortize the per-case initialization";
+}
+
+}  // namespace
+}  // namespace ufork

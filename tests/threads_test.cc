@@ -1,0 +1,234 @@
+// Tests for multi-threaded μprocesses and futexes: threads share the μprocess region (no
+// isolation between threads, full isolation between μprocesses), fork copies only the calling
+// thread, exit/exec terminate siblings, and futexes synchronize both threads and — through
+// MAP_SHARED physical keying — separate μprocesses.
+#include <gtest/gtest.h>
+
+#include "src/baseline/system.h"
+#include "src/guest/guest.h"
+#include "tests/guest_test_util.h"
+
+namespace ufork {
+namespace {
+
+KernelConfig ThreadConfig() {
+  KernelConfig config;
+  config.layout.heap_size = 1 * kMiB;
+  config.cores = 4;
+  return config;
+}
+
+TEST(Threads, SharedMemoryAndJoin) {
+  auto kernel = MakeUforkKernel(ThreadConfig());
+  auto pid = kernel->Spawn(
+      MakeGuestEntry([](Guest& g) -> SimTask<void> {
+        auto counter = g.Malloc(16);
+        CO_ASSERT_OK(counter);
+        CO_ASSERT_OK(g.StoreAt<uint64_t>(*counter, 0, 0));
+        std::vector<ThreadId> tids;
+        for (int t = 0; t < 3; ++t) {
+          // Threads share the address space directly: same capabilities work unchanged.
+          auto tid = co_await g.ThreadCreate([counter = *counter](Guest& tg) -> SimTask<void> {
+            for (int i = 0; i < 100; ++i) {
+              auto v = tg.LoadAt<uint64_t>(counter, 0);
+              CO_ASSERT_OK(v);
+              CO_ASSERT_OK(tg.StoreAt<uint64_t>(counter, 0, *v + 1));
+              // Kernel code serializes on the BKL; guest slices are atomic in the DES, so
+              // this read-modify-write needs no further locking here.
+              co_await tg.Nanosleep(Microseconds(1));
+            }
+          });
+          CO_ASSERT_OK(tid);
+          tids.push_back(*tid);
+        }
+        for (const ThreadId tid : tids) {
+          CO_ASSERT_OK(co_await g.ThreadJoin(tid));
+        }
+        auto v = g.LoadAt<uint64_t>(*counter, 0);
+        CO_ASSERT_OK(v);
+        EXPECT_EQ(*v, 300u);
+        // Double join / foreign join reports an error.
+        EXPECT_EQ((co_await g.ThreadJoin(tids[0])).code(), Code::kErrSrch);
+      }),
+      "threads");
+  ASSERT_TRUE(pid.ok());
+  kernel->Run();
+}
+
+TEST(Threads, ForkCopiesOnlyTheCallingThread) {
+  auto kernel = MakeUforkKernel(ThreadConfig());
+  bool sibling_marker_seen_in_child = false;
+  auto pid = kernel->Spawn(
+      MakeGuestEntry([&sibling_marker_seen_in_child](Guest& g) -> SimTask<void> {
+        auto cell = g.Malloc(16);
+        CO_ASSERT_OK(cell);
+        CO_ASSERT_OK(g.StoreAt<uint64_t>(*cell, 0, 0));
+        CO_ASSERT_OK(g.GotStore(kGotSlotFirstUser, *cell));
+        // A sibling thread that keeps bumping the cell forever.
+        auto tid = co_await g.ThreadCreate([cell = *cell](Guest& tg) -> SimTask<void> {
+          for (int i = 0; i < 1000; ++i) {
+            CO_ASSERT_OK(tg.StoreAt<uint64_t>(cell, 0, 1));
+            co_await tg.Nanosleep(Microseconds(2));
+          }
+        });
+        CO_ASSERT_OK(tid);
+        co_await g.Nanosleep(Microseconds(5));  // the sibling has written at least once
+        auto child = co_await g.Fork([&sibling_marker_seen_in_child](Guest& cg) -> SimTask<void> {
+          // The child got exactly ONE thread. The sibling's pre-fork write is visible (memory
+          // was copied); the sibling itself was not duplicated, so the value stays frozen.
+          auto cap = cg.GotLoad(kGotSlotFirstUser);
+          CO_ASSERT_OK(cap);
+          auto before = cg.LoadAt<uint64_t>(*cap, 0);
+          CO_ASSERT_OK(before);
+          sibling_marker_seen_in_child = *before == 1;
+          CO_ASSERT_OK(cg.StoreAt<uint64_t>(*cap, 0, 42));
+          co_await cg.Nanosleep(Milliseconds(1));
+          auto after = cg.LoadAt<uint64_t>(*cap, 0);
+          CO_ASSERT_OK(after);
+          EXPECT_EQ(*after, 42u) << "no ghost sibling may be running in the child";
+          EXPECT_EQ(cg.uproc().threads.size(), 1u);
+          co_await cg.Exit(0);
+        });
+        CO_ASSERT_OK(child);
+        auto waited = co_await g.Wait();
+        CO_ASSERT_OK(waited);
+        EXPECT_EQ(waited->status, 0);
+        CO_ASSERT_OK(co_await g.ThreadJoin(*tid));
+      }),
+      "fork-thread");
+  ASSERT_TRUE(pid.ok());
+  kernel->Run();
+  EXPECT_TRUE(sibling_marker_seen_in_child);
+}
+
+TEST(Threads, ExitTerminatesSiblings) {
+  auto kernel = MakeUforkKernel(ThreadConfig());
+  int sibling_progress = 0;
+  auto pid = kernel->Spawn(
+      MakeGuestEntry([&sibling_progress](Guest& g) -> SimTask<void> {
+        auto child = co_await g.Fork([&sibling_progress](Guest& cg) -> SimTask<void> {
+          auto tid = co_await cg.ThreadCreate([&sibling_progress](Guest& tg) -> SimTask<void> {
+            for (;;) {
+              ++sibling_progress;
+              co_await tg.Nanosleep(Microseconds(10));
+            }
+          });
+          CO_ASSERT_OK(tid);
+          co_await cg.Nanosleep(Microseconds(35));
+          co_await cg.Exit(0);  // must take the infinite-loop sibling down with it
+        });
+        CO_ASSERT_OK(child);
+        auto waited = co_await g.Wait();
+        CO_ASSERT_OK(waited);
+        co_await g.Nanosleep(Milliseconds(1));
+      }),
+      "exit-threads");
+  ASSERT_TRUE(pid.ok());
+  kernel->Run();  // would deadlock/never drain if the sibling survived
+  EXPECT_GT(sibling_progress, 0);
+  EXPECT_LT(sibling_progress, 10) << "the sibling must have been stopped by exit()";
+}
+
+TEST(Futex, ThreadProducerConsumer) {
+  auto kernel = MakeUforkKernel(ThreadConfig());
+  std::vector<uint64_t> consumed;
+  auto pid = kernel->Spawn(
+      MakeGuestEntry([&consumed](Guest& g) -> SimTask<void> {
+        // Slot protocol: flag==0 -> empty, flag==1 -> full. One futex word, one data word.
+        auto slot = g.Malloc(32);
+        CO_ASSERT_OK(slot);
+        CO_ASSERT_OK(g.StoreAt<uint64_t>(*slot, 0, 0));
+        auto consumer = co_await g.ThreadCreate(
+            [slot = *slot, &consumed](Guest& tg) -> SimTask<void> {
+              for (int i = 0; i < 5; ++i) {
+                for (;;) {
+                  auto flag = tg.LoadAt<uint64_t>(slot, 0);
+                  CO_ASSERT_OK(flag);
+                  if (*flag == 1) {
+                    break;
+                  }
+                  (void)co_await tg.FutexWait(slot, slot.base(), 0);  // wait while empty
+                }
+                auto value = tg.LoadAt<uint64_t>(slot, 8);
+                CO_ASSERT_OK(value);
+                consumed.push_back(*value);
+                CO_ASSERT_OK(tg.StoreAt<uint64_t>(slot, 0, 0));
+                (void)co_await tg.FutexWake(slot, slot.base(), 1);
+              }
+            });
+        CO_ASSERT_OK(consumer);
+        for (uint64_t i = 0; i < 5; ++i) {
+          for (;;) {
+            auto flag = g.LoadAt<uint64_t>(*slot, 0);
+            CO_ASSERT_OK(flag);
+            if (*flag == 0) {
+              break;
+            }
+            (void)co_await g.FutexWait(*slot, slot->base(), 1);  // wait while full
+          }
+          CO_ASSERT_OK(g.StoreAt<uint64_t>(*slot, 8, 100 + i));
+          CO_ASSERT_OK(g.StoreAt<uint64_t>(*slot, 0, 1));
+          (void)co_await g.FutexWake(*slot, slot->base(), 1);
+        }
+        CO_ASSERT_OK(co_await g.ThreadJoin(*consumer));
+      }),
+      "futex");
+  ASSERT_TRUE(pid.ok());
+  kernel->Run();
+  EXPECT_EQ(consumed, (std::vector<uint64_t>{100, 101, 102, 103, 104}));
+}
+
+TEST(Futex, WaitReturnsEagainOnValueMismatch) {
+  auto kernel = MakeUforkKernel(ThreadConfig());
+  auto pid = kernel->Spawn(MakeGuestEntry([](Guest& g) -> SimTask<void> {
+                             auto word = g.Malloc(16);
+                             CO_ASSERT_OK(word);
+                             CO_ASSERT_OK(g.StoreAt<uint64_t>(*word, 0, 7));
+                             auto r = co_await g.FutexWait(*word, word->base(), 8);
+                             EXPECT_EQ(r.code(), Code::kErrAgain);
+                           }),
+                           "eagain");
+  ASSERT_TRUE(pid.ok());
+  kernel->Run();
+}
+
+TEST(Futex, CrossProcessThroughSharedMemory) {
+  // The futex key is the physical location: two μprocesses mapping the same shm object wake
+  // each other even though their windows live at different virtual addresses.
+  auto kernel = MakeUforkKernel(ThreadConfig());
+  uint64_t parent_observed = 0;
+  auto pid = kernel->Spawn(
+      MakeGuestEntry([&parent_observed](Guest& g) -> SimTask<void> {
+        auto shm = co_await g.ShmOpen("/shm/futex", kPageSize);
+        CO_ASSERT_OK(shm);
+        auto window = co_await g.ShmMap(*shm);
+        CO_ASSERT_OK(window);
+        CO_ASSERT_OK(g.Store<uint64_t>(*window, window->base(), 0));
+        auto child = co_await g.Fork([shm_id = *shm](Guest& cg) -> SimTask<void> {
+          auto w = co_await cg.ShmMap(shm_id);  // different VA, same frames
+          CO_ASSERT_OK(w);
+          co_await cg.Nanosleep(Microseconds(50));
+          CO_ASSERT_OK(cg.Store<uint64_t>(*w, w->base(), 99));
+          (void)co_await cg.FutexWake(*w, w->base(), 1);
+          co_await cg.Exit(0);
+        });
+        CO_ASSERT_OK(child);
+        for (;;) {
+          auto v = g.Load<uint64_t>(*window, window->base());
+          CO_ASSERT_OK(v);
+          if (*v != 0) {
+            parent_observed = *v;
+            break;
+          }
+          (void)co_await g.FutexWait(*window, window->base(), 0);
+        }
+        (void)co_await g.Wait();
+      }),
+      "shm-futex");
+  ASSERT_TRUE(pid.ok());
+  kernel->Run();
+  EXPECT_EQ(parent_observed, 99u);
+}
+
+}  // namespace
+}  // namespace ufork
