@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_redis_save.dir/bench_fig3_redis_save.cc.o"
+  "CMakeFiles/bench_fig3_redis_save.dir/bench_fig3_redis_save.cc.o.d"
+  "bench_fig3_redis_save"
+  "bench_fig3_redis_save.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_redis_save.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig3_redis_save.
+# This may be replaced when dependencies are built.

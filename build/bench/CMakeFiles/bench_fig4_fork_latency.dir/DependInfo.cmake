@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig4_fork_latency.cc" "bench/CMakeFiles/bench_fig4_fork_latency.dir/bench_fig4_fork_latency.cc.o" "gcc" "bench/CMakeFiles/bench_fig4_fork_latency.dir/bench_fig4_fork_latency.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/uf_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/uf_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/ufork/CMakeFiles/uf_ufork.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/uf_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/uf_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/uf_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/uf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cheri/CMakeFiles/uf_cheri.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/uf_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/uf_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

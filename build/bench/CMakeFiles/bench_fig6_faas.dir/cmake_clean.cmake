@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_faas.dir/bench_fig6_faas.cc.o"
+  "CMakeFiles/bench_fig6_faas.dir/bench_fig6_faas.cc.o.d"
+  "bench_fig6_faas"
+  "bench_fig6_faas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_faas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

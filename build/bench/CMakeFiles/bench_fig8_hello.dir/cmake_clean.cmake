@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_hello.dir/bench_fig8_hello.cc.o"
+  "CMakeFiles/bench_fig8_hello.dir/bench_fig8_hello.cc.o.d"
+  "bench_fig8_hello"
+  "bench_fig8_hello.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_hello.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

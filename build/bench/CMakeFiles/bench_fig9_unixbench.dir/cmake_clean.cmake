@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_unixbench.dir/bench_fig9_unixbench.cc.o"
+  "CMakeFiles/bench_fig9_unixbench.dir/bench_fig9_unixbench.cc.o.d"
+  "bench_fig9_unixbench"
+  "bench_fig9_unixbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_unixbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

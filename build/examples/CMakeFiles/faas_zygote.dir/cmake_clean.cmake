@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faas_zygote.dir/faas_zygote.cpp.o"
+  "CMakeFiles/faas_zygote.dir/faas_zygote.cpp.o.d"
+  "faas_zygote"
+  "faas_zygote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faas_zygote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzzing_demo.dir/fuzzing_demo.cpp.o"
+  "CMakeFiles/fuzzing_demo.dir/fuzzing_demo.cpp.o.d"
+  "fuzzing_demo"
+  "fuzzing_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzzing_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

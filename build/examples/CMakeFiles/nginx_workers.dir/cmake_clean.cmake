@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nginx_workers.dir/nginx_workers.cpp.o"
+  "CMakeFiles/nginx_workers.dir/nginx_workers.cpp.o.d"
+  "nginx_workers"
+  "nginx_workers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nginx_workers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

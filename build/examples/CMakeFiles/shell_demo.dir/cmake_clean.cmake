@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shell_demo.dir/shell_demo.cpp.o"
+  "CMakeFiles/shell_demo.dir/shell_demo.cpp.o.d"
+  "shell_demo"
+  "shell_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shell_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/faas.cc" "src/apps/CMakeFiles/uf_apps.dir/faas.cc.o" "gcc" "src/apps/CMakeFiles/uf_apps.dir/faas.cc.o.d"
+  "/root/repo/src/apps/forkfuzz.cc" "src/apps/CMakeFiles/uf_apps.dir/forkfuzz.cc.o" "gcc" "src/apps/CMakeFiles/uf_apps.dir/forkfuzz.cc.o.d"
+  "/root/repo/src/apps/httpd.cc" "src/apps/CMakeFiles/uf_apps.dir/httpd.cc.o" "gcc" "src/apps/CMakeFiles/uf_apps.dir/httpd.cc.o.d"
+  "/root/repo/src/apps/miniredis.cc" "src/apps/CMakeFiles/uf_apps.dir/miniredis.cc.o" "gcc" "src/apps/CMakeFiles/uf_apps.dir/miniredis.cc.o.d"
+  "/root/repo/src/apps/shell.cc" "src/apps/CMakeFiles/uf_apps.dir/shell.cc.o" "gcc" "src/apps/CMakeFiles/uf_apps.dir/shell.cc.o.d"
+  "/root/repo/src/apps/unixbench.cc" "src/apps/CMakeFiles/uf_apps.dir/unixbench.cc.o" "gcc" "src/apps/CMakeFiles/uf_apps.dir/unixbench.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/guest/CMakeFiles/uf_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/uf_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/uf_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/uf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cheri/CMakeFiles/uf_cheri.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/uf_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/uf_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

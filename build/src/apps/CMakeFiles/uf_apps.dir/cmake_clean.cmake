@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uf_apps.dir/faas.cc.o"
+  "CMakeFiles/uf_apps.dir/faas.cc.o.d"
+  "CMakeFiles/uf_apps.dir/forkfuzz.cc.o"
+  "CMakeFiles/uf_apps.dir/forkfuzz.cc.o.d"
+  "CMakeFiles/uf_apps.dir/httpd.cc.o"
+  "CMakeFiles/uf_apps.dir/httpd.cc.o.d"
+  "CMakeFiles/uf_apps.dir/miniredis.cc.o"
+  "CMakeFiles/uf_apps.dir/miniredis.cc.o.d"
+  "CMakeFiles/uf_apps.dir/shell.cc.o"
+  "CMakeFiles/uf_apps.dir/shell.cc.o.d"
+  "CMakeFiles/uf_apps.dir/unixbench.cc.o"
+  "CMakeFiles/uf_apps.dir/unixbench.cc.o.d"
+  "libuf_apps.a"
+  "libuf_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uf_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

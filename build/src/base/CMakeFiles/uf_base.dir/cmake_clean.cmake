@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uf_base.dir/check.cc.o"
+  "CMakeFiles/uf_base.dir/check.cc.o.d"
+  "CMakeFiles/uf_base.dir/log.cc.o"
+  "CMakeFiles/uf_base.dir/log.cc.o.d"
+  "CMakeFiles/uf_base.dir/status.cc.o"
+  "CMakeFiles/uf_base.dir/status.cc.o.d"
+  "libuf_base.a"
+  "libuf_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uf_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

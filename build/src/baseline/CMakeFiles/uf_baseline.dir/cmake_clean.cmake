@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uf_baseline.dir/mas_backend.cc.o"
+  "CMakeFiles/uf_baseline.dir/mas_backend.cc.o.d"
+  "CMakeFiles/uf_baseline.dir/vmclone_backend.cc.o"
+  "CMakeFiles/uf_baseline.dir/vmclone_backend.cc.o.d"
+  "libuf_baseline.a"
+  "libuf_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uf_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uf_cheri.dir/capability.cc.o"
+  "CMakeFiles/uf_cheri.dir/capability.cc.o.d"
+  "CMakeFiles/uf_cheri.dir/compressed_cap.cc.o"
+  "CMakeFiles/uf_cheri.dir/compressed_cap.cc.o.d"
+  "libuf_cheri.a"
+  "libuf_cheri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uf_cheri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for uf_cheri.
+# This may be replaced when dependencies are built.

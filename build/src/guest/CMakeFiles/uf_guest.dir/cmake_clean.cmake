@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uf_guest.dir/containers.cc.o"
+  "CMakeFiles/uf_guest.dir/containers.cc.o.d"
+  "CMakeFiles/uf_guest.dir/guest.cc.o"
+  "CMakeFiles/uf_guest.dir/guest.cc.o.d"
+  "CMakeFiles/uf_guest.dir/tinyalloc.cc.o"
+  "CMakeFiles/uf_guest.dir/tinyalloc.cc.o.d"
+  "libuf_guest.a"
+  "libuf_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uf_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/fd.cc" "src/kernel/CMakeFiles/uf_kernel.dir/fd.cc.o" "gcc" "src/kernel/CMakeFiles/uf_kernel.dir/fd.cc.o.d"
+  "/root/repo/src/kernel/kernel.cc" "src/kernel/CMakeFiles/uf_kernel.dir/kernel.cc.o" "gcc" "src/kernel/CMakeFiles/uf_kernel.dir/kernel.cc.o.d"
+  "/root/repo/src/kernel/mqueue.cc" "src/kernel/CMakeFiles/uf_kernel.dir/mqueue.cc.o" "gcc" "src/kernel/CMakeFiles/uf_kernel.dir/mqueue.cc.o.d"
+  "/root/repo/src/kernel/pipe.cc" "src/kernel/CMakeFiles/uf_kernel.dir/pipe.cc.o" "gcc" "src/kernel/CMakeFiles/uf_kernel.dir/pipe.cc.o.d"
+  "/root/repo/src/kernel/proc_report.cc" "src/kernel/CMakeFiles/uf_kernel.dir/proc_report.cc.o" "gcc" "src/kernel/CMakeFiles/uf_kernel.dir/proc_report.cc.o.d"
+  "/root/repo/src/kernel/vfs.cc" "src/kernel/CMakeFiles/uf_kernel.dir/vfs.cc.o" "gcc" "src/kernel/CMakeFiles/uf_kernel.dir/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/uf_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/cheri/CMakeFiles/uf_cheri.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/uf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/uf_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/uf_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uf_kernel.dir/fd.cc.o"
+  "CMakeFiles/uf_kernel.dir/fd.cc.o.d"
+  "CMakeFiles/uf_kernel.dir/kernel.cc.o"
+  "CMakeFiles/uf_kernel.dir/kernel.cc.o.d"
+  "CMakeFiles/uf_kernel.dir/mqueue.cc.o"
+  "CMakeFiles/uf_kernel.dir/mqueue.cc.o.d"
+  "CMakeFiles/uf_kernel.dir/pipe.cc.o"
+  "CMakeFiles/uf_kernel.dir/pipe.cc.o.d"
+  "CMakeFiles/uf_kernel.dir/proc_report.cc.o"
+  "CMakeFiles/uf_kernel.dir/proc_report.cc.o.d"
+  "CMakeFiles/uf_kernel.dir/vfs.cc.o"
+  "CMakeFiles/uf_kernel.dir/vfs.cc.o.d"
+  "libuf_kernel.a"
+  "libuf_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uf_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uf_machine.dir/machine.cc.o"
+  "CMakeFiles/uf_machine.dir/machine.cc.o.d"
+  "libuf_machine.a"
+  "libuf_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uf_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

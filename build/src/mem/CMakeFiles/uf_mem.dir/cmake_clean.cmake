@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uf_mem.dir/address_space.cc.o"
+  "CMakeFiles/uf_mem.dir/address_space.cc.o.d"
+  "CMakeFiles/uf_mem.dir/frame_allocator.cc.o"
+  "CMakeFiles/uf_mem.dir/frame_allocator.cc.o.d"
+  "CMakeFiles/uf_mem.dir/page_table.cc.o"
+  "CMakeFiles/uf_mem.dir/page_table.cc.o.d"
+  "libuf_mem.a"
+  "libuf_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uf_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

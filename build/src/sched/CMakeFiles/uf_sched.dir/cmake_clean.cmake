@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uf_sched.dir/scheduler.cc.o"
+  "CMakeFiles/uf_sched.dir/scheduler.cc.o.d"
+  "libuf_sched.a"
+  "libuf_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uf_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

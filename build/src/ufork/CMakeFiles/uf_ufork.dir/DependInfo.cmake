@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ufork/compaction.cc" "src/ufork/CMakeFiles/uf_ufork.dir/compaction.cc.o" "gcc" "src/ufork/CMakeFiles/uf_ufork.dir/compaction.cc.o.d"
+  "/root/repo/src/ufork/relocate.cc" "src/ufork/CMakeFiles/uf_ufork.dir/relocate.cc.o" "gcc" "src/ufork/CMakeFiles/uf_ufork.dir/relocate.cc.o.d"
+  "/root/repo/src/ufork/ufork_backend.cc" "src/ufork/CMakeFiles/uf_ufork.dir/ufork_backend.cc.o" "gcc" "src/ufork/CMakeFiles/uf_ufork.dir/ufork_backend.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/uf_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/uf_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/uf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cheri/CMakeFiles/uf_cheri.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/uf_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/uf_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

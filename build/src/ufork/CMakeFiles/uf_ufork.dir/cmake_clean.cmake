@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uf_ufork.dir/compaction.cc.o"
+  "CMakeFiles/uf_ufork.dir/compaction.cc.o.d"
+  "CMakeFiles/uf_ufork.dir/relocate.cc.o"
+  "CMakeFiles/uf_ufork.dir/relocate.cc.o.d"
+  "CMakeFiles/uf_ufork.dir/ufork_backend.cc.o"
+  "CMakeFiles/uf_ufork.dir/ufork_backend.cc.o.d"
+  "libuf_ufork.a"
+  "libuf_ufork.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uf_ufork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressed_cap_test.dir/compressed_cap_test.cc.o"
+  "CMakeFiles/compressed_cap_test.dir/compressed_cap_test.cc.o.d"
+  "compressed_cap_test"
+  "compressed_cap_test.pdb"
+  "compressed_cap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressed_cap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coroutine_lifetime_test.dir/coroutine_lifetime_test.cc.o"
+  "CMakeFiles/coroutine_lifetime_test.dir/coroutine_lifetime_test.cc.o.d"
+  "coroutine_lifetime_test"
+  "coroutine_lifetime_test.pdb"
+  "coroutine_lifetime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coroutine_lifetime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fork_semantics_test.dir/fork_semantics_test.cc.o"
+  "CMakeFiles/fork_semantics_test.dir/fork_semantics_test.cc.o.d"
+  "fork_semantics_test"
+  "fork_semantics_test.pdb"
+  "fork_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fork_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gvector_test.dir/gvector_test.cc.o"
+  "CMakeFiles/gvector_test.dir/gvector_test.cc.o.d"
+  "gvector_test"
+  "gvector_test.pdb"
+  "gvector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gvector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

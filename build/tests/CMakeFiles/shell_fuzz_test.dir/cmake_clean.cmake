@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shell_fuzz_test.dir/shell_fuzz_test.cc.o"
+  "CMakeFiles/shell_fuzz_test.dir/shell_fuzz_test.cc.o.d"
+  "shell_fuzz_test"
+  "shell_fuzz_test.pdb"
+  "shell_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shell_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

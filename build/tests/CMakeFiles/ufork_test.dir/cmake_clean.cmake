@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ufork_test.dir/ufork_test.cc.o"
+  "CMakeFiles/ufork_test.dir/ufork_test.cc.o.d"
+  "ufork_test"
+  "ufork_test.pdb"
+  "ufork_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ufork_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/capability_test[1]_include.cmake")
+include("/root/repo/build/tests/compressed_cap_test[1]_include.cmake")
+include("/root/repo/build/tests/frame_test[1]_include.cmake")
+include("/root/repo/build/tests/page_table_test[1]_include.cmake")
+include("/root/repo/build/tests/address_space_test[1]_include.cmake")
+include("/root/repo/build/tests/scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/coroutine_lifetime_test[1]_include.cmake")
+include("/root/repo/build/tests/ufork_test[1]_include.cmake")
+include("/root/repo/build/tests/guest_test[1]_include.cmake")
+include("/root/repo/build/tests/posix_test[1]_include.cmake")
+include("/root/repo/build/tests/fork_semantics_test[1]_include.cmake")
+include("/root/repo/build/tests/ipc_test[1]_include.cmake")
+include("/root/repo/build/tests/base_test[1]_include.cmake")
+include("/root/repo/build/tests/shell_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/gvector_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/threads_test[1]_include.cmake")
