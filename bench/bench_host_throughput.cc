@@ -1,0 +1,201 @@
+// Host (wall-clock) throughput of the simulator itself — the benchmark gate for host-side
+// optimization PRs.
+//
+// Every other bench in this directory reports *virtual* time from the calibrated cost model;
+// this one reports how many nanoseconds of host CPU the simulator spends producing each unit of
+// simulated work. It pins the hot paths the ROADMAP's "runs as fast as the hardware allows"
+// goal depends on:
+//   * TaggedPageCopyRelocate — the §4.2 inner loop: allocate a frame, copy a 4 KiB tagged
+//     page, rank-select scan + rebase every tagged capability, release the frame. This is the
+//     per-page cost of every CoW/CoA/CoPA resolution and every eager fork copy.
+//   * SimulatedFork — end-to-end hello-world fork+exit+wait round trips per host second,
+//     across the three systems.
+//   * CopaFaultResolution — a forked child chasing tagged pointers through shared pages; host
+//     cost per resolved capability-load fault.
+//   * SyscallGetPid — host cost per trivial simulated syscall (sealed entry / trap /
+//     hypercall all exercise the same host-side syscall scaffolding).
+//   * RedisSaveEndToEnd — host runtime of one Fig. 3 Redis BGSAVE run (10 MB database), the
+//     macro workload whose heap (≈35k frames) pays for the frame hot path on every run.
+//
+// `bench/run_benches.sh` writes the JSON results to BENCH_host_throughput.json; EXPERIMENTS.md
+// records the trajectory. Virtual-time results are pinned separately by
+// tests/golden_cycles_test.cc — host optimizations must move THIS file's numbers and nothing
+// there.
+#include "bench/redis_bench_util.h"
+#include "src/ufork/relocate.h"
+
+namespace ufork {
+namespace bench {
+namespace {
+
+// --- TaggedPageCopyRelocate ---------------------------------------------------------------------
+
+// One simulated page copy as performed by UforkBackend::CopyAndRelocate: recycle a frame from
+// the allocator, copy data + tags, relocate every tagged capability into the child region.
+void TaggedPageCopyRelocate(::benchmark::State& state) {
+  const uint64_t tagged_granules = static_cast<uint64_t>(state.range(0));
+  AddressSpace as(4 * kGiB, 8 * kGiB);
+  const uint64_t region_size = 4 * kMiB;
+  const uint64_t parent = as.AllocateRegion(region_size, 2 * kMiB).value();
+  const uint64_t child = as.AllocateRegion(region_size, 2 * kMiB).value();
+
+  Frame src;
+  for (uint64_t i = 0; i < kPageSize / sizeof(uint64_t); ++i) {
+    const uint64_t v = 0x9e3779b97f4a7c15ULL * (i + 1);
+    src.Write(i * sizeof(uint64_t), std::as_bytes(std::span(&v, 1)));
+  }
+  // Spread the tagged capabilities evenly over the page, all pointing into the parent region
+  // (the common case: every one must be rebased).
+  const uint64_t stride = kGranulesPerPage / std::max<uint64_t>(1, tagged_granules);
+  for (uint64_t t = 0; t < tagged_granules; ++t) {
+    const uint64_t granule = t * stride;
+    src.StoreCap(granule * kCapSize,
+                 Capability::Root(parent + 0x1000 + t * 64, 64, kPermAllData));
+  }
+
+  FrameAllocator alloc(/*max_frames=*/4);
+  uint64_t relocated = 0;
+  for (auto _ : state) {
+    const FrameId id = alloc.AllocateForCopy().value();
+    Frame& dst = alloc.frame(id);
+    dst.CopyFrom(src);
+    const RelocationResult reloc = RelocateFrameInto(dst, as, child, region_size);
+    relocated += reloc.relocated;
+    ::benchmark::DoNotOptimize(relocated);
+    alloc.Release(id);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["caps_per_page"] = static_cast<double>(tagged_granules);
+}
+
+BENCHMARK(TaggedPageCopyRelocate)->Arg(0)->Arg(8)->Arg(64)->Arg(256);
+
+// --- SimulatedFork ------------------------------------------------------------------------------
+
+constexpr int kForksPerRun = 20;
+
+// One complete hello-world run: fork kForksPerRun children sequentially, each exits, parent
+// waits. Host time per simulated fork is the figure of merit.
+void SimulatedFork(::benchmark::State& state, System system) {
+  SystemConfig sc;
+  sc.system = system;
+  sc.layout = HelloLayout();
+  for (auto _ : state) {
+    RunGuestMain(sc, [](Guest& g) -> SimTask<void> {
+      for (int i = 0; i < kForksPerRun; ++i) {
+        GuestFn child_fn = [](Guest& cg) -> SimTask<void> {
+          auto block = cg.Malloc(64);
+          UF_CHECK(block.ok());
+          co_await cg.Exit(0);
+        };
+        auto child = co_await g.Fork(std::move(child_fn));
+        UF_CHECK(child.ok());
+        auto waited = co_await g.Wait();
+        UF_CHECK(waited.ok());
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kForksPerRun);
+}
+
+BENCHMARK_CAPTURE(SimulatedFork, uFork, System::kUfork);
+BENCHMARK_CAPTURE(SimulatedFork, CheriBSD, System::kCheriBsd);
+BENCHMARK_CAPTURE(SimulatedFork, Nephele, System::kNephele);
+
+// --- CopaFaultResolution ------------------------------------------------------------------------
+
+constexpr uint64_t kCopaBlocks = 256;    // tagged chain spread over ~128 heap pages
+constexpr uint64_t kCopaBlockBytes = 2048;
+
+// Parent builds a long capability chain, the forked child chases it: every page's first tagged
+// load raises a CoPA fault (copy + relocate). Items = resolved cap-load faults.
+void CopaFaultResolution(::benchmark::State& state) {
+  SystemConfig sc;
+  sc.system = System::kUfork;
+  sc.layout = HelloLayout();
+  sc.layout.heap_size = 4 * kMiB;
+  uint64_t faults = 0;
+  for (auto _ : state) {
+    auto kernel = RunGuestMain(sc, [](Guest& g) -> SimTask<void> {
+      Capability prev;
+      for (uint64_t i = 0; i < kCopaBlocks; ++i) {
+        auto block = g.Malloc(kCopaBlockBytes);
+        UF_CHECK(block.ok());
+        if (i == 0) {
+          UF_CHECK(g.GotStore(kGotSlotFirstUser, *block).ok());
+        } else {
+          UF_CHECK(g.StoreCap(prev, prev.base(), *block).ok());
+        }
+        prev = *block;
+      }
+      UF_CHECK(g.StoreCap(prev, prev.base(), Capability::Integer(0)).ok());
+      GuestFn child_fn = [](Guest& cg) -> SimTask<void> {
+        auto head = cg.GotLoad(kGotSlotFirstUser);
+        UF_CHECK(head.ok());
+        Capability cursor = *head;
+        uint64_t visited = 0;
+        while (cursor.tag()) {
+          auto next = cg.LoadCap(cursor, cursor.base());
+          UF_CHECK(next.ok());
+          cursor = *next;
+          ++visited;
+        }
+        co_await cg.Exit(visited == kCopaBlocks ? 0 : 1);
+      };
+      auto child = co_await g.Fork(std::move(child_fn));
+      UF_CHECK(child.ok());
+      auto waited = co_await g.Wait();
+      UF_CHECK(waited.ok() && waited->status == 0);
+    });
+    faults += kernel->machine().cap_load_faults();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(faults));
+}
+
+BENCHMARK(CopaFaultResolution);
+
+// --- SyscallGetPid ------------------------------------------------------------------------------
+
+constexpr int kSyscallsPerRun = 2000;
+
+void SyscallGetPid(::benchmark::State& state, System system) {
+  SystemConfig sc;
+  sc.system = system;
+  sc.layout = HelloLayout();
+  for (auto _ : state) {
+    RunGuestMain(sc, [](Guest& g) -> SimTask<void> {
+      for (int i = 0; i < kSyscallsPerRun; ++i) {
+        auto pid = co_await g.GetPid();
+        UF_CHECK(pid.ok());
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kSyscallsPerRun);
+}
+
+BENCHMARK_CAPTURE(SyscallGetPid, uFork, System::kUfork);
+BENCHMARK_CAPTURE(SyscallGetPid, CheriBSD, System::kCheriBsd);
+BENCHMARK_CAPTURE(SyscallGetPid, Nephele, System::kNephele);
+
+// --- RedisSaveEndToEnd --------------------------------------------------------------------------
+
+// Full Fig. 3 run at 10 MB: populate, fork, serialize, verify. Host runtime of the macro
+// workload — the end-to-end number the per-page optimizations must move.
+void RedisSaveEndToEnd(::benchmark::State& state) {
+  SystemConfig sc;
+  sc.system = System::kUfork;
+  sc.layout = RedisLayout();
+  for (auto _ : state) {
+    const RedisRunResult result = RunRedisBgSave(sc, 10 * kMiB);
+    ::benchmark::DoNotOptimize(result.save_elapsed);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+BENCHMARK(RedisSaveEndToEnd)->Unit(::benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ufork
+
+BENCHMARK_MAIN();

@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Runs the host-throughput benchmark gate and records the results.
+#
+#   bench/run_benches.sh [build-dir] [output-json]
+#
+# Defaults: build-dir = build, output-json = BENCH_host_throughput.json (repo root). The JSON
+# is committed so the wall-clock trajectory of the simulator is tracked PR over PR; compare a
+# working tree against it before merging host-side changes (see EXPERIMENTS.md "Host
+# throughput").
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"${repo_root}/build"}"
+out_json="${2:-"${repo_root}/BENCH_host_throughput.json"}"
+
+bench_bin="${build_dir}/bench/bench_host_throughput"
+if [ ! -x "${bench_bin}" ]; then
+  echo "error: ${bench_bin} not built (cmake --build ${build_dir} --target bench_host_throughput)" >&2
+  exit 1
+fi
+
+"${bench_bin}" \
+  --benchmark_out="${out_json}" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true
+
+echo "wrote ${out_json}"

@@ -70,7 +70,7 @@ Result<void> MasBackend::ResolveFault(Kernel& kernel, const PageFaultInfo& info)
   }
   const uint32_t seg_flags = kernel.SegmentFlagsAt(uproc->OffsetOf(info.va));
   if (machine.frames().RefCount(pte->frame) > 1) {
-    UF_ASSIGN_OR_RETURN(const FrameId copy, machine.frames().Allocate());
+    UF_ASSIGN_OR_RETURN(const FrameId copy, machine.frames().AllocateForCopy());
     machine.Charge(costs.frame_alloc + costs.page_copy + costs.pte_update);
     machine.frames().frame(copy).CopyFrom(machine.frames().frame(pte->frame));
     const FrameId old = pte->frame;

@@ -24,7 +24,7 @@ Result<Pid> VmCloneBackend::Fork(Kernel& kernel, Uproc& parent, UprocEntry entry
                           });
   for (const auto& [va, pte] : parent_pages) {
     // Full synchronous copy of the guest image — no sharing across domains.
-    auto frame = machine.frames().Allocate();
+    auto frame = machine.frames().AllocateForCopy();
     if (!frame.ok()) {
       kernel.ReleaseUprocMemory(child);
       return frame.error();

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <string>
+#include <type_traits>
 
 #include "src/base/status.h"
 #include "src/base/units.h"
@@ -157,6 +158,11 @@ class Capability {
   uint32_t otype_ = kOtypeUnsealed;
   bool tag_ = false;
 };
+
+// The tagged-frame store (src/mem/frame.h) keeps capability records in flat arrays that are
+// copied wholesale on every CoW/CoA/CoPA page copy; a 128-bit hardware capability is a plain
+// value and its model must stay one too.
+static_assert(std::is_trivially_copyable_v<Capability>);
 
 }  // namespace ufork
 

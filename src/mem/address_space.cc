@@ -123,6 +123,19 @@ std::optional<uint64_t> AddressSpace::RegionContaining(uint64_t addr) const {
   return std::nullopt;
 }
 
+std::optional<std::pair<uint64_t, uint64_t>> AddressSpace::RegionContainingWithSize(
+    uint64_t addr) const {
+  auto it = allocated_.upper_bound(addr);
+  if (it == allocated_.begin()) {
+    return std::nullopt;
+  }
+  --it;
+  if (addr >= it->first && addr < it->first + it->second) {
+    return std::make_pair(it->first, it->second);
+  }
+  return std::nullopt;
+}
+
 std::optional<uint64_t> AddressSpace::RegionSize(uint64_t base) const {
   auto it = allocated_.find(base);
   if (it == allocated_.end()) {

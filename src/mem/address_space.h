@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <utility>
 
 #include "src/base/rng.h"
 #include "src/base/status.h"
@@ -56,6 +57,11 @@ class AddressSpace {
   // a grandchild page may still hold capabilities pointing at the grandparent).
   std::optional<uint64_t> RegionContaining(uint64_t addr) const;
   std::optional<uint64_t> RegionSize(uint64_t base) const;
+
+  // Single-lookup variant returning {base, size}: the relocation scanner resolves the owning
+  // region and its extent from one map probe, then memoizes the interval across the page's
+  // remaining capabilities.
+  std::optional<std::pair<uint64_t, uint64_t>> RegionContainingWithSize(uint64_t addr) const;
 
   void EnableAslr(uint64_t seed);
 

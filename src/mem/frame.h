@@ -6,15 +6,27 @@
 // observe the address, as on real hardware. Any data write overlapping a tagged granule clears
 // that granule's tag — the invariant μFork's relocation scan relies on (§4.2): a valid tag
 // *proves* the granule holds a pointer.
+//
+// Storage layout (rank-select, mirroring §4.2's hardware-assisted tag scan): the 256-bit tag
+// bitmap is the single source of truth, and the capability records live in one contiguous
+// array sorted by granule. The record of granule g sits at index rank(g) = number of tag bits
+// set below g — a popcount over at most four words, the software analogue of Morello reading a
+// cache line's tag bits in one go. Consequences the fork hot path depends on:
+//   * CopyFrom is a POD copy of data+bitmap plus one vector assign (no per-node tree copy,
+//     and no allocation at all once the destination vector has capacity);
+//   * ForEachTaggedCap and ClearTags skip all-zero bitmap words in O(words), so tag-free
+//     pages — the overwhelming majority of a real heap — cost four word tests;
+//   * iteration order is the address order of the §4.2 16-byte-stride scan by construction.
 #ifndef UFORK_SRC_MEM_FRAME_H_
 #define UFORK_SRC_MEM_FRAME_H_
 
 #include <array>
 #include <bit>
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
-#include <map>
 #include <span>
+#include <vector>
 
 #include "src/base/check.h"
 #include "src/base/units.h"
@@ -24,6 +36,10 @@ namespace ufork {
 
 inline constexpr uint64_t kPageSize = 4 * kKiB;
 inline constexpr uint64_t kGranulesPerPage = kPageSize / kCapSize;  // 256
+
+// The flat record array is memcpy'd/assigned wholesale by CopyFrom.
+static_assert(std::is_trivially_copyable_v<Capability>,
+              "Capability must stay trivially copyable for rank-select frame storage");
 
 class Frame {
  public:
@@ -60,9 +76,7 @@ class Frame {
   Capability LoadCap(uint64_t offset) const {
     UF_DCHECK(IsAligned(offset, kCapSize));
     if (TagAt(offset)) {
-      auto it = caps_.find(static_cast<uint16_t>(offset / kCapSize));
-      UF_CHECK_MSG(it != caps_.end(), "tagged granule without capability record");
-      return it->second;
+      return caps_[Rank(offset / kCapSize)];
     }
     uint64_t cursor = 0;
     std::memcpy(&cursor, data_.data() + offset, sizeof(cursor));
@@ -77,41 +91,66 @@ class Frame {
     const uint64_t cursor = cap.address();
     std::memcpy(data_.data() + offset, &cursor, sizeof(cursor));
     std::memset(data_.data() + offset + 8, 0, 8);
-    const uint16_t granule = static_cast<uint16_t>(offset / kCapSize);
+    const uint64_t granule = offset / kCapSize;
+    const uint64_t mask = 1ULL << (granule % 64);
+    uint64_t& word = tags_[granule / 64];
     if (cap.tag()) {
-      caps_[granule] = cap;
-      tags_[granule / 64] |= 1ULL << (granule % 64);
-      has_tags_ = true;
-    } else {
-      ClearTagAtGranule(granule);
+      const size_t rank = Rank(granule);
+      if ((word & mask) != 0) {
+        caps_[rank] = cap;
+      } else {
+        caps_.insert(caps_.begin() + static_cast<ptrdiff_t>(rank), cap);
+        word |= mask;
+      }
+    } else if ((word & mask) != 0) {
+      caps_.erase(caps_.begin() + static_cast<ptrdiff_t>(Rank(granule)));
+      word &= ~mask;
     }
   }
 
   void ClearTags(uint64_t offset, uint64_t size) {
-    if (size == 0 || !has_tags_) {
-      return;
+    if (size == 0 || caps_.empty()) {
+      return;  // tag-free frame: the bitmap is provably all zero (records <-> bits invariant)
     }
     const uint64_t first = offset / kCapSize;
     const uint64_t last = (offset + size - 1) / kCapSize;
-    for (uint64_t g = first; g <= last; ++g) {
-      ClearTagAtGranule(static_cast<uint16_t>(g));
+    uint64_t cleared = 0;
+    for (uint64_t w = first / 64; w <= last / 64; ++w) {
+      cleared += static_cast<uint64_t>(std::popcount(tags_[w] & RangeMask(w, first, last)));
+    }
+    if (cleared == 0) {
+      return;
+    }
+    // A contiguous granule range owns a contiguous slice of the sorted record array.
+    const auto lo = caps_.begin() + static_cast<ptrdiff_t>(Rank(first));
+    caps_.erase(lo, lo + static_cast<ptrdiff_t>(cleared));
+    for (uint64_t w = first / 64; w <= last / 64; ++w) {
+      tags_[w] &= ~RangeMask(w, first, last);
     }
   }
 
   void ClearAllTags() {
     tags_.fill(0);
-    caps_.clear();
-    has_tags_ = false;
+    caps_.clear();  // keeps capacity: recycled frames stay allocation-free
+  }
+
+  // Returns the frame to its boot state (all-zero data, no tags). Allocator reuse path.
+  void Reset() {
+    data_.fill(std::byte{0});
+    ClearAllTags();
   }
 
   // Copies data *and* tags/capability records from another frame (used by CoW/CoA/CoPA copies;
-  // the relocation pass then rewrites the capability records in place).
+  // the relocation pass then rewrites the capability records in place). One POD copy plus one
+  // vector assign — no allocation when this frame's record array has capacity already.
   void CopyFrom(const Frame& src) {
     data_ = src.data_;
     tags_ = src.tags_;
     caps_ = src.caps_;
-    has_tags_ = src.has_tags_;
   }
+
+  // True iff any granule currently carries a capability record.
+  bool HasTags() const { return !caps_.empty(); }
 
   uint64_t CountTags() const {
     uint64_t n = 0;
@@ -121,36 +160,62 @@ class Frame {
     return n;
   }
 
-  // Iterates tagged granules, invoking fn(offset, cap&) with a mutable capability record so the
-  // relocation scanner can rewrite in place. fn returning a changed cursor updates the raw
-  // integer view as well.
+  // Iterates tagged granules in address order (§4.2 scan order), invoking fn(offset, cap&)
+  // with a mutable capability record so the relocation scanner can rewrite in place. fn
+  // returning a changed cursor updates the raw integer view as well. All-zero bitmap words are
+  // skipped; set bits are peeled with countr_zero, so cost is O(words + tags). fn must not
+  // store or clear tags on this frame.
   template <typename Fn>
   void ForEachTaggedCap(Fn&& fn) {
-    for (auto& [granule, cap] : caps_) {
-      const uint64_t offset = static_cast<uint64_t>(granule) * kCapSize;
-      fn(offset, cap);
-      const uint64_t cursor = cap.address();
-      std::memcpy(data_.data() + offset, &cursor, sizeof(cursor));
+    size_t rank = 0;
+    for (uint64_t w = 0; w < tags_.size(); ++w) {
+      uint64_t bits = tags_[w];
+      while (bits != 0) {
+        const uint64_t granule = w * 64 + static_cast<uint64_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        const uint64_t offset = granule * kCapSize;
+        Capability& cap = caps_[rank++];
+        fn(offset, cap);
+        const uint64_t cursor = cap.address();
+        std::memcpy(data_.data() + offset, &cursor, sizeof(cursor));
+      }
     }
   }
 
   const std::byte* raw() const { return data_.data(); }
 
  private:
-  void ClearTagAtGranule(uint16_t granule) {
-    const uint64_t mask = 1ULL << (granule % 64);
-    if ((tags_[granule / 64] & mask) != 0) {
-      tags_[granule / 64] &= ~mask;
-      caps_.erase(granule);
+  // Number of tag bits set below `granule` == index of granule's record in caps_.
+  size_t Rank(uint64_t granule) const {
+    size_t r = 0;
+    for (uint64_t w = 0; w < granule / 64; ++w) {
+      r += static_cast<size_t>(std::popcount(tags_[w]));
     }
+    return r + static_cast<size_t>(
+                   std::popcount(tags_[granule / 64] & ((1ULL << (granule % 64)) - 1)));
+  }
+
+  // Bits of bitmap word `word` covering granules in [first, last], clamped to the word. Only
+  // meaningful for words overlapping the range.
+  static constexpr uint64_t RangeMask(uint64_t word, uint64_t first, uint64_t last) {
+    const uint64_t lo = word * 64;
+    uint64_t mask = ~0ULL;
+    if (first > lo) {
+      mask &= ~0ULL << (first - lo);
+    }
+    if (last < lo + 63) {
+      mask &= (1ULL << (last - lo + 1)) - 1;
+    }
+    return mask;
   }
 
   std::array<std::byte, kPageSize> data_;
   std::array<uint64_t, kGranulesPerPage / 64> tags_{};
-  // Ordered so ForEachTaggedCap scans in address order like the hardware-assisted 16-byte
-  // stride scan described in §4.2.
-  std::map<uint16_t, Capability> caps_;
-  bool has_tags_ = false;  // fast path: skip tag clearing on frames that never held one
+  // Capability records of the tagged granules, sorted by granule; caps_[Rank(g)] belongs to
+  // granule g. Invariant: caps_.size() == popcount(tags_) — note a record may itself be an
+  // untagged Capability (the relocation scanner strips escaping capabilities in place without
+  // touching the granule's tag bit, as the map-based storage did).
+  std::vector<Capability> caps_;
 };
 
 }  // namespace ufork

@@ -6,7 +6,11 @@ namespace ufork {
 
 FrameAllocator::FrameAllocator(uint64_t max_frames) : max_frames_(max_frames) {}
 
-Result<FrameId> FrameAllocator::Allocate() {
+Result<FrameId> FrameAllocator::Allocate() { return AllocateInternal(/*zero=*/true); }
+
+Result<FrameId> FrameAllocator::AllocateForCopy() { return AllocateInternal(/*zero=*/false); }
+
+Result<FrameId> FrameAllocator::AllocateInternal(bool zero) {
   FrameId id;
   if (!free_list_.empty()) {
     id = free_list_.back();
@@ -20,10 +24,9 @@ Result<FrameId> FrameAllocator::Allocate() {
   }
   Slot& slot = slots_[id];
   if (slot.frame == nullptr) {
-    slot.frame = std::make_unique<Frame>();
-  } else {
-    slot.frame->Fill(0, kPageSize, std::byte{0});
-    slot.frame->ClearAllTags();
+    slot.frame = std::make_unique<Frame>();  // fresh frames are born zeroed and tag-free
+  } else if (zero) {
+    slot.frame->Reset();
   }
   slot.refcount = 1;
   ++frames_in_use_;

@@ -31,6 +31,12 @@ class FrameAllocator {
   // Allocates a zeroed frame with refcount 1.
   Result<FrameId> Allocate();
 
+  // Allocates a frame with UNSPECIFIED contents (refcount 1) for callers that immediately
+  // overwrite the whole page (Frame::CopyFrom). Recycled frames skip the redundant re-zero,
+  // and their record storage keeps its capacity — the fork/fault copy path allocates nothing
+  // in steady state.
+  Result<FrameId> AllocateForCopy();
+
   // Increments the sharing count (a new PTE now maps this frame).
   void AddRef(FrameId id);
 
@@ -58,6 +64,8 @@ class FrameAllocator {
   uint64_t total_allocations() const { return total_allocations_; }
 
  private:
+  Result<FrameId> AllocateInternal(bool zero);
+
   struct Slot {
     std::unique_ptr<Frame> frame;
     uint32_t refcount = 0;

@@ -6,6 +6,12 @@ RelocationResult RelocateFrameInto(Frame& frame, const AddressSpace& as, uint64_
                                    uint64_t region_size) {
   RelocationResult result;
   const uint64_t region_hi = region_lo + region_size;
+  // Capabilities found in one page overwhelmingly share an owning region (they were minted by
+  // the μprocess the page belonged to), so the scan memoizes the last region interval found
+  // and skips the address-space map probe while successive anchors stay inside it. Starts as
+  // the empty interval so the first escaping capability always probes.
+  uint64_t memo_lo = 0;
+  uint64_t memo_hi = 0;
   frame.ForEachTaggedCap([&](uint64_t /*offset*/, Capability& cap) {
     ++result.tags_seen;
     if (!cap.EscapesRegion(region_lo, region_hi)) {
@@ -13,23 +19,24 @@ RelocationResult RelocateFrameInto(Frame& frame, const AddressSpace& as, uint64_
     }
     // Locate the source region. The anchor is the capability's base: relocation preserves the
     // region-relative offset, which is meaningful because all regions share one layout.
-    const std::optional<uint64_t> src = as.RegionContaining(cap.base());
-    if (src.has_value() && *src != region_lo) {
-      cap = cap.RelocatedInto(*src, region_lo, region_hi);
-      ++result.relocated;
-      return;
+    const uint64_t anchor = cap.base();
+    if (anchor < memo_lo || anchor >= memo_hi) {
+      const auto src = as.RegionContainingWithSize(anchor);
+      if (!src.has_value()) {
+        // No owning region: a stale pointer into freed memory or an attempted kernel-
+        // capability leak. Invalidate — monotonicity means the child could otherwise keep
+        // foreign authority.
+        cap = cap.Untagged();
+        ++result.stripped;
+        return;
+      }
+      memo_lo = src->first;
+      memo_hi = src->first + src->second;
     }
-    if (src.has_value()) {
-      // Source is this very region but the capability escapes it (bounds spill over the
-      // edge): clamp in place.
-      cap = cap.RelocatedInto(region_lo, region_lo, region_hi);
-      ++result.relocated;
-      return;
-    }
-    // No owning region: a stale pointer into freed memory or an attempted kernel-capability
-    // leak. Invalidate — monotonicity means the child could otherwise keep foreign authority.
-    cap = cap.Untagged();
-    ++result.stripped;
+    // Rebase from the source region (when the source is this very region, the capability
+    // escapes over its edge and the same call clamps it in place).
+    cap = cap.RelocatedInto(memo_lo, region_lo, region_hi);
+    ++result.relocated;
   });
   return result;
 }

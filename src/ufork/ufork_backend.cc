@@ -11,7 +11,7 @@ Result<FrameId> UforkBackend::CopyAndRelocate(Kernel& kernel, FrameId src_frame,
                                               RelocationResult* out) {
   Machine& machine = kernel.machine();
   const CostModel& costs = kernel.costs();
-  UF_ASSIGN_OR_RETURN(const FrameId dst, machine.frames().Allocate());
+  UF_ASSIGN_OR_RETURN(const FrameId dst, machine.frames().AllocateForCopy());
   machine.Charge(costs.frame_alloc + costs.page_copy + costs.page_tag_scan);
   Frame& dst_frame = machine.frames().frame(dst);
   dst_frame.CopyFrom(machine.frames().frame(src_frame));

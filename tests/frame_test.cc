@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <map>
+
 #include "src/base/rng.h"
 #include "src/mem/frame_allocator.h"
 
@@ -131,6 +134,240 @@ TEST(Frame, CountTagsMatchesStores) {
   EXPECT_EQ(f.CountTags(), expected);
 }
 
+TEST(Frame, HasTagsDropsWhenLastTagClearedByWrite) {
+  Frame f;
+  f.StoreCap(160, TestCap(0x5000));
+  EXPECT_TRUE(f.HasTags());
+  const uint32_t v = 0xdeadbeef;
+  f.Write(164, std::as_bytes(std::span(&v, 1)));  // clears the only tag
+  EXPECT_FALSE(f.HasTags());
+  EXPECT_EQ(f.CountTags(), 0u);
+}
+
+TEST(Frame, HasTagsDropsWhenLastTagClearedByUntaggedStore) {
+  Frame f;
+  f.StoreCap(2032, TestCap(0x5000));
+  EXPECT_TRUE(f.HasTags());
+  f.StoreCap(2032, Capability::Integer(0));
+  EXPECT_FALSE(f.HasTags());
+}
+
+TEST(Frame, HasTagsDropsWhenLastTagClearedByFill) {
+  Frame f;
+  f.StoreCap(0, TestCap(0x5000));
+  f.StoreCap(kPageSize - kCapSize, TestCap(0x6000));
+  EXPECT_TRUE(f.HasTags());
+  f.Fill(0, kPageSize, std::byte{0xaa});
+  EXPECT_FALSE(f.HasTags());
+}
+
+TEST(Frame, LoadCapIntegerFallbackReadsRawBytes) {
+  Frame f;
+  const uint64_t v = 0x0123456789abcdefULL;
+  f.Write(512, BytesOf(v));
+  const Capability c = f.LoadCap(512);
+  EXPECT_FALSE(c.tag());
+  EXPECT_EQ(c.address(), v);
+}
+
+TEST(Frame, CopyFromFullyTaggedPage) {
+  Frame a;
+  for (uint64_t g = 0; g < kGranulesPerPage; ++g) {
+    a.StoreCap(g * kCapSize, TestCap(0x2000 + g * kCapSize));
+  }
+  EXPECT_EQ(a.CountTags(), kGranulesPerPage);
+  Frame b;
+  b.CopyFrom(a);
+  EXPECT_EQ(b.CountTags(), kGranulesPerPage);
+  for (uint64_t g = 0; g < kGranulesPerPage; ++g) {
+    EXPECT_TRUE(b.LoadCap(g * kCapSize).IdenticalTo(a.LoadCap(g * kCapSize)));
+  }
+}
+
+TEST(Frame, CopyFromTagFreePageDropsDestinationTags) {
+  Frame dst;
+  dst.StoreCap(32, TestCap(0x2000));
+  dst.StoreCap(4064, TestCap(0x3000));
+  Frame src;
+  const uint64_t v = 0x5151;
+  src.Write(32, BytesOf(v));
+  dst.CopyFrom(src);
+  EXPECT_FALSE(dst.HasTags());
+  EXPECT_EQ(dst.CountTags(), 0u);
+  EXPECT_FALSE(dst.LoadCap(32).tag());
+  EXPECT_EQ(dst.LoadCap(32).address(), v);
+}
+
+TEST(Frame, ForEachTaggedCapAcrossBitmapWordBoundaries) {
+  // Granules 0, 63, 64, 127, 128, 191, 192, 255 sit on every 64-bit word edge of the bitmap.
+  Frame f;
+  const std::vector<uint64_t> granules = {255, 0, 128, 63, 192, 64, 191, 127};
+  for (uint64_t g : granules) {
+    f.StoreCap(g * kCapSize, TestCap(0x2000 + g));
+  }
+  std::vector<uint64_t> offsets;
+  f.ForEachTaggedCap([&](uint64_t off, Capability& cap) {
+    offsets.push_back(off);
+    cap = cap.WithAddress(cap.address() + 1);
+  });
+  std::vector<uint64_t> expected;
+  for (uint64_t g : {0, 63, 64, 127, 128, 191, 192, 255}) {
+    expected.push_back(g * kCapSize);
+  }
+  EXPECT_EQ(offsets, expected);
+  for (uint64_t g : granules) {
+    EXPECT_EQ(f.LoadCap(g * kCapSize).address(), 0x2000 + g + 1);
+  }
+}
+
+// Naive reference model of the frame's tagged-memory semantics: a byte array plus a granule ->
+// capability map. The randomized differential test below drives both implementations with the
+// same operation stream and demands identical observable state.
+class RefFrame {
+ public:
+  RefFrame() { data_.fill(std::byte{0}); }
+
+  void Write(uint64_t off, std::span<const std::byte> in) {
+    std::memcpy(data_.data() + off, in.data(), in.size());
+    ClearRange(off, in.size());
+  }
+
+  void Fill(uint64_t off, uint64_t size, std::byte v) {
+    std::memset(data_.data() + off, static_cast<int>(v), size);
+    ClearRange(off, size);
+  }
+
+  void StoreCap(uint64_t off, const Capability& cap) {
+    const uint64_t cursor = cap.address();
+    std::memcpy(data_.data() + off, &cursor, sizeof(cursor));
+    std::memset(data_.data() + off + 8, 0, 8);
+    if (cap.tag()) {
+      caps_[off / kCapSize] = cap;
+    } else {
+      caps_.erase(off / kCapSize);
+    }
+  }
+
+  bool TagAt(uint64_t off) const { return caps_.count(off / kCapSize) > 0; }
+
+  Capability LoadCap(uint64_t off) const {
+    auto it = caps_.find(off / kCapSize);
+    if (it != caps_.end()) {
+      return it->second;
+    }
+    uint64_t cursor = 0;
+    std::memcpy(&cursor, data_.data() + off, sizeof(cursor));
+    return Capability::Integer(cursor);
+  }
+
+  uint64_t CountTags() const { return caps_.size(); }
+
+  template <typename Fn>
+  void ForEachTaggedCap(Fn&& fn) {
+    for (auto& [granule, cap] : caps_) {  // std::map iterates in granule order
+      const uint64_t off = granule * kCapSize;
+      fn(off, cap);
+      const uint64_t cursor = cap.address();
+      std::memcpy(data_.data() + off, &cursor, sizeof(cursor));
+    }
+  }
+
+  const std::byte* raw() const { return data_.data(); }
+
+ private:
+  void ClearRange(uint64_t off, uint64_t size) {
+    if (size == 0) {
+      return;
+    }
+    const uint64_t first = off / kCapSize;
+    const uint64_t last = (off + size - 1) / kCapSize;
+    for (uint64_t g = first; g <= last; ++g) {
+      caps_.erase(g);
+    }
+  }
+
+  std::array<std::byte, kPageSize> data_;
+  std::map<uint64_t, Capability> caps_;
+};
+
+void ExpectSameState(const Frame& f, const RefFrame& ref) {
+  ASSERT_EQ(f.CountTags(), ref.CountTags());
+  ASSERT_EQ(std::memcmp(f.raw(), ref.raw(), kPageSize), 0);
+  for (uint64_t g = 0; g < kGranulesPerPage; ++g) {
+    const uint64_t off = g * kCapSize;
+    ASSERT_EQ(f.TagAt(off), ref.TagAt(off)) << "granule " << g;
+    ASSERT_TRUE(f.LoadCap(off).IdenticalTo(ref.LoadCap(off))) << "granule " << g;
+  }
+}
+
+TEST(Frame, RandomizedDifferentialAgainstMapReference) {
+  Frame f;
+  RefFrame ref;
+  Rng rng(0xf00d);
+  for (int iter = 0; iter < 3000; ++iter) {
+    switch (rng.NextBelow(6)) {
+      case 0: {  // tagged capability store
+        const uint64_t off = rng.NextBelow(kGranulesPerPage) * kCapSize;
+        const Capability c = TestCap(0x1000 + rng.NextBelow(0xff000));
+        f.StoreCap(off, c);
+        ref.StoreCap(off, c);
+        break;
+      }
+      case 1: {  // untagged (integer) store
+        const uint64_t off = rng.NextBelow(kGranulesPerPage) * kCapSize;
+        const Capability c = Capability::Integer(rng.NextU64());
+        f.StoreCap(off, c);
+        ref.StoreCap(off, c);
+        break;
+      }
+      case 2: {  // data write of 1..64 random bytes
+        const uint64_t len = 1 + rng.NextBelow(64);
+        const uint64_t off = rng.NextBelow(kPageSize - len + 1);
+        std::array<std::byte, 64> buf;
+        for (uint64_t i = 0; i < len; ++i) {
+          buf[i] = static_cast<std::byte>(rng.NextBelow(256));
+        }
+        f.Write(off, std::span(buf).first(len));
+        ref.Write(off, std::span(buf).first(len));
+        break;
+      }
+      case 3: {  // fill of 0..512 bytes
+        const uint64_t len = rng.NextBelow(513);
+        const uint64_t off = rng.NextBelow(kPageSize - len + 1);
+        const auto v = static_cast<std::byte>(rng.NextBelow(256));
+        f.Fill(off, len, v);
+        ref.Fill(off, len, v);
+        break;
+      }
+      case 4: {  // relocation-style in-place rewrite of every tagged granule
+        const uint64_t delta = rng.NextBelow(256);
+        auto rewrite = [&](uint64_t /*off*/, Capability& cap) {
+          cap = cap.WithAddress(cap.address() + delta);
+        };
+        f.ForEachTaggedCap(rewrite);
+        ref.ForEachTaggedCap(rewrite);
+        break;
+      }
+      case 5: {  // CopyFrom round trip through a scratch frame
+        Frame scratch;
+        scratch.StoreCap(0, TestCap(0x7777));  // pre-dirty the destination
+        scratch.CopyFrom(f);
+        f.CopyFrom(scratch);
+        break;
+      }
+    }
+    if (iter % 200 == 0) {
+      ExpectSameState(f, ref);
+    }
+  }
+  ExpectSameState(f, ref);
+  // The differential state also survives one final copy into a dirty destination.
+  Frame copy;
+  copy.StoreCap(128, TestCap(0x4000));
+  copy.CopyFrom(f);
+  ExpectSameState(copy, ref);
+}
+
 // --- FrameAllocator ----------------------------------------------------------------------------
 
 TEST(FrameAllocator, AllocateReleaseReuse) {
@@ -160,6 +397,44 @@ TEST(FrameAllocator, ReusedFrameIsZeroedAndUntagged) {
   EXPECT_EQ(alloc.frame(*b).CountTags(), 0u);
   uint64_t out = 1;
   alloc.frame(*b).Read(100, std::as_writable_bytes(std::span(&out, 1)));
+  EXPECT_EQ(out, 0u);
+}
+
+TEST(FrameAllocator, AllocateForCopyThenCopyFromMatchesSource) {
+  FrameAllocator alloc(4);
+  auto src = alloc.Allocate();
+  ASSERT_TRUE(src.ok());
+  alloc.frame(*src).StoreCap(48, TestCap(0x9000));
+  const uint64_t v = 0x42;
+  alloc.frame(*src).Write(1000, std::as_bytes(std::span(&v, 1)));
+  // Dirty a frame with data and tags, release it, then reallocate via the copy path: the
+  // recycled frame has unspecified contents, but CopyFrom must fully overwrite them.
+  auto scratch = alloc.Allocate();
+  ASSERT_TRUE(scratch.ok());
+  alloc.frame(*scratch).StoreCap(0, TestCap(0x8000));
+  alloc.frame(*scratch).Fill(0, kPageSize, std::byte{0xee});
+  alloc.Release(*scratch);
+  auto dst = alloc.AllocateForCopy();
+  ASSERT_TRUE(dst.ok());
+  EXPECT_EQ(*dst, *scratch);  // recycled slot
+  alloc.frame(*dst).CopyFrom(alloc.frame(*src));
+  EXPECT_EQ(alloc.frame(*dst).CountTags(), 1u);
+  EXPECT_TRUE(alloc.frame(*dst).LoadCap(48).IdenticalTo(alloc.frame(*src).LoadCap(48)));
+  EXPECT_EQ(std::memcmp(alloc.frame(*dst).raw(), alloc.frame(*src).raw(), kPageSize), 0);
+}
+
+TEST(FrameAllocator, AllocateAfterForCopyStillZeroes) {
+  FrameAllocator alloc(2);
+  auto a = alloc.AllocateForCopy();
+  ASSERT_TRUE(a.ok());
+  alloc.frame(*a).StoreCap(0, TestCap(0x2000));
+  alloc.Release(*a);
+  auto b = alloc.Allocate();  // plain Allocate must still hand out a zeroed, tag-free frame
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, *a);
+  EXPECT_EQ(alloc.frame(*b).CountTags(), 0u);
+  uint64_t out = 1;
+  alloc.frame(*b).Read(0, std::as_writable_bytes(std::span(&out, 1)));
   EXPECT_EQ(out, 0u);
 }
 

@@ -1,0 +1,219 @@
+// Golden virtual-time calibration guard.
+//
+// The simulation is deterministic: for a fixed workload the virtual-cycle total, the fork
+// statistics and every kernel counter are exact constants. Host-side optimization PRs (frame
+// storage layout, relocation fast paths, allocator recycling, ...) must leave virtual time
+// bit-identical — they change how fast the simulator runs, never what it computes. This test
+// pins the Fig. 8 hello-fork and a Fig. 4-style CoPA pointer-chase workload to the recorded
+// constants; any drift means the cost model or the simulated mechanics changed and every
+// EXPERIMENTS.md figure must be re-validated.
+//
+// If a PR *intentionally* changes simulated behaviour (new cost constant, different fault
+// ordering), re-record the constants below from a run of this test and say so in the PR.
+#include <gtest/gtest.h>
+
+#include "src/baseline/system.h"
+#include "src/guest/guest.h"
+#include "tests/guest_test_util.h"
+
+namespace ufork {
+namespace {
+
+// Fig. 8 hello-world image (mirrors bench/bench_common.h HelloLayout()).
+KernelConfig HelloConfig() {
+  KernelConfig config;
+  config.layout.text_size = 128 * kKiB;
+  config.layout.rodata_size = 16 * kKiB;
+  config.layout.got_size = 16 * kKiB;
+  config.layout.data_size = 16 * kKiB;
+  config.layout.heap_size = 1 * kMiB;
+  config.layout.stack_size = 128 * kKiB;
+  config.layout.tls_size = 4 * kKiB;
+  config.layout.mmap_size = 64 * kKiB;
+  return config;
+}
+
+struct GoldenRun {
+  Cycles completion = 0;       // scheduler virtual time when the system drained
+  Cycles fork_latency = 0;     // ForkStats.latency of the first forked child
+  ForkStats fork_stats;        // full per-fork counters of that child
+  KernelStats stats;           // kernel-wide counters at completion
+  uint64_t cow_faults = 0;     // resolvable faults serviced, by kind
+  uint64_t cap_load_faults = 0;
+  uint64_t chain_sum = 0;      // CoPA workload: payload checksum the child computed
+};
+
+// Runs the kernel to completion and snapshots every deterministic counter.
+GoldenRun RunGolden(std::unique_ptr<Kernel> kernel, GuestFn main_fn) {
+  GoldenRun run;
+  auto pid = kernel->Spawn(MakeGuestEntry(std::move(main_fn)), "golden-main");
+  UF_CHECK(pid.ok());
+  kernel->Run();
+  run.completion = kernel->sched().CompletionTime();
+  run.stats = kernel->stats();
+  run.cow_faults = kernel->machine().cow_faults();
+  run.cap_load_faults = kernel->machine().cap_load_faults();
+  return run;
+}
+
+// --- Fig. 8 hello-fork -------------------------------------------------------------------------
+
+GoldenRun RunHelloFork(std::unique_ptr<Kernel> kernel) {
+  GoldenRun run;
+  GuestFn main_fn = [&run](Guest& g) -> SimTask<void> {
+    GuestFn child_fn = [](Guest& cg) -> SimTask<void> {
+      auto line = cg.PlaceString("hello, world\n");
+      UF_CHECK(line.ok());
+      auto block = cg.Malloc(64);
+      UF_CHECK(block.ok());
+      co_await cg.Exit(0);
+    };
+    auto child = co_await g.Fork(std::move(child_fn));
+    CO_ASSERT_OK(child);
+    Uproc* child_proc = g.kernel().FindUproc(*child);
+    CO_ASSERT_TRUE(child_proc != nullptr);
+    run.fork_latency = child_proc->fork_stats.latency;
+    run.fork_stats = child_proc->fork_stats;
+    auto waited = co_await g.Wait();
+    CO_ASSERT_OK(waited);
+    CO_ASSERT_EQ(waited->status, 0);
+  };
+  GoldenRun result = RunGolden(std::move(kernel), std::move(main_fn));
+  result.fork_latency = run.fork_latency;
+  result.fork_stats = run.fork_stats;
+  return result;
+}
+
+// --- Fig. 4-style CoPA pointer chase -----------------------------------------------------------
+//
+// The parent builds a linked chain of heap blocks whose links are tagged capabilities spread
+// over several pages, plus a capability-free scratch block. The forked child chases the chain
+// (each first tagged load from a shared page raises a CoPA fault: copy + relocate), then data-
+// writes the scratch block (a plain CoW fault on a never-cap-loaded page).
+
+constexpr uint64_t kChainBlocks = 8;
+constexpr uint64_t kBlockBytes = 2048;  // two blocks (plus headers) span each page
+constexpr uint64_t kOffNext = 0;        // capability link to the next block
+constexpr uint64_t kOffPayload = 16;    // integer payload
+constexpr uint64_t kOffScratch = 24;    // block 0 only: region-relative offset of scratch
+
+GoldenRun RunCopaChain() {
+  GoldenRun run;
+  GuestFn main_fn = [&run](Guest& g) -> SimTask<void> {
+    Capability prev;
+    for (uint64_t i = 0; i < kChainBlocks; ++i) {
+      auto block = g.Malloc(kBlockBytes);
+      CO_ASSERT_OK(block);
+      CO_ASSERT_OK(g.Store<uint64_t>(*block, block->base() + kOffPayload, i + 1));
+      if (i == 0) {
+        CO_ASSERT_OK(g.GotStore(kGotSlotFirstUser, *block));
+      } else {
+        CO_ASSERT_OK(g.StoreCap(prev, prev.base() + kOffNext, *block));
+      }
+      prev = *block;
+    }
+    CO_ASSERT_OK(g.StoreCap(prev, prev.base() + kOffNext, Capability::Integer(0)));
+    auto scratch = g.Malloc(kBlockBytes);
+    CO_ASSERT_OK(scratch);
+    auto head = g.GotLoad(kGotSlotFirstUser);
+    CO_ASSERT_OK(head);
+    // Position-independent handoff: the child recomputes the scratch address from its own base.
+    CO_ASSERT_OK(
+        g.Store<uint64_t>(*head, head->base() + kOffScratch, scratch->base() - g.base()));
+
+    GuestFn child_fn = [](Guest& cg) -> SimTask<void> {
+      auto head_cap = cg.GotLoad(kGotSlotFirstUser);
+      UF_CHECK(head_cap.ok());
+      uint64_t sum = 0;
+      Capability cursor = *head_cap;
+      while (cursor.tag()) {
+        auto payload = cg.Load<uint64_t>(cursor, cursor.base() + kOffPayload);
+        UF_CHECK(payload.ok());
+        sum += *payload;
+        auto next = cg.LoadCap(cursor, cursor.base() + kOffNext);
+        UF_CHECK(next.ok());
+        cursor = *next;
+      }
+      auto scratch_off = cg.Load<uint64_t>(*head_cap, head_cap->base() + kOffScratch);
+      UF_CHECK(scratch_off.ok());
+      UF_CHECK(cg.Store<uint64_t>(cg.ddc(), cg.base() + *scratch_off, sum).ok());
+      co_await cg.Exit(static_cast<int>(sum & 0x7f));
+    };
+    auto child = co_await g.Fork(std::move(child_fn));
+    CO_ASSERT_OK(child);
+    Uproc* child_proc = g.kernel().FindUproc(*child);
+    CO_ASSERT_TRUE(child_proc != nullptr);
+    run.fork_latency = child_proc->fork_stats.latency;
+    run.fork_stats = child_proc->fork_stats;
+    auto waited = co_await g.Wait();
+    CO_ASSERT_OK(waited);
+    run.chain_sum = static_cast<uint64_t>(waited->status);
+  };
+  KernelConfig config = HelloConfig();
+  config.strategy = ForkStrategy::kCopa;
+  GoldenRun result = RunGolden(MakeUforkKernel(config), std::move(main_fn));
+  result.fork_latency = run.fork_latency;
+  result.fork_stats = run.fork_stats;
+  result.chain_sum = run.chain_sum;
+  return result;
+}
+
+// --- recorded constants ------------------------------------------------------------------------
+//
+// Recorded from the tree at the time this test was introduced (seed + PR 2, which verified the
+// rank-select frame rewrite leaves them bit-identical).
+
+TEST(GoldenCycles, UforkHelloFork) {
+  const GoldenRun run = RunHelloFork(MakeUforkKernel(HelloConfig()));
+  EXPECT_EQ(run.completion, 216830u);
+  EXPECT_EQ(run.fork_latency, 137128u);
+  EXPECT_EQ(run.fork_stats.pages_mapped, 333u);
+  EXPECT_EQ(run.fork_stats.pages_copied_eagerly, 5u);  // GOT + allocator metadata (proactive)
+  EXPECT_EQ(run.fork_stats.caps_relocated_eagerly, 3u);
+  EXPECT_EQ(run.fork_stats.registers_relocated, 3u);
+  EXPECT_EQ(run.fork_stats.bytes_copied_eagerly, 20480u);
+  EXPECT_EQ(run.stats.forks, 1u);
+  EXPECT_EQ(run.stats.syscalls, 4u);
+  EXPECT_EQ(run.stats.pages_copied_on_fault, 1u);
+  EXPECT_EQ(run.stats.caps_relocated_on_fault, 0u);
+  EXPECT_EQ(run.stats.caps_stripped, 0u);
+  EXPECT_EQ(run.cow_faults, 1u);
+  EXPECT_EQ(run.cap_load_faults, 0u);
+}
+
+TEST(GoldenCycles, MasHelloFork) {
+  const GoldenRun run = RunHelloFork(MakeMasKernel(HelloConfig()));
+  EXPECT_EQ(run.completion, 571722u);
+  EXPECT_EQ(run.fork_latency, 484400u);
+  EXPECT_EQ(run.stats.forks, 1u);
+  EXPECT_EQ(run.stats.pages_copied_on_fault, 2u);
+  EXPECT_EQ(run.cow_faults, 2u);
+}
+
+TEST(GoldenCycles, VmCloneHelloFork) {
+  const GoldenRun run = RunHelloFork(MakeVmCloneKernel(HelloConfig()));
+  EXPECT_EQ(run.completion, 26683084u);
+  EXPECT_EQ(run.fork_latency, 26595542u);
+  EXPECT_EQ(run.stats.forks, 1u);
+}
+
+TEST(GoldenCycles, CopaPointerChase) {
+  const GoldenRun run = RunCopaChain();
+  EXPECT_EQ(run.chain_sum, kChainBlocks * (kChainBlocks + 1) / 2);  // every payload visited once
+  EXPECT_EQ(run.completion, 225512u);
+  EXPECT_EQ(run.fork_latency, 137152u);
+  EXPECT_EQ(run.fork_stats.pages_mapped, 333u);
+  EXPECT_EQ(run.fork_stats.pages_copied_eagerly, 5u);
+  EXPECT_EQ(run.fork_stats.caps_relocated_eagerly, 4u);
+  EXPECT_EQ(run.fork_stats.registers_relocated, 3u);
+  EXPECT_EQ(run.stats.forks, 1u);
+  EXPECT_EQ(run.stats.syscalls, 4u);
+  EXPECT_EQ(run.stats.pages_copied_on_fault, 5u);
+  EXPECT_EQ(run.stats.caps_relocated_on_fault, 7u);
+  EXPECT_EQ(run.stats.caps_stripped, 0u);
+  EXPECT_EQ(run.cow_faults, 1u);
+  EXPECT_EQ(run.cap_load_faults, 4u);
+}
+
+}  // namespace
+}  // namespace ufork
