@@ -1,17 +1,32 @@
 #!/usr/bin/env sh
 # Runs the host-throughput benchmark gate and records the results.
 #
-#   bench/run_benches.sh [build-dir] [output-json]
+#   bench/run_benches.sh [--smoke] [build-dir] [output-json]
 #
 # Defaults: build-dir = build, output-json = BENCH_host_throughput.json (repo root). The JSON
 # is committed so the wall-clock trajectory of the simulator is tracked PR over PR; compare a
 # working tree against it before merging host-side changes (see EXPERIMENTS.md "Host
 # throughput").
+#
+# --smoke: single repetition written to a temporary file — verifies every benchmark still runs
+# (CI uses this) without touching the committed baseline JSON.
 set -eu
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+smoke=0
+if [ "${1:-}" = "--smoke" ]; then
+  smoke=1
+  shift
+fi
+
 build_dir="${1:-"${repo_root}/build"}"
 out_json="${2:-"${repo_root}/BENCH_host_throughput.json"}"
+repetitions=3
+if [ "${smoke}" = 1 ]; then
+  out_json="$(mktemp -t bench_smoke.XXXXXX.json)"
+  repetitions=1
+fi
 
 bench_bin="${build_dir}/bench/bench_host_throughput"
 if [ ! -x "${bench_bin}" ]; then
@@ -22,7 +37,11 @@ fi
 "${bench_bin}" \
   --benchmark_out="${out_json}" \
   --benchmark_out_format=json \
-  --benchmark_repetitions=3 \
+  --benchmark_repetitions="${repetitions}" \
   --benchmark_report_aggregates_only=true
 
 echo "wrote ${out_json}"
+if [ "${smoke}" = 1 ]; then
+  rm -f "${out_json}"
+  echo "smoke run OK (baseline JSON untouched)"
+fi

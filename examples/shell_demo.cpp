@@ -30,13 +30,14 @@ int main() {
             "upper < /etc/motd > /tmp/shout.txt",
             "seq 12 > /tmp/numbers.txt",
             "seq 1000 | count > /tmp/wc.txt",
+            "stats > /tmp/stats.txt",
             "totally-not-a-program",
         };
         for (const char* line : lines) {
           auto status = co_await shell.Run(line);
           std::printf("$ %-40s -> exit %d\n", line, status.ok() ? *status : -1);
         }
-        for (const char* path : {"/tmp/shout.txt", "/tmp/wc.txt"}) {
+        for (const char* path : {"/tmp/shout.txt", "/tmp/wc.txt", "/tmp/stats.txt"}) {
           auto contents = co_await shell.Slurp(path);
           UF_CHECK(contents.ok());
           std::printf("--- %s ---\n%s", path, contents->c_str());

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "src/kernel/proc_report.h"
+
 namespace ufork {
 namespace {
 
@@ -345,6 +347,11 @@ void RegisterShellUtilities(Kernel& kernel) {
       out += std::to_string(i) + "\n";
     }
     auto written = co_await WriteAll(g, kShellStdout, out);
+    co_await g.Exit(written.ok() ? 0 : 1);
+  }));
+  kernel.RegisterProgram("stats", MakeGuestEntry([](Guest& g) -> SimTask<void> {
+    // Prints the kernel's per-syscall counters — the simulated /proc/stat.
+    auto written = co_await WriteAll(g, kShellStdout, SyscallTableReport(g.kernel()));
     co_await g.Exit(written.ok() ? 0 : 1);
   }));
 }

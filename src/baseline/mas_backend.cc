@@ -6,7 +6,7 @@
 
 namespace ufork {
 
-Result<Pid> MasBackend::Fork(Kernel& kernel, Uproc& parent, UprocEntry entry) {
+Result<Pid> MasBackend::Fork(KernelCore& kernel, Uproc& parent, UprocEntry entry) {
   Machine& machine = kernel.machine();
   const CostModel& costs = kernel.costs();
   machine.Charge(costs.fork_base_mas);
@@ -56,7 +56,7 @@ Result<Pid> MasBackend::Fork(Kernel& kernel, Uproc& parent, UprocEntry entry) {
   return child.pid();
 }
 
-Result<void> MasBackend::ResolveFault(Kernel& kernel, const PageFaultInfo& info) {
+Result<void> MasBackend::ResolveFault(KernelCore& kernel, const PageFaultInfo& info) {
   Machine& machine = kernel.machine();
   const CostModel& costs = kernel.costs();
   Uproc* uproc = kernel.UprocByPageTable(info.page_table);
@@ -84,7 +84,7 @@ Result<void> MasBackend::ResolveFault(Kernel& kernel, const PageFaultInfo& info)
   return OkResult();
 }
 
-uint64_t MasBackend::ExtraResidencyBytes(const Kernel& kernel, const Uproc& uproc) const {
+uint64_t MasBackend::ExtraResidencyBytes(const KernelCore& kernel, const Uproc& uproc) const {
   uint64_t extra = params_.shared_lib_bytes;
   if (params_.allocator_dirty_fraction > 0.0 && uproc.page_table != nullptr) {
     // jemalloc metadata walks and junk-filling dirty pages in proportion to the heap the

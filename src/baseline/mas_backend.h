@@ -10,7 +10,7 @@
 #define UFORK_SRC_BASELINE_MAS_BACKEND_H_
 
 #include "src/kernel/fork_backend.h"
-#include "src/kernel/kernel.h"
+#include "src/kernel/kernel_core.h"
 
 namespace ufork {
 
@@ -40,9 +40,9 @@ class MasBackend : public ForkBackend {
     return cost;
   }
 
-  Result<Pid> Fork(Kernel& kernel, Uproc& parent, UprocEntry entry) override;
-  Result<void> ResolveFault(Kernel& kernel, const PageFaultInfo& info) override;
-  uint64_t ExtraResidencyBytes(const Kernel& kernel, const Uproc& uproc) const override;
+  Result<Pid> Fork(KernelCore& kernel, Uproc& parent, UprocEntry entry) override;
+  Result<void> ResolveFault(KernelCore& kernel, const PageFaultInfo& info) override;
+  uint64_t ExtraResidencyBytes(const KernelCore& kernel, const Uproc& uproc) const override;
 
  private:
   MasParams params_;

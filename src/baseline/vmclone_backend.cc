@@ -4,7 +4,7 @@
 
 namespace ufork {
 
-Result<Pid> VmCloneBackend::Fork(Kernel& kernel, Uproc& parent, UprocEntry entry) {
+Result<Pid> VmCloneBackend::Fork(KernelCore& kernel, Uproc& parent, UprocEntry entry) {
   Machine& machine = kernel.machine();
   const CostModel& costs = kernel.costs();
   // Creating a Xen domain: hypercalls, domain structures, console/xenstore wiring. This fixed
@@ -26,7 +26,10 @@ Result<Pid> VmCloneBackend::Fork(Kernel& kernel, Uproc& parent, UprocEntry entry
     // Full synchronous copy of the guest image — no sharing across domains.
     auto frame = machine.frames().AllocateForCopy();
     if (!frame.ok()) {
+      // Undo the half-built child completely (see UforkBackend::Fork): a leftover shell would
+      // be a permanently-running ghost child that hangs the parent's wait().
       kernel.ReleaseUprocMemory(child);
+      kernel.DestroyUprocShell(child);
       return frame.error();
     }
     machine.Charge(costs.frame_alloc + costs.page_copy + costs.pte_dup);

@@ -9,7 +9,7 @@
 #define UFORK_SRC_BASELINE_VMCLONE_BACKEND_H_
 
 #include "src/kernel/fork_backend.h"
-#include "src/kernel/kernel.h"
+#include "src/kernel/kernel_core.h"
 
 namespace ufork {
 
@@ -37,15 +37,15 @@ class VmCloneBackend : public ForkBackend {
     return cost;
   }
 
-  Result<Pid> Fork(Kernel& kernel, Uproc& parent, UprocEntry entry) override;
+  Result<Pid> Fork(KernelCore& kernel, Uproc& parent, UprocEntry entry) override;
 
-  Result<void> ResolveFault(Kernel& kernel, const PageFaultInfo& info) override {
+  Result<void> ResolveFault(KernelCore& kernel, const PageFaultInfo& info) override {
     (void)kernel, (void)info;
     // Clones never share memory: any resolvable-looking fault is a bug.
     return Error{Code::kFaultPageProt, "VM clones share no memory"};
   }
 
-  uint64_t ExtraResidencyBytes(const Kernel& kernel, const Uproc& uproc) const override {
+  uint64_t ExtraResidencyBytes(const KernelCore& kernel, const Uproc& uproc) const override {
     (void)kernel, (void)uproc;
     return params_.vm_image_bytes;
   }

@@ -1,0 +1,169 @@
+#include "src/kernel/file_service.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/syscall_scope.h"
+
+namespace ufork {
+
+SimTask<Result<int>> FileService::Open(Uproc& caller, std::string path, uint32_t flags) {
+  SyscallScope scope(kernel_, caller, Sys::kOpen);
+  {
+    auto entered = co_await scope.Enter();
+    if (!entered.ok()) {
+      co_return entered.error();
+    }
+  }
+  kernel_.machine().Charge(kernel_.costs().vfs_op);
+  auto file = vfs_.Open(path, flags);
+  if (!file.ok()) {
+    co_return file.error();
+  }
+  co_return caller.fds->Install(std::move(*file));
+}
+
+SimTask<Result<void>> FileService::Close(Uproc& caller, int fd) {
+  SyscallScope scope(kernel_, caller, Sys::kClose);
+  {
+    auto entered = co_await scope.Enter();
+    if (!entered.ok()) {
+      co_return entered.error();
+    }
+  }
+  co_return caller.fds->Close(fd);
+}
+
+SimTask<Result<int64_t>> FileService::Read(Uproc& caller, int fd, Capability buf, uint64_t va,
+                                           uint64_t len) {
+  co_await kernel_.procs().DeliverSignals(caller);
+  SyscallScope scope(kernel_, caller, Sys::kRead);
+  {
+    auto entered = co_await scope.Enter();
+    if (!entered.ok()) {
+      co_return entered.error();
+    }
+  }
+  auto file_or = caller.fds->Get(fd);
+  if (!file_or.ok()) {
+    co_return file_or.error();
+  }
+  auto check = kernel_.ValidateUserBuffer(caller, buf, va, len, /*is_write=*/true);
+  if (!check.ok()) {
+    co_return check.error();
+  }
+  std::shared_ptr<OpenFile> file = std::move(*file_or);
+  kernel_.machine().Charge(file->IoFixedCost(kernel_.costs()));
+  scope.Leave();  // the transfer may block (pipes); do not hold the domain lock across it
+
+  std::vector<std::byte> kbuf(len);
+  auto n = co_await file->Read(kbuf);
+  if (!n.ok()) {
+    co_return n.error();
+  }
+  if (*n > 0) {
+    kernel_.machine().Charge(kernel_.costs().VfsTransfer(static_cast<uint64_t>(*n)));
+    auto copied = co_await kernel_.CopyToUser(caller, buf, va,
+                                              std::span(kbuf.data(), static_cast<uint64_t>(*n)));
+    if (!copied.ok()) {
+      co_return copied.error();
+    }
+  }
+  co_return n;
+}
+
+SimTask<Result<int64_t>> FileService::Write(Uproc& caller, int fd, Capability buf, uint64_t va,
+                                            uint64_t len) {
+  SyscallScope scope(kernel_, caller, Sys::kWrite);
+  {
+    auto entered = co_await scope.Enter();
+    if (!entered.ok()) {
+      co_return entered.error();
+    }
+  }
+  auto file_or = caller.fds->Get(fd);
+  if (!file_or.ok()) {
+    co_return file_or.error();
+  }
+  auto check = kernel_.ValidateUserBuffer(caller, buf, va, len, /*is_write=*/false);
+  if (!check.ok()) {
+    co_return check.error();
+  }
+  std::shared_ptr<OpenFile> file = std::move(*file_or);
+  kernel_.machine().Charge(file->IoFixedCost(kernel_.costs()));
+  scope.Leave();
+
+  std::vector<std::byte> kbuf(len);
+  auto copied = co_await kernel_.CopyFromUser(caller, buf, va, kbuf);
+  if (!copied.ok()) {
+    co_return copied.error();
+  }
+  kernel_.machine().Charge(kernel_.costs().VfsTransfer(len));
+  co_return co_await file->Write(kbuf);
+}
+
+SimTask<Result<int64_t>> FileService::Seek(Uproc& caller, int fd, int64_t offset, int whence) {
+  SyscallScope scope(kernel_, caller, Sys::kSeek);
+  {
+    auto entered = co_await scope.Enter();
+    if (!entered.ok()) {
+      co_return entered.error();
+    }
+  }
+  auto file_or = caller.fds->Get(fd);
+  if (!file_or.ok()) {
+    co_return file_or.error();
+  }
+  co_return (*file_or)->Seek(offset, whence);
+}
+
+SimTask<Result<int>> FileService::Dup2(Uproc& caller, int oldfd, int newfd) {
+  SyscallScope scope(kernel_, caller, Sys::kDup2);
+  {
+    auto entered = co_await scope.Enter();
+    if (!entered.ok()) {
+      co_return entered.error();
+    }
+  }
+  co_return caller.fds->Dup2(oldfd, newfd);
+}
+
+SimTask<Result<void>> FileService::Unlink(Uproc& caller, std::string path) {
+  SyscallScope scope(kernel_, caller, Sys::kUnlink);
+  {
+    auto entered = co_await scope.Enter();
+    if (!entered.ok()) {
+      co_return entered.error();
+    }
+  }
+  kernel_.machine().Charge(kernel_.costs().vfs_op);
+  co_return vfs_.Unlink(path);
+}
+
+SimTask<Result<void>> FileService::Rename(Uproc& caller, std::string from, std::string to) {
+  SyscallScope scope(kernel_, caller, Sys::kRename);
+  {
+    auto entered = co_await scope.Enter();
+    if (!entered.ok()) {
+      co_return entered.error();
+    }
+  }
+  kernel_.machine().Charge(kernel_.costs().vfs_op);
+  co_return vfs_.Rename(from, to);
+}
+
+SimTask<Result<uint64_t>> FileService::FileSize(Uproc& caller, std::string path) {
+  SyscallScope scope(kernel_, caller, Sys::kFileSize);
+  {
+    auto entered = co_await scope.Enter();
+    if (!entered.ok()) {
+      co_return entered.error();
+    }
+  }
+  kernel_.machine().Charge(kernel_.costs().vfs_op);
+  co_return vfs_.FileSize(path);
+}
+
+}  // namespace ufork

@@ -23,6 +23,7 @@
 namespace ufork {
 
 class Kernel;
+class KernelCore;
 
 // Entry point of a μprocess thread. The guest layer adapts application coroutines
 // (taking a Guest facade) into this shape.
@@ -55,18 +56,20 @@ class ForkBackend {
   // the scheduler; uprocs may be null for kernel/idle threads).
   virtual Cycles ContextSwitchCost(const CostModel& costs, Uproc* prev, Uproc* next) const = 0;
 
-  // Creates the child: memory, fds, registers, PID, thread. Returns the child pid.
-  virtual Result<Pid> Fork(Kernel& kernel, Uproc& parent, UprocEntry entry) = 0;
+  // Creates the child: memory, fds, registers, PID, thread. Returns the child pid. Backends
+  // see only the KernelCore layer — process construction, machine, frames, locks — never the
+  // syscall services.
+  virtual Result<Pid> Fork(KernelCore& kernel, Uproc& parent, UprocEntry entry) = 0;
 
   // Resolves a CoW / capability-load page fault raised by the access engine.
-  virtual Result<void> ResolveFault(Kernel& kernel, const PageFaultInfo& info) = 0;
+  virtual Result<void> ResolveFault(KernelCore& kernel, const PageFaultInfo& info) = 0;
 
   // Residency the PSS metric must add beyond frames mapped in the region (shared libraries,
   // guest-OS image, allocator dirtying — see DESIGN.md substitutions).
-  virtual uint64_t ExtraResidencyBytes(const Kernel& kernel, const Uproc& uproc) const = 0;
+  virtual uint64_t ExtraResidencyBytes(const KernelCore& kernel, const Uproc& uproc) const = 0;
 
   // Called when a μprocess exits, before its pages are released.
-  virtual void OnExit(Kernel& kernel, Uproc& uproc) { (void)kernel, (void)uproc; }
+  virtual void OnExit(KernelCore& kernel, Uproc& uproc) { (void)kernel, (void)uproc; }
 };
 
 }  // namespace ufork

@@ -1,839 +1,6 @@
 #include "src/kernel/kernel.h"
 
-#include <algorithm>
-
-#include "src/base/log.h"
-
 namespace ufork {
-namespace {
-
-// Virtual address map of the single address space:
-//   [kKernelBase, kKernelTop)  kernel text/data (source of sealed syscall entries)
-//   [kUserBase,   kUserTop)    μprocess regions, handed out by the AddressSpace allocator
-constexpr uint64_t kKernelBase = 256 * kMiB;
-constexpr uint64_t kKernelTop = 1 * kGiB;
-constexpr uint64_t kUserBase = 4 * kGiB;
-constexpr uint64_t kUserTop = 1ULL << 47;
-
-// μprocess regions are aligned generously so capability-representable bounds (see
-// compressed_cap.h) hold for whole-region capabilities.
-constexpr uint64_t kRegionAlign = 2 * kMiB;
-
-// Wakeup latency for threads blocked on IPC objects: on SMP this is a cross-core IPI plus
-// remote scheduler entry; on a single core it is just a run-queue insertion.
-Cycles EffectiveBlockingWake(const KernelConfig& config) {
-  return config.cores > 1 ? config.costs.blocking_wake : config.costs.sched_wakeup;
-}
-
-}  // namespace
-
-const char* IsolationLevelName(IsolationLevel level) {
-  switch (level) {
-    case IsolationLevel::kNone:
-      return "none";
-    case IsolationLevel::kFault:
-      return "fault";
-    case IsolationLevel::kFull:
-      return "full";
-  }
-  return "?";
-}
-
-const char* ForkStrategyName(ForkStrategy strategy) {
-  switch (strategy) {
-    case ForkStrategy::kCopa:
-      return "CoPA";
-    case ForkStrategy::kCoa:
-      return "CoA";
-    case ForkStrategy::kFull:
-      return "FullCopy";
-    case ForkStrategy::kUnsafeCow:
-      return "UnsafeCoW";
-  }
-  return "?";
-}
-
-Kernel::Kernel(const KernelConfig& config, std::unique_ptr<ForkBackend> backend)
-    : config_(config),
-      policy_(IsolationPolicy::FromLevel(config.isolation)),
-      layout_(config.layout),
-      sched_(config.cores),
-      machine_(MachineConfig{config.phys_mem_bytes / kPageSize, config.costs}),
-      address_space_(kUserBase, kUserTop),
-      vfs_(),
-      mqueues_(sched_, EffectiveBlockingWake(config)),
-      bkl_(sched_),
-      backend_(std::move(backend)) {
-  UF_CHECK_MSG(backend_ != nullptr, "a ForkBackend is required");
-  machine_.set_cycle_sink([this](Cycles c) { sched_.Charge(c); });
-  machine_.set_fault_resolver(
-      [this](const PageFaultInfo& info) { return backend_->ResolveFault(*this, info); });
-  sched_.set_context_switch_hook([this](SimThread* prev, SimThread* next) {
-    Uproc* prev_proc = prev != nullptr ? static_cast<Uproc*>(prev->context()) : nullptr;
-    Uproc* next_proc = next != nullptr ? static_cast<Uproc*>(next->context()) : nullptr;
-    return backend_->ContextSwitchCost(costs(), prev_proc, next_proc);
-  });
-  if (config_.aslr_seed.has_value()) {
-    address_space_.EnableAslr(*config_.aslr_seed);
-  }
-}
-
-Kernel::~Kernel() = default;
-
-// --- μprocess lookup -----------------------------------------------------------------------
-
-Uproc* Kernel::FindUproc(Pid pid) {
-  auto it = uprocs_.find(pid);
-  return it == uprocs_.end() ? nullptr : it->second.get();
-}
-
-Uproc* Kernel::UprocByAddress(uint64_t va) {
-  const auto base = address_space_.RegionContaining(va);
-  if (!base.has_value()) {
-    return nullptr;
-  }
-  for (auto& [pid, uproc] : uprocs_) {
-    if (uproc->base == *base && uproc->state == Uproc::State::kRunning) {
-      return uproc.get();
-    }
-  }
-  return nullptr;
-}
-
-Uproc* Kernel::UprocByPageTable(const PageTable* pt) {
-  auto it = pt_owners_.find(pt);
-  return it == pt_owners_.end() ? nullptr : FindUproc(it->second);
-}
-
-Uproc& Kernel::CurrentUproc() {
-  Uproc* uproc = static_cast<Uproc*>(sched_.Current().context());
-  UF_CHECK_MSG(uproc != nullptr, "current thread is not a μprocess thread");
-  return *uproc;
-}
-
-std::vector<Pid> Kernel::LivePids() const {
-  std::vector<Pid> pids;
-  for (const auto& [pid, uproc] : uprocs_) {
-    if (uproc->state == Uproc::State::kRunning) {
-      pids.push_back(pid);
-    }
-  }
-  return pids;
-}
-
-std::vector<Pid> Kernel::AllPids() const {
-  std::vector<Pid> pids;
-  pids.reserve(uprocs_.size());
-  for (const auto& [pid, uproc] : uprocs_) {
-    pids.push_back(pid);
-  }
-  return pids;
-}
-
-// --- segment permissions -------------------------------------------------------------------
-
-uint32_t Kernel::SegmentFlagsAt(uint64_t offset) const {
-  if (offset >= layout_.text_off() && offset < layout_.text_off() + layout_.text_size()) {
-    return kPteRead | kPteExec;
-  }
-  if (offset >= layout_.rodata_off() &&
-      offset < layout_.rodata_off() + layout_.rodata_size()) {
-    return kPteRead;
-  }
-  return kPteRw;  // GOT, data, heap, stack, tls, mmap
-}
-
-// --- μprocess construction ------------------------------------------------------------------
-
-Uproc& Kernel::CreateUprocShell(std::string name, Pid parent) {
-  const Pid pid = next_pid_++;
-  auto uproc = std::make_unique<Uproc>(pid, sched_);
-  uproc->name = std::move(name);
-  uproc->parent_pid = parent;
-  Uproc& ref = *uproc;
-  uprocs_.emplace(pid, std::move(uproc));
-  if (Uproc* parent_proc = FindUproc(parent)) {
-    parent_proc->children.push_back(pid);
-  }
-  return ref;
-}
-
-Result<void> Kernel::AllocateUprocMemory(Uproc& uproc, bool private_page_table) {
-  uproc.size = layout_.TotalSize();
-  if (private_page_table) {
-    // MAS / VM-clone: identical layout in a private address space — every process sees the
-    // same virtual base, which is why no relocation is needed (and why it is not a SAS).
-    uproc.base = kUserBase;
-    uproc.owned_pt = std::make_unique<PageTable>();
-    uproc.page_table = uproc.owned_pt.get();
-    pt_owners_[uproc.page_table] = uproc.pid();
-  } else {
-    UF_ASSIGN_OR_RETURN(uproc.base,
-                        address_space_.AllocateRegion(uproc.size, kRegionAlign));
-    uproc.page_table = &shared_pt_;
-  }
-  uproc.mmap_cursor = uproc.base + layout_.mmap_off();
-  return OkResult();
-}
-
-Result<void> Kernel::MapFreshImage(Uproc& uproc) {
-  // All segments except the on-demand mmap zone are mapped eagerly with zero frames — a static
-  // unikernel-style image with the build-time-configured static heap (§4.2).
-  const uint64_t image_bytes = layout_.mmap_off();
-  for (uint64_t off = 0; off < image_bytes; off += kPageSize) {
-    UF_ASSIGN_OR_RETURN(const FrameId frame, machine_.frames().Allocate());
-    machine_.Charge(costs().frame_alloc + costs().pte_dup);
-    uproc.page_table->Map(uproc.base + off, frame, SegmentFlagsAt(off));
-  }
-  return OkResult();
-}
-
-void Kernel::InstallArchCaps(Uproc& uproc) {
-  const uint32_t data_perms = kPermLoad | kPermStore | kPermLoadCap | kPermStoreCap |
-                              kPermGlobal;
-  if (policy_.confine_caps) {
-    uproc.regs.ddc = Capability::Root(uproc.base, uproc.size, data_perms);
-  } else {
-    // Isolation disabled (R4): ambient authority over the whole user area.
-    uproc.regs.ddc = Capability::Root(kUserBase, kUserTop - kUserBase, data_perms);
-  }
-  uproc.regs.pcc = Capability::Root(uproc.base + layout_.text_off(), layout_.text_size(),
-                                    kPermLoad | kPermExecute);
-  uproc.regs.csp = uproc.regs.ddc
-                       .WithBounds(uproc.base + layout_.stack_off(), layout_.stack_size())
-                       .WithAddress(uproc.base + layout_.stack_off() + layout_.stack_size());
-  // Sealed kernel entry: the only way into kernel code, no trap required (§4.4).
-  uproc.syscall_sentry =
-      Capability::Root(kKernelBase, kKernelTop - kKernelBase, kPermLoad | kPermExecute)
-          .AsSentry();
-}
-
-void Kernel::StartUprocThread(Uproc& uproc, UprocEntry entry, int pinned_core) {
-  auto wrapper = [](Kernel& kernel, Uproc& proc, UprocEntry fn) -> SimTask<void> {
-    co_await fn(kernel, proc);
-    // The entry returned without calling exit(): POSIX main() return implies exit(0).
-    if (proc.state == Uproc::State::kRunning) {
-      co_await kernel.SysExit(proc, 0);
-    }
-  };
-  const ThreadId tid =
-      sched_.Spawn(wrapper(*this, uproc, std::move(entry)), uproc.name, pinned_core);
-  uproc.thread = tid;
-  uproc.threads.assign(1, tid);
-  if (uproc.thread_exit_wait == nullptr) {
-    uproc.thread_exit_wait = std::make_unique<WaitQueue>(sched_);
-  }
-  // Attach the uproc to the thread control block for CurrentUproc() and context-switch
-  // pricing. Spawn only enqueues, so the thread cannot have observed a null context.
-  sched_.SetThreadContext(tid, &uproc);
-}
-
-Result<Pid> Kernel::Spawn(UprocEntry entry, std::string name, int pinned_core) {
-  Uproc& uproc = CreateUprocShell(std::move(name), kInvalidPid);
-  UF_RETURN_IF_ERROR(AllocateUprocMemory(uproc, backend_->private_page_tables()));
-  UF_RETURN_IF_ERROR(MapFreshImage(uproc));
-  InstallArchCaps(uproc);
-  uproc.fds = std::make_shared<FdTable>();
-  StartUprocThread(uproc, std::move(entry), pinned_core);
-  return uproc.pid();
-}
-
-void Kernel::ReleaseUprocMemory(Uproc& uproc) {
-  if (uproc.page_table == nullptr) {
-    return;
-  }
-  std::vector<uint64_t> pages;
-  uproc.page_table->ForEachMapped(uproc.base, uproc.base + uproc.size,
-                                  [&pages](uint64_t va, const Pte&) { pages.push_back(va); });
-  bool frames_still_shared = false;
-  for (uint64_t va : pages) {
-    const FrameId frame = uproc.page_table->Unmap(va);
-    machine_.frames().Release(frame);
-    frames_still_shared |= machine_.frames().IsLive(frame);
-  }
-  if (uproc.owned_pt != nullptr) {
-    pt_owners_.erase(uproc.owned_pt.get());
-    uproc.owned_pt.reset();
-  } else if (frames_still_shared && uproc.forks_performed > 0) {
-    // A fork parent exiting while children still share its frames: those frames may contain
-    // capabilities pointing into THIS region, and the relocation scanner resolves them through
-    // AddressSpace::RegionContaining. Keep the region reserved (tombstone) so relocation stays
-    // well-defined; reclaiming such regions is the compaction future work of §6.
-    ++stats_.regions_tombstoned;
-  } else {
-    address_space_.FreeRegion(uproc.base);
-  }
-  uproc.page_table = nullptr;
-}
-
-// --- syscall plumbing -------------------------------------------------------------------------
-
-SimTask<Result<void>> Kernel::EnterSyscall(Uproc& caller) {
-  ++stats_.syscalls;
-  machine_.Charge(costs().SyscallEntry(backend_->syscall_kind()));
-  // Entering the kernel means invoking the sealed entry capability: the hardware unseals it
-  // and branches to the fixed kernel entry point; anything else faults (§4.4).
-  auto target = caller.syscall_sentry.InvokedSentry();
-  if (!target.ok()) {
-    co_return target.error();
-  }
-  if (policy_.validate_args) {
-    machine_.Charge(costs().validation_check);
-  }
-  if (config_.use_bkl) {
-    co_await bkl_.Acquire();
-  }
-  co_return OkResult();
-}
-
-void Kernel::LeaveSyscall() {
-  // Syscall return path: restoring the caller's context costs about half the entry. For a
-  // blocked caller this lands after the wakeup, so it is never absorbed into wait time.
-  machine_.Charge(costs().SyscallEntry(backend_->syscall_kind()) / 2);
-  if (config_.use_bkl) {
-    bkl_.Release();
-  }
-}
-
-Result<void> Kernel::ValidateUserBuffer(Uproc& caller, const Capability& cap, uint64_t va,
-                                        uint64_t len, bool is_write) {
-  // The hardware enforces the capability check regardless of policy when the transfer happens;
-  // the kernel-side validation models the explicit checks of §4.4 (third principle).
-  if (!policy_.validate_args) {
-    return OkResult();
-  }
-  machine_.Charge(costs().validation_check);
-  UF_RETURN_IF_ERROR(cap.CheckAccess(va, len, is_write ? kPermStore : kPermLoad));
-  const bool confined =
-      caller.ContainsVa(va) && (len == 0 || caller.ContainsVa(va + len - 1));
-  if (policy_.confine_caps && !confined) {
-    return Error{Code::kErrAccess, "buffer outside μprocess region"};
-  }
-  return OkResult();
-}
-
-SimTask<Result<void>> Kernel::CopyFromUser(Uproc& caller, const Capability& cap, uint64_t va,
-                                           std::span<std::byte> out) {
-  if (policy_.tocttou_protect) {
-    // Copy user memory into the kernel before any check-use sequence (§4.4, fourth principle).
-    machine_.Charge(costs().TocttouCopy(out.size()));
-    ++stats_.tocttou_copies;
-  }
-  co_return machine_.Load(*caller.page_table, cap, va, out);
-}
-
-SimTask<Result<void>> Kernel::CopyToUser(Uproc& caller, const Capability& cap, uint64_t va,
-                                         std::span<const std::byte> in) {
-  if (policy_.tocttou_protect) {
-    machine_.Charge(costs().TocttouCopy(in.size()));
-    ++stats_.tocttou_copies;
-  }
-  co_return machine_.Store(*caller.page_table, cap, va, in);
-}
-
-// --- process-lifecycle syscalls ----------------------------------------------------------------
-
-SimTask<Result<Pid>> Kernel::SysFork(Uproc& caller, UprocEntry child_entry) {
-  {
-    auto entered = co_await EnterSyscall(caller);
-    if (!entered.ok()) {
-      co_return entered.error();
-    }
-  }
-  const Cycles start = sched_.Now();
-  auto child = backend_->Fork(*this, caller, std::move(child_entry));
-  if (child.ok()) {
-    ++stats_.forks;
-    ++caller.forks_performed;
-    Uproc* child_proc = FindUproc(*child);
-    UF_CHECK(child_proc != nullptr);
-    child_proc->fork_stats.latency = sched_.Now() - start;
-  }
-  LeaveSyscall();
-  co_return child;
-}
-
-SimTask<Result<WaitResult>> Kernel::SysWait(Uproc& caller) {
-  co_await DeliverSignals(caller);
-  {
-    auto entered = co_await EnterSyscall(caller);
-    if (!entered.ok()) {
-      co_return entered.error();
-    }
-  }
-  for (;;) {
-    Uproc* zombie = nullptr;
-    bool has_children = false;
-    for (Pid child_pid : caller.children) {
-      Uproc* child = FindUproc(child_pid);
-      if (child == nullptr) {
-        continue;
-      }
-      has_children = true;
-      if (child->state == Uproc::State::kZombie) {
-        zombie = child;
-        break;
-      }
-    }
-    if (zombie != nullptr) {
-      const WaitResult result{zombie->pid(), zombie->exit_code};
-      ReapZombie(*zombie);
-      machine_.Charge(costs().sched_wakeup);
-      LeaveSyscall();
-      co_return result;
-    }
-    if (!has_children) {
-      LeaveSyscall();
-      co_return Error{Code::kErrChild, "wait() with no children"};
-    }
-    LeaveSyscall();
-    co_await caller.child_wait.Wait();
-    if (config_.use_bkl) {
-      co_await bkl_.Acquire();
-    }
-  }
-}
-
-void Kernel::ReapZombie(Uproc& zombie) {
-  if (Uproc* parent = FindUproc(zombie.parent_pid)) {
-    auto& kids = parent->children;
-    kids.erase(std::remove(kids.begin(), kids.end(), zombie.pid()), kids.end());
-  }
-  zombie.state = Uproc::State::kDead;
-  uprocs_.erase(zombie.pid());
-}
-
-SimTask<void> Kernel::SysExit(Uproc& caller, int code) {
-  {
-    auto entered = co_await EnterSyscall(caller);
-    UF_CHECK_MSG(entered.ok(), "exit() must always reach the kernel");
-  }
-  machine_.Charge(costs().proc_teardown);
-  ++stats_.exits;
-  caller.exit_code = code;
-  caller.state = Uproc::State::kZombie;
-  // exit() terminates the whole μprocess: every sibling thread dies with it (POSIX).
-  for (const ThreadId tid : caller.threads) {
-    if (sched_.IsAlive(tid) && (!sched_.InThread() || tid != sched_.Current().tid())) {
-      sched_.Kill(tid);
-    }
-  }
-  caller.threads.clear();
-  backend_->OnExit(*this, caller);
-  caller.fds->CloseAll();
-  ReleaseUprocMemory(caller);
-  // Reparent running children to init (pid 1); reap zombie children now.
-  std::vector<Pid> children = caller.children;
-  Uproc* init = FindUproc(1);
-  for (Pid child_pid : children) {
-    Uproc* child = FindUproc(child_pid);
-    if (child == nullptr) {
-      continue;
-    }
-    if (child->state == Uproc::State::kZombie) {
-      ReapZombie(*child);
-    } else {
-      // Orphans are reparented to init when possible; a fully orphaned child self-reaps at
-      // its own exit.
-      const bool init_alive = init != nullptr && init->state == Uproc::State::kRunning &&
-                              init->pid() != caller.pid();
-      child->parent_pid = init_alive ? 1 : kInvalidPid;
-      if (init_alive) {
-        init->children.push_back(child_pid);
-      }
-    }
-  }
-  caller.children.clear();
-  // Wake the parent (SIGCHLD delivery) or self-reap when orphaned.
-  Uproc* parent = FindUproc(caller.parent_pid);
-  if (parent != nullptr && parent->state == Uproc::State::kRunning) {
-    machine_.Charge(costs().sched_wakeup);
-    parent->signals.Raise(kSigChld);
-    parent->child_wait.WakeAll();
-  } else {
-    ReapZombie(caller);
-  }
-  LeaveSyscall();
-  co_await sched_.ExitThread();
-}
-
-SimTask<Result<Pid>> Kernel::SysGetPid(Uproc& caller) {
-  {
-    auto entered = co_await EnterSyscall(caller);
-    if (!entered.ok()) {
-      co_return entered.error();
-    }
-  }
-  const Pid pid = caller.pid();
-  LeaveSyscall();
-  co_return pid;
-}
-
-SimTask<Result<Pid>> Kernel::SysGetPPid(Uproc& caller) {
-  {
-    auto entered = co_await EnterSyscall(caller);
-    if (!entered.ok()) {
-      co_return entered.error();
-    }
-  }
-  const Pid pid = caller.parent_pid;
-  LeaveSyscall();
-  co_return pid;
-}
-
-// --- file & IPC syscalls -------------------------------------------------------------------
-
-SimTask<Result<int>> Kernel::SysOpen(Uproc& caller, std::string path, uint32_t flags) {
-  {
-    auto entered = co_await EnterSyscall(caller);
-    if (!entered.ok()) {
-      co_return entered.error();
-    }
-  }
-  machine_.Charge(costs().vfs_op);
-  auto file = vfs_.Open(path, flags);
-  if (!file.ok()) {
-    LeaveSyscall();
-    co_return file.error();
-  }
-  auto fd = caller.fds->Install(std::move(*file));
-  LeaveSyscall();
-  co_return fd;
-}
-
-SimTask<Result<void>> Kernel::SysClose(Uproc& caller, int fd) {
-  {
-    auto entered = co_await EnterSyscall(caller);
-    if (!entered.ok()) {
-      co_return entered.error();
-    }
-  }
-  auto closed = caller.fds->Close(fd);
-  LeaveSyscall();
-  co_return closed;
-}
-
-SimTask<Result<int64_t>> Kernel::SysRead(Uproc& caller, int fd, Capability buf, uint64_t va,
-                                         uint64_t len) {
-  co_await DeliverSignals(caller);
-  {
-    auto entered = co_await EnterSyscall(caller);
-    if (!entered.ok()) {
-      co_return entered.error();
-    }
-  }
-  auto file_or = caller.fds->Get(fd);
-  if (!file_or.ok()) {
-    LeaveSyscall();
-    co_return file_or.error();
-  }
-  auto check = ValidateUserBuffer(caller, buf, va, len, /*is_write=*/true);
-  if (!check.ok()) {
-    LeaveSyscall();
-    co_return check.error();
-  }
-  std::shared_ptr<OpenFile> file = std::move(*file_or);
-  machine_.Charge(file->IoFixedCost(costs()));
-  LeaveSyscall();  // the transfer may block (pipes); do not hold the BKL across it
-
-  std::vector<std::byte> kbuf(len);
-  auto n = co_await file->Read(kbuf);
-  if (!n.ok()) {
-    co_return n.error();
-  }
-  if (*n > 0) {
-    machine_.Charge(costs().VfsTransfer(static_cast<uint64_t>(*n)));
-    auto copied =
-        co_await CopyToUser(caller, buf, va, std::span(kbuf.data(), static_cast<uint64_t>(*n)));
-    if (!copied.ok()) {
-      co_return copied.error();
-    }
-  }
-  co_return n;
-}
-
-SimTask<Result<int64_t>> Kernel::SysWrite(Uproc& caller, int fd, Capability buf, uint64_t va,
-                                          uint64_t len) {
-  {
-    auto entered = co_await EnterSyscall(caller);
-    if (!entered.ok()) {
-      co_return entered.error();
-    }
-  }
-  auto file_or = caller.fds->Get(fd);
-  if (!file_or.ok()) {
-    LeaveSyscall();
-    co_return file_or.error();
-  }
-  auto check = ValidateUserBuffer(caller, buf, va, len, /*is_write=*/false);
-  if (!check.ok()) {
-    LeaveSyscall();
-    co_return check.error();
-  }
-  std::shared_ptr<OpenFile> file = std::move(*file_or);
-  machine_.Charge(file->IoFixedCost(costs()));
-  LeaveSyscall();
-
-  std::vector<std::byte> kbuf(len);
-  auto copied = co_await CopyFromUser(caller, buf, va, kbuf);
-  if (!copied.ok()) {
-    co_return copied.error();
-  }
-  machine_.Charge(costs().VfsTransfer(len));
-  co_return co_await file->Write(kbuf);
-}
-
-SimTask<Result<int64_t>> Kernel::SysSeek(Uproc& caller, int fd, int64_t offset, int whence) {
-  {
-    auto entered = co_await EnterSyscall(caller);
-    if (!entered.ok()) {
-      co_return entered.error();
-    }
-  }
-  auto file_or = caller.fds->Get(fd);
-  if (!file_or.ok()) {
-    LeaveSyscall();
-    co_return file_or.error();
-  }
-  auto pos = (*file_or)->Seek(offset, whence);
-  LeaveSyscall();
-  co_return pos;
-}
-
-SimTask<Result<int>> Kernel::SysDup2(Uproc& caller, int oldfd, int newfd) {
-  {
-    auto entered = co_await EnterSyscall(caller);
-    if (!entered.ok()) {
-      co_return entered.error();
-    }
-  }
-  auto fd = caller.fds->Dup2(oldfd, newfd);
-  LeaveSyscall();
-  co_return fd;
-}
-
-SimTask<Result<std::pair<int, int>>> Kernel::SysPipe(Uproc& caller) {
-  {
-    auto entered = co_await EnterSyscall(caller);
-    if (!entered.ok()) {
-      co_return entered.error();
-    }
-  }
-  machine_.Charge(costs().pipe_op);
-  auto [read_end, write_end] = Pipe::Create(sched_, EffectiveBlockingWake(config_));
-  auto rfd = caller.fds->Install(std::move(read_end));
-  if (!rfd.ok()) {
-    LeaveSyscall();
-    co_return rfd.error();
-  }
-  auto wfd = caller.fds->Install(std::move(write_end));
-  if (!wfd.ok()) {
-    (void)caller.fds->Close(*rfd);
-    LeaveSyscall();
-    co_return wfd.error();
-  }
-  LeaveSyscall();
-  co_return std::make_pair(*rfd, *wfd);
-}
-
-SimTask<Result<void>> Kernel::SysUnlink(Uproc& caller, std::string path) {
-  {
-    auto entered = co_await EnterSyscall(caller);
-    if (!entered.ok()) {
-      co_return entered.error();
-    }
-  }
-  machine_.Charge(costs().vfs_op);
-  auto unlinked = vfs_.Unlink(path);
-  LeaveSyscall();
-  co_return unlinked;
-}
-
-SimTask<Result<void>> Kernel::SysRename(Uproc& caller, std::string from, std::string to) {
-  {
-    auto entered = co_await EnterSyscall(caller);
-    if (!entered.ok()) {
-      co_return entered.error();
-    }
-  }
-  machine_.Charge(costs().vfs_op);
-  auto renamed = vfs_.Rename(from, to);
-  LeaveSyscall();
-  co_return renamed;
-}
-
-SimTask<Result<uint64_t>> Kernel::SysFileSize(Uproc& caller, std::string path) {
-  {
-    auto entered = co_await EnterSyscall(caller);
-    if (!entered.ok()) {
-      co_return entered.error();
-    }
-  }
-  machine_.Charge(costs().vfs_op);
-  auto size = vfs_.FileSize(path);
-  LeaveSyscall();
-  co_return size;
-}
-
-SimTask<Result<int>> Kernel::SysMqOpen(Uproc& caller, std::string name, bool create) {
-  {
-    auto entered = co_await EnterSyscall(caller);
-    if (!entered.ok()) {
-      co_return entered.error();
-    }
-  }
-  machine_.Charge(costs().vfs_op);
-  auto queue = mqueues_.Open(name, create);
-  if (!queue.ok()) {
-    LeaveSyscall();
-    co_return queue.error();
-  }
-  auto fd = caller.fds->Install(std::move(*queue));
-  LeaveSyscall();
-  co_return fd;
-}
-
-SimTask<Result<Capability>> Kernel::SysMmapAnon(Uproc& caller, uint64_t length) {
-  {
-    auto entered = co_await EnterSyscall(caller);
-    if (!entered.ok()) {
-      co_return entered.error();
-    }
-  }
-  length = AlignUp(length, kPageSize);
-  const uint64_t zone_end = caller.base + layout_.mmap_off() + layout_.mmap_size();
-  if (length == 0 || caller.mmap_cursor + length > zone_end) {
-    LeaveSyscall();
-    co_return Error{Code::kErrNoMem, "mmap zone exhausted"};
-  }
-  const uint64_t addr = caller.mmap_cursor;
-  for (uint64_t off = 0; off < length; off += kPageSize) {
-    auto frame = machine_.frames().Allocate();
-    if (!frame.ok()) {
-      LeaveSyscall();
-      co_return frame.error();
-    }
-    machine_.Charge(costs().frame_alloc + costs().pte_update);
-    caller.page_table->Map(addr + off, *frame, kPteRw);
-  }
-  caller.mmap_cursor += length;
-  // The returned capability is derived from the μprocess's own authority — it cannot exceed
-  // the region (security invariant, §4.2).
-  const Capability cap = caller.regs.ddc.WithBounds(addr, length);
-  LeaveSyscall();
-  co_return cap;
-}
-
-SimTask<Result<void>> Kernel::SysKill(Uproc& caller, Pid target, int signal) {
-  {
-    auto entered = co_await EnterSyscall(caller);
-    if (!entered.ok()) {
-      co_return entered.error();
-    }
-  }
-  if (signal <= 0 || signal > kMaxSignal) {
-    LeaveSyscall();
-    co_return Error{Code::kErrInval, "bad signal number"};
-  }
-  Uproc* victim = FindUproc(target);
-  if (victim == nullptr || victim->state != Uproc::State::kRunning) {
-    LeaveSyscall();
-    co_return Error{Code::kErrSrch, "no such process"};
-  }
-  if (signal != kSigKill) {
-    // Queued; the target observes it at its next delivery point.
-    victim->signals.Raise(signal);
-    LeaveSyscall();
-    co_return OkResult();
-  }
-  if (victim == &caller) {
-    LeaveSyscall();
-    co_return Error{Code::kErrInval, "SIGKILL to self: call exit()"};
-  }
-  KillUproc(*victim);
-  LeaveSyscall();
-  co_return OkResult();
-}
-
-SimTask<Result<void>> Kernel::SysSigaction(Uproc& caller, int signal, SignalHandler handler) {
-  {
-    auto entered = co_await EnterSyscall(caller);
-    if (!entered.ok()) {
-      co_return entered.error();
-    }
-  }
-  if (signal <= 0 || signal > kMaxSignal || signal == kSigKill) {
-    LeaveSyscall();
-    co_return Error{Code::kErrInval, "signal disposition cannot be changed"};
-  }
-  if (handler) {
-    caller.signals.SetHandler(signal, std::move(handler));
-  } else {
-    caller.signals.ResetHandler(signal);
-  }
-  LeaveSyscall();
-  co_return OkResult();
-}
-
-SimTask<Result<void>> Kernel::SysCheckSignals(Uproc& caller) {
-  co_await DeliverSignals(caller);
-  co_return OkResult();
-}
-
-SimTask<void> Kernel::DeliverSignals(Uproc& uproc) {
-  // Runs as the target μprocess, outside the BKL: handlers are guest code.
-  while (uproc.state == Uproc::State::kRunning && uproc.signals.AnyPending()) {
-    const int signal = uproc.signals.TakePending();
-    if (signal == 0) {
-      break;
-    }
-    machine_.Charge(costs().sched_wakeup);  // signal frame setup
-    if (const SignalHandler* installed = uproc.signals.HandlerFor(signal)) {
-      const SignalHandler handler = *installed;  // the handler may replace itself
-      co_await handler(*this, uproc, signal);
-      continue;
-    }
-    if (DefaultActionFor(signal) == SignalDefault::kIgnore) {
-      continue;
-    }
-    co_await SysExit(uproc, 128 + signal);  // default action: terminate (never returns)
-  }
-}
-
-void Kernel::KillUproc(Uproc& victim) {
-  machine_.Charge(costs().proc_teardown);
-  ++stats_.exits;
-  for (const ThreadId tid : victim.threads) {
-    sched_.Kill(tid);
-  }
-  victim.threads.clear();
-  sched_.Kill(victim.thread);
-  victim.exit_code = -9;  // SIGKILL
-  victim.state = Uproc::State::kZombie;
-  backend_->OnExit(*this, victim);
-  victim.fds->CloseAll();
-  ReleaseUprocMemory(victim);
-  Uproc* parent = FindUproc(victim.parent_pid);
-  if (parent != nullptr && parent->state == Uproc::State::kRunning) {
-    parent->signals.Raise(kSigChld);
-    parent->child_wait.WakeAll();
-  } else {
-    ReapZombie(victim);
-  }
-}
-
-SimTask<Result<void>> Kernel::SysNanosleep(Uproc& caller, Cycles duration) {
-  co_await DeliverSignals(caller);
-  {
-    auto entered = co_await EnterSyscall(caller);
-    if (!entered.ok()) {
-      co_return entered.error();
-    }
-  }
-  LeaveSyscall();
-  co_await sched_.Sleep(duration);
-  co_return OkResult();
-}
 
 SimTask<Result<void>> Kernel::SysPrivilegedOp(Uproc& caller) {
   // Not a syscall proper: models user code attempting an MSR/MRS-class instruction directly.
@@ -842,345 +9,6 @@ SimTask<Result<void>> Kernel::SysPrivilegedOp(Uproc& caller) {
     co_return Error{Code::kFaultSystem, "privileged instruction without System permission"};
   }
   co_return OkResult();
-}
-
-
-// --- POSIX shared memory ------------------------------------------------------------------------
-
-SimTask<Result<int>> Kernel::SysShmOpen(Uproc& caller, std::string name, uint64_t size) {
-  {
-    auto entered = co_await EnterSyscall(caller);
-    if (!entered.ok()) {
-      co_return entered.error();
-    }
-  }
-  auto existing = shm_by_name_.find(name);
-  if (existing != shm_by_name_.end()) {
-    const int id = existing->second;
-    LeaveSyscall();
-    co_return id;
-  }
-  size = AlignUp(size, kPageSize);
-  if (size == 0) {
-    LeaveSyscall();
-    co_return Error{Code::kErrInval, "zero-sized shared memory object"};
-  }
-  ShmObject object;
-  object.name = name;
-  object.size = size;
-  for (uint64_t off = 0; off < size; off += kPageSize) {
-    auto frame = machine_.frames().Allocate();
-    if (!frame.ok()) {
-      for (const FrameId f : object.frames) {
-        machine_.frames().Release(f);
-      }
-      LeaveSyscall();
-      co_return frame.error();
-    }
-    machine_.Charge(costs().frame_alloc);
-    object.frames.push_back(*frame);
-  }
-  const int id = next_shm_id_++;
-  shm_by_name_.emplace(std::move(name), id);
-  shm_objects_.emplace(id, std::move(object));
-  LeaveSyscall();
-  co_return id;
-}
-
-SimTask<Result<Capability>> Kernel::SysShmMap(Uproc& caller, int shm_id) {
-  {
-    auto entered = co_await EnterSyscall(caller);
-    if (!entered.ok()) {
-      co_return entered.error();
-    }
-  }
-  auto it = shm_objects_.find(shm_id);
-  if (it == shm_objects_.end()) {
-    LeaveSyscall();
-    co_return Error{Code::kErrBadFd, "no such shared memory object"};
-  }
-  ShmObject& object = it->second;
-  const uint64_t zone_end = caller.base + layout_.mmap_off() + layout_.mmap_size();
-  if (caller.mmap_cursor + object.size > zone_end) {
-    LeaveSyscall();
-    co_return Error{Code::kErrNoMem, "mmap zone exhausted"};
-  }
-  const uint64_t addr = caller.mmap_cursor;
-  for (uint64_t i = 0; i < object.frames.size(); ++i) {
-    machine_.frames().AddRef(object.frames[i]);
-    machine_.Charge(costs().pte_update);
-    // kPteShared exempts these pages from fork-time CoW: MAP_SHARED survives fork shared.
-    caller.page_table->Map(addr + i * kPageSize, object.frames[i], kPteRw | kPteShared);
-  }
-  caller.mmap_cursor += object.size;
-  // The window carries data permissions only: capabilities cannot be laundered between
-  // μprocesses through shared memory (they would carry foreign-region authority).
-  const Capability cap = caller.regs.ddc.WithBounds(addr, object.size)
-                             .WithPermsAnd(~(kPermLoadCap | kPermStoreCap));
-  LeaveSyscall();
-  co_return cap;
-}
-
-SimTask<Result<void>> Kernel::SysShmUnlink(Uproc& caller, std::string name) {
-  {
-    auto entered = co_await EnterSyscall(caller);
-    if (!entered.ok()) {
-      co_return entered.error();
-    }
-  }
-  auto it = shm_by_name_.find(name);
-  if (it == shm_by_name_.end()) {
-    LeaveSyscall();
-    co_return Error{Code::kErrNoEnt, "no such shared memory object"};
-  }
-  auto object_it = shm_objects_.find(it->second);
-  UF_CHECK(object_it != shm_objects_.end());
-  // Drop the registry's reference; frames survive while mappings keep them referenced.
-  for (const FrameId frame : object_it->second.frames) {
-    machine_.frames().Release(frame);
-  }
-  shm_objects_.erase(object_it);
-  shm_by_name_.erase(it);
-  LeaveSyscall();
-  co_return OkResult();
-}
-
-// --- exec / spawn ---------------------------------------------------------------------------
-
-void Kernel::RegisterProgram(std::string name, UprocEntry entry) {
-  programs_[std::move(name)] = std::move(entry);
-}
-
-Result<void> Kernel::ResetUprocImage(Uproc& uproc) {
-  // Tear down every mapping (shared windows included: POSIX drops mappings on exec) and build
-  // a fresh zeroed image.
-  std::vector<uint64_t> pages;
-  uproc.page_table->ForEachMapped(uproc.base, uproc.base + uproc.size,
-                                  [&pages](uint64_t va, const Pte&) { pages.push_back(va); });
-  for (const uint64_t va : pages) {
-    machine_.Charge(costs().pte_update / 4);
-    machine_.frames().Release(uproc.page_table->Unmap(va));
-  }
-  UF_RETURN_IF_ERROR(MapFreshImage(uproc));
-  uproc.mmap_cursor = uproc.base + layout_.mmap_off();
-  InstallArchCaps(uproc);
-  uproc.signals.ClearPending();
-  return OkResult();
-}
-
-SimTask<Result<void>> Kernel::SysExec(Uproc& caller, std::string program) {
-  {
-    auto entered = co_await EnterSyscall(caller);
-    if (!entered.ok()) {
-      co_return entered.error();
-    }
-  }
-  auto it = programs_.find(program);
-  if (it == programs_.end()) {
-    LeaveSyscall();
-    co_return Error{Code::kErrNoEnt, "no such program: " + program};
-  }
-  machine_.Charge(costs().exec_base);
-  auto reset = ResetUprocImage(caller);
-  if (!reset.ok()) {
-    LeaveSyscall();
-    co_return reset.error();
-  }
-  caller.forked_child = false;  // the fresh image runs its own runtime initialization
-  caller.name = program;
-  // POSIX: exec terminates every thread but the calling one.
-  for (const ThreadId tid : caller.threads) {
-    if (sched_.IsAlive(tid) && tid != sched_.Current().tid()) {
-      sched_.Kill(tid);
-    }
-  }
-  UprocEntry entry = it->second;
-  LeaveSyscall();
-  // The μprocess (PID, parent, descriptors, children) continues under a new thread running
-  // the new image; the old thread — whose program no longer exists — retires here.
-  StartUprocThread(caller, std::move(entry));
-  co_await sched_.ExitThread();
-}
-
-SimTask<Result<Pid>> Kernel::SysSpawn(Uproc& caller, std::string program) {
-  {
-    auto entered = co_await EnterSyscall(caller);
-    if (!entered.ok()) {
-      co_return entered.error();
-    }
-  }
-  auto it = programs_.find(program);
-  if (it == programs_.end()) {
-    LeaveSyscall();
-    co_return Error{Code::kErrNoEnt, "no such program: " + program};
-  }
-  machine_.Charge(costs().exec_base);
-  Uproc& child = CreateUprocShell(program, caller.pid());
-  auto allocated = AllocateUprocMemory(child, backend_->private_page_tables());
-  if (!allocated.ok()) {
-    LeaveSyscall();
-    co_return allocated.error();
-  }
-  auto mapped = MapFreshImage(child);
-  if (!mapped.ok()) {
-    LeaveSyscall();
-    co_return mapped.error();
-  }
-  InstallArchCaps(child);
-  child.fds = caller.fds->Clone();  // posix_spawn file-actions default: inherit descriptors
-  machine_.Charge(costs().fd_dup * static_cast<uint64_t>(child.fds->OpenCount()));
-  UprocEntry entry = it->second;
-  StartUprocThread(child, std::move(entry), caller.child_affinity);
-  const Pid pid = child.pid();
-  LeaveSyscall();
-  co_return pid;
-}
-
-
-// --- threads ---------------------------------------------------------------------------------
-
-SimTask<Result<ThreadId>> Kernel::SysThreadCreate(Uproc& caller, UprocEntry entry) {
-  {
-    auto entered = co_await EnterSyscall(caller);
-    if (!entered.ok()) {
-      co_return entered.error();
-    }
-  }
-  machine_.Charge(costs().sched_wakeup);
-  // Secondary threads share everything; when their entry returns, only the thread ends.
-  auto wrapper = [](Kernel& kernel, Uproc& proc, UprocEntry fn) -> SimTask<void> {
-    co_await fn(kernel, proc);
-    if (proc.thread_exit_wait != nullptr) {
-      proc.thread_exit_wait->WakeAll();
-    }
-  };
-  const ThreadId tid = sched_.Spawn(wrapper(*this, caller, std::move(entry)),
-                                    caller.name + ":thr", caller.child_affinity);
-  sched_.SetThreadContext(tid, &caller);
-  caller.threads.push_back(tid);
-  LeaveSyscall();
-  co_return tid;
-}
-
-SimTask<Result<void>> Kernel::SysThreadJoin(Uproc& caller, ThreadId tid) {
-  {
-    auto entered = co_await EnterSyscall(caller);
-    if (!entered.ok()) {
-      co_return entered.error();
-    }
-  }
-  const bool known =
-      std::find(caller.threads.begin(), caller.threads.end(), tid) != caller.threads.end();
-  LeaveSyscall();
-  if (!known) {
-    co_return Error{Code::kErrSrch, "join of a thread not in this μprocess"};
-  }
-  if (sched_.InThread() && sched_.Current().tid() == tid) {
-    co_return Error{Code::kErrInval, "a thread cannot join itself"};
-  }
-  while (sched_.IsAlive(tid)) {
-    co_await caller.thread_exit_wait->Wait();
-  }
-  auto& threads = caller.threads;
-  threads.erase(std::remove(threads.begin(), threads.end(), tid), threads.end());
-  co_return OkResult();
-}
-
-// --- futex ------------------------------------------------------------------------------------
-
-SimTask<Result<void>> Kernel::SysFutexWait(Uproc& caller, Capability cap, uint64_t va,
-                                           uint64_t expected) {
-  {
-    auto entered = co_await EnterSyscall(caller);
-    if (!entered.ok()) {
-      co_return entered.error();
-    }
-  }
-  auto check = ValidateUserBuffer(caller, cap, va, 8, /*is_write=*/false);
-  if (!check.ok()) {
-    LeaveSyscall();
-    co_return check.error();
-  }
-  // Load the word through the caller's capability (CoW/CoPA resolve underneath), then key the
-  // queue by the *physical* location so MAP_SHARED futexes pair up across μprocesses.
-  auto value = machine_.LoadScalar<uint64_t>(*caller.page_table, cap, va);
-  if (!value.ok()) {
-    LeaveSyscall();
-    co_return value.error();
-  }
-  const std::optional<Pte> pte = caller.page_table->Lookup(va);
-  UF_CHECK(pte.has_value());
-  const auto key = std::make_pair(pte->frame, va % kPageSize);
-  if (*value != expected) {
-    LeaveSyscall();
-    co_return Error{Code::kErrAgain, "futex value changed"};
-  }
-  auto& queue = futexes_[key];
-  if (queue == nullptr) {
-    queue = std::make_unique<WaitQueue>(sched_);
-    queue->set_resume_delay(costs().sched_wakeup);
-  }
-  WaitQueue& wq = *queue;
-  LeaveSyscall();  // never block holding the BKL
-  co_await wq.Wait();
-  co_return OkResult();
-}
-
-SimTask<Result<uint64_t>> Kernel::SysFutexWake(Uproc& caller, Capability cap, uint64_t va,
-                                               uint64_t n) {
-  {
-    auto entered = co_await EnterSyscall(caller);
-    if (!entered.ok()) {
-      co_return entered.error();
-    }
-  }
-  auto check = ValidateUserBuffer(caller, cap, va, 8, /*is_write=*/false);
-  if (!check.ok()) {
-    LeaveSyscall();
-    co_return check.error();
-  }
-  const std::optional<Pte> pte = caller.page_table->Lookup(va);
-  UF_CHECK(pte.has_value());
-  auto it = futexes_.find(std::make_pair(pte->frame, va % kPageSize));
-  uint64_t woken = 0;
-  if (it != futexes_.end()) {
-    machine_.Charge(costs().sched_wakeup);
-    woken = it->second->Wake(n);
-  }
-  LeaveSyscall();
-  co_return woken;
-}
-
-// --- metrics ------------------------------------------------------------------------------------
-
-
-
-uint64_t Kernel::UprocPssBytes(const Uproc& uproc) const {
-  if (uproc.page_table == nullptr) {
-    return 0;
-  }
-  uint64_t pss = 0;
-  const FrameAllocator& frames = machine_.frames();
-  uproc.page_table->ForEachMapped(
-      uproc.base, uproc.base + uproc.size, [&](uint64_t, const Pte& pte) {
-        pss += kPageSize / frames.RefCount(pte.frame);
-      });
-  return pss;
-}
-
-uint64_t Kernel::UprocUssBytes(const Uproc& uproc) const {
-  if (uproc.page_table == nullptr) {
-    return 0;
-  }
-  uint64_t uss = 0;
-  const FrameAllocator& frames = machine_.frames();
-  uproc.page_table->ForEachMapped(
-      uproc.base, uproc.base + uproc.size, [&](uint64_t, const Pte& pte) {
-        if (frames.RefCount(pte.frame) == 1) {
-          uss += kPageSize;
-        }
-      });
-  return uss + backend_->ExtraResidencyBytes(*this, uproc);
 }
 
 }  // namespace ufork

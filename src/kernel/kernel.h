@@ -5,25 +5,38 @@
 // PIDs, wait/exit, scheduling, signals, pipes, message queues and a ramdisk VFS. System calls
 // are plain (coroutine) function calls — same privilege level as the application — guarded by
 // the sealed-entry capability check; argument validation and TOCTTOU protections are applied
-// per the configured isolation policy (§4.4). Fork itself is delegated to the installed
-// ForkBackend (μFork, MAS baseline, or VM-clone baseline).
+// per the configured isolation policy (§4.4).
+//
+// The kernel is layered (see DESIGN.md "Kernel layering and lock domains"):
+//
+//   KernelCore (kernel_core.h)  machine, scheduler, address space, process table, lock
+//                               domains, μprocess construction. Fork backends see only this.
+//   ProcService / FileService / IpcService
+//                               the syscalls, one service per lock domain, each owning its
+//                               subsystem state (programs, VFS, pipes/mqueues/shm/futexes).
+//   Kernel (this file)          composes the services and re-exports the Sys* surface the
+//                               Guest facade and applications call.
+//
+// Every syscall runs under a SyscallScope driven by the declarative syscall table
+// (syscall_table.h): shared entry/exit protocol, per-syscall stats, RAII lock discipline.
 #ifndef UFORK_SRC_KERNEL_KERNEL_H_
 #define UFORK_SRC_KERNEL_KERNEL_H_
 
-#include <map>
 #include <memory>
-#include <optional>
 #include <string>
 #include <utility>
-#include <vector>
 
 #include "src/base/status.h"
 #include "src/cheri/capability.h"
 #include "src/kernel/fd.h"
+#include "src/kernel/file_service.h"
 #include "src/kernel/fork_backend.h"
+#include "src/kernel/ipc_service.h"
 #include "src/kernel/isolation.h"
+#include "src/kernel/kernel_core.h"
 #include "src/kernel/mqueue.h"
 #include "src/kernel/pipe.h"
+#include "src/kernel/proc_service.h"
 #include "src/kernel/uproc.h"
 #include "src/kernel/vfs.h"
 #include "src/machine/machine.h"
@@ -34,252 +47,160 @@
 
 namespace ufork {
 
-struct KernelConfig {
-  int cores = 4;  // Morello SDP has 4 ARMv8.2-A cores
-  ForkStrategy strategy = ForkStrategy::kCopa;
-  IsolationLevel isolation = IsolationLevel::kFull;
-  LayoutConfig layout;
-  uint64_t phys_mem_bytes = 2 * kGiB;
-  bool use_bkl = true;  // Unikraft-style big kernel lock (§4.5); MAS baseline disables it
-  std::optional<uint64_t> aslr_seed;
-  CostModel costs;
-};
-
-struct WaitResult {
-  Pid pid = kInvalidPid;
-  int status = 0;
-};
-
-// Aggregated kernel counters surfaced by benchmarks and tests.
-struct KernelStats {
-  uint64_t forks = 0;
-  uint64_t exits = 0;
-  uint64_t syscalls = 0;
-  uint64_t pages_copied_on_fault = 0;
-  uint64_t caps_relocated_on_fault = 0;
-  uint64_t caps_stripped = 0;  // out-of-region capabilities invalidated during relocation
-  uint64_t tocttou_copies = 0;
-  uint64_t regions_tombstoned = 0;  // regions kept reserved at exit (shared frames remain)
-};
-
-class Kernel {
+class Kernel : public KernelCore {
  public:
-  Kernel(const KernelConfig& config, std::unique_ptr<ForkBackend> backend);
-  ~Kernel();
+  Kernel(const KernelConfig& config, std::unique_ptr<ForkBackend> backend)
+      : KernelCore(config, std::move(backend)), procs_(*this), files_(*this), ipc_(*this) {}
 
-  Kernel(const Kernel&) = delete;
-  Kernel& operator=(const Kernel&) = delete;
+  // --- services -------------------------------------------------------------------------------
 
-  // --- boot / run -----------------------------------------------------------------------------
+  ProcService& procs() { return procs_; }
+  FileService& files() { return files_; }
+  IpcService& ipc() { return ipc_; }
 
-  // Creates a fresh μprocess running `entry` (a new program image, not a fork).
-  Result<Pid> Spawn(UprocEntry entry, std::string name, int pinned_core = -1);
+  RamFs& vfs() { return files_.vfs(); }
+  MqRegistry& mqueues() { return ipc_.mqueues(); }
 
-  // Drains the scheduler.
-  void Run() { sched_.Run(); }
+  // Registers a named program image for exec/spawn.
+  void RegisterProgram(std::string name, UprocEntry entry) {
+    procs_.RegisterProgram(std::move(name), std::move(entry));
+  }
 
-  // --- component access -------------------------------------------------------------------
-
-  Scheduler& sched() { return sched_; }
-  Machine& machine() { return machine_; }
-  const Machine& machine() const { return machine_; }
-  AddressSpace& address_space() { return address_space_; }
-  RamFs& vfs() { return vfs_; }
-  MqRegistry& mqueues() { return mqueues_; }
-  const UprocLayout& layout() const { return layout_; }
-  const IsolationPolicy& policy() const { return policy_; }
-  const KernelConfig& config() const { return config_; }
-  const CostModel& costs() const { return machine_.costs(); }
-  ForkBackend& backend() { return *backend_; }
-  KernelStats& stats() { return stats_; }
-
-  Uproc* FindUproc(Pid pid);
-  // SAS: μprocess whose region contains `va` (used by fault resolution and relocation).
-  Uproc* UprocByAddress(uint64_t va);
-  Uproc* UprocByPageTable(const PageTable* pt);
-  Uproc& CurrentUproc();
-  std::vector<Pid> LivePids() const;
-  std::vector<Pid> AllPids() const;
-
-  // The shared page table of the single address space (μFork backend).
-  PageTable& shared_page_table() { return shared_pt_; }
-
-  // PTE flags a region offset should have when privately owned (segment permissions).
-  uint32_t SegmentFlagsAt(uint64_t offset) const;
-
-  // --- μprocess construction (used by fork backends and Spawn) --------------------------------
-
-  // Allocates the Uproc shell: pid, fd table (empty), registers cleared.
-  Uproc& CreateUprocShell(std::string name, Pid parent);
-  // Allocates a SAS region / or assigns the fixed MAS base, creates the page table view.
-  Result<void> AllocateUprocMemory(Uproc& uproc, bool private_page_table);
-  // Eagerly maps all segments with fresh zero frames.
-  Result<void> MapFreshImage(Uproc& uproc);
-  // Derives the architectural capabilities (DDC/PCC/CSP + syscall sentry) for the region.
-  void InstallArchCaps(Uproc& uproc);
-  // Spawns the μprocess thread executing `entry`.
-  void StartUprocThread(Uproc& uproc, UprocEntry entry, int pinned_core = -1);
-
-  // Releases all frames mapped in the μprocess region and the region itself.
-  void ReleaseUprocMemory(Uproc& uproc);
-
-  // --- system calls (invoked via the Guest facade) ---------------------------------------------
+  // --- system calls (invoked via the Guest facade) --------------------------------------------
   //
-  // Every syscall validates the caller's sealed entry capability (sentry), charges the
-  // backend's entry cost, takes the BKL for its non-blocking prologue, and applies the
-  // isolation policy to referenced buffers.
+  // Thin delegators into the owning service; every call runs the SyscallScope protocol
+  // (sealed-entry check, entry cost, argument-validation charge, domain lock).
 
-  SimTask<Result<Pid>> SysFork(Uproc& caller, UprocEntry child_entry);
-  SimTask<Result<WaitResult>> SysWait(Uproc& caller);
+  SimTask<Result<Pid>> SysFork(Uproc& caller, UprocEntry child_entry) {
+    return procs_.Fork(caller, std::move(child_entry));
+  }
+  SimTask<Result<WaitResult>> SysWait(Uproc& caller) { return procs_.Wait(caller); }
   // Never returns: tears the μprocess down and exits the thread.
-  SimTask<void> SysExit(Uproc& caller, int code);
+  SimTask<void> SysExit(Uproc& caller, int code) { return procs_.Exit(caller, code); }
 
-  SimTask<Result<Pid>> SysGetPid(Uproc& caller);
-  SimTask<Result<Pid>> SysGetPPid(Uproc& caller);
+  SimTask<Result<Pid>> SysGetPid(Uproc& caller) { return procs_.GetPid(caller); }
+  SimTask<Result<Pid>> SysGetPPid(Uproc& caller) { return procs_.GetPPid(caller); }
 
-  SimTask<Result<int>> SysOpen(Uproc& caller, std::string path, uint32_t flags);
-  SimTask<Result<void>> SysClose(Uproc& caller, int fd);
+  SimTask<Result<int>> SysOpen(Uproc& caller, std::string path, uint32_t flags) {
+    return files_.Open(caller, std::move(path), flags);
+  }
+  SimTask<Result<void>> SysClose(Uproc& caller, int fd) { return files_.Close(caller, fd); }
   SimTask<Result<int64_t>> SysRead(Uproc& caller, int fd, Capability buf, uint64_t va,
-                                   uint64_t len);
+                                   uint64_t len) {
+    return files_.Read(caller, fd, buf, va, len);
+  }
   SimTask<Result<int64_t>> SysWrite(Uproc& caller, int fd, Capability buf, uint64_t va,
-                                    uint64_t len);
-  SimTask<Result<int64_t>> SysSeek(Uproc& caller, int fd, int64_t offset, int whence);
-  SimTask<Result<int>> SysDup2(Uproc& caller, int oldfd, int newfd);
-  SimTask<Result<std::pair<int, int>>> SysPipe(Uproc& caller);
-  SimTask<Result<void>> SysUnlink(Uproc& caller, std::string path);
-  SimTask<Result<void>> SysRename(Uproc& caller, std::string from, std::string to);
-  SimTask<Result<uint64_t>> SysFileSize(Uproc& caller, std::string path);
+                                    uint64_t len) {
+    return files_.Write(caller, fd, buf, va, len);
+  }
+  SimTask<Result<int64_t>> SysSeek(Uproc& caller, int fd, int64_t offset, int whence) {
+    return files_.Seek(caller, fd, offset, whence);
+  }
+  SimTask<Result<int>> SysDup2(Uproc& caller, int oldfd, int newfd) {
+    return files_.Dup2(caller, oldfd, newfd);
+  }
+  SimTask<Result<std::pair<int, int>>> SysPipe(Uproc& caller) { return ipc_.Pipe(caller); }
+  SimTask<Result<void>> SysUnlink(Uproc& caller, std::string path) {
+    return files_.Unlink(caller, std::move(path));
+  }
+  SimTask<Result<void>> SysRename(Uproc& caller, std::string from, std::string to) {
+    return files_.Rename(caller, std::move(from), std::move(to));
+  }
+  SimTask<Result<uint64_t>> SysFileSize(Uproc& caller, std::string path) {
+    return files_.FileSize(caller, std::move(path));
+  }
 
-  SimTask<Result<int>> SysMqOpen(Uproc& caller, std::string name, bool create);
+  SimTask<Result<int>> SysMqOpen(Uproc& caller, std::string name, bool create) {
+    return ipc_.MqOpen(caller, std::move(name), create);
+  }
 
   // Anonymous mmap: returns a capability over fresh pages inside the caller's region (§4.2:
   // "the kernel ensures anonymous mmap requests are served by returning capabilities pointing
   // to the calling μprocess virtual memory area").
-  SimTask<Result<Capability>> SysMmapAnon(Uproc& caller, uint64_t length);
+  SimTask<Result<Capability>> SysMmapAnon(Uproc& caller, uint64_t length) {
+    return procs_.MmapAnon(caller, length);
+  }
 
   // kill(2): SIGKILL terminates the target immediately; other signals are queued on its
   // pending set and delivered at the target's next delivery point.
-  SimTask<Result<void>> SysKill(Uproc& caller, Pid target, int signal = kSigKill);
+  SimTask<Result<void>> SysKill(Uproc& caller, Pid target, int signal = kSigKill) {
+    return procs_.Kill(caller, target, signal);
+  }
   // sigaction(2): installs a handler coroutine for `signal` (not SIGKILL).
-  SimTask<Result<void>> SysSigaction(Uproc& caller, int signal, SignalHandler handler);
+  SimTask<Result<void>> SysSigaction(Uproc& caller, int signal, SignalHandler handler) {
+    return procs_.Sigaction(caller, signal, std::move(handler));
+  }
   // Explicit delivery point: runs pending handlers / default actions now.
-  SimTask<Result<void>> SysCheckSignals(Uproc& caller);
+  SimTask<Result<void>> SysCheckSignals(Uproc& caller) { return procs_.CheckSignals(caller); }
 
   // --- POSIX shared memory (paper §3.7: "supporting shared memory between μprocesses would
   // be straightforward... map the same set of physical pages within the virtual address space
-  // areas of relevant μprocesses") -------------------------------------------------------------
+  // areas of relevant μprocesses") ---------------------------------------------------------
 
   // shm_open + ftruncate: creates (or opens) a named object of `size` bytes.
-  SimTask<Result<int>> SysShmOpen(Uproc& caller, std::string name, uint64_t size);
+  SimTask<Result<int>> SysShmOpen(Uproc& caller, std::string name, uint64_t size) {
+    return ipc_.ShmOpen(caller, std::move(name), size);
+  }
   // mmap(MAP_SHARED): maps the object's frames into the caller's mmap zone. The returned
   // capability carries data permissions but NOT StoreCap/LoadCap: capabilities cannot be
   // laundered between μprocesses through shared memory (security invariant §4.2/§4.3).
-  SimTask<Result<Capability>> SysShmMap(Uproc& caller, int shm_id);
-  SimTask<Result<void>> SysShmUnlink(Uproc& caller, std::string name);
+  SimTask<Result<Capability>> SysShmMap(Uproc& caller, int shm_id) {
+    return ipc_.ShmMap(caller, shm_id);
+  }
+  SimTask<Result<void>> SysShmUnlink(Uproc& caller, std::string name) {
+    return ipc_.ShmUnlink(caller, std::move(name));
+  }
 
-  // --- program execution (U1: fork + exec; and the cheaper posix_spawn of §2.3) ---------------
+  // --- program execution (U1: fork + exec; and the cheaper posix_spawn of §2.3) -------------
 
-  // Registers a named program image for exec/spawn.
-  void RegisterProgram(std::string name, UprocEntry entry);
   // execve(2): replaces the calling μprocess's image with a fresh instance of `program`.
   // PID, parent, descriptors and pending children are preserved; memory is reset. Never
   // returns on success.
-  SimTask<Result<void>> SysExec(Uproc& caller, std::string program);
+  SimTask<Result<void>> SysExec(Uproc& caller, std::string program) {
+    return procs_.Exec(caller, std::move(program));
+  }
   // posix_spawn(3): creates a child running a fresh image of `program` without duplicating the
   // parent's memory — the cheap fork+exec replacement SASOSes traditionally support (§2.3).
-  SimTask<Result<Pid>> SysSpawn(Uproc& caller, std::string program);
-  SimTask<Result<void>> SysNanosleep(Uproc& caller, Cycles duration);
+  SimTask<Result<Pid>> SysSpawn(Uproc& caller, std::string program) {
+    return procs_.Spawn(caller, std::move(program));
+  }
+  SimTask<Result<void>> SysNanosleep(Uproc& caller, Cycles duration) {
+    return procs_.Nanosleep(caller, duration);
+  }
 
-  // --- threads (§3.4: μprocesses may have many threads; fork copies only the caller's) -------
+  // --- threads (§3.4: μprocesses may have many threads; fork copies only the caller's) ------
 
   // pthread_create: a new thread in the SAME μprocess (same region, same descriptors).
-  SimTask<Result<ThreadId>> SysThreadCreate(Uproc& caller, UprocEntry entry);
+  SimTask<Result<ThreadId>> SysThreadCreate(Uproc& caller, UprocEntry entry) {
+    return procs_.ThreadCreate(caller, std::move(entry));
+  }
   // pthread_join: blocks until the thread ends. Any thread of the μprocess may join any other.
-  SimTask<Result<void>> SysThreadJoin(Uproc& caller, ThreadId tid);
+  SimTask<Result<void>> SysThreadJoin(Uproc& caller, ThreadId tid) {
+    return procs_.ThreadJoin(caller, tid);
+  }
 
   // --- futex (supports intra-process thread sync and, because the key is the *physical*
-  // location, cross-μprocess sync through MAP_SHARED windows) ----------------------------------
+  // location, cross-μprocess sync through MAP_SHARED windows) --------------------------------
 
   // Blocks while *(uint64_t*)va == expected (returns EAGAIN immediately otherwise).
   SimTask<Result<void>> SysFutexWait(Uproc& caller, Capability cap, uint64_t va,
-                                     uint64_t expected);
+                                     uint64_t expected) {
+    return ipc_.FutexWait(caller, cap, va, expected);
+  }
   // Wakes up to n waiters on the location. Returns the number woken.
   SimTask<Result<uint64_t>> SysFutexWake(Uproc& caller, Capability cap, uint64_t va,
-                                         uint64_t n);
+                                         uint64_t n) {
+    return ipc_.FutexWake(caller, cap, va, n);
+  }
 
   // Models an MSR/MRS-class privileged instruction: permitted only with kPermSystem on the
   // executing PCC (§4.4 second principle). User μprocesses lack it.
   SimTask<Result<void>> SysPrivilegedOp(Uproc& caller);
 
-  // --- metrics ----------------------------------------------------------------------------------
-
-  // Proportional set size: Σ page_size / frame_refcount over the region. Shared pages are
-  // split among sharers.
-  uint64_t UprocPssBytes(const Uproc& uproc) const;
-
-  // Unique set size: only privately-owned frames, plus the backend's per-process overhead
-  // (shared libraries, VM image, allocator dirtying, kernel structures). This is "the memory
-  // consumed by a (forked) process" the paper's Figures 5 and 8 report: what the fork *added*.
-  uint64_t UprocUssBytes(const Uproc& uproc) const;
-  double UprocUssMb(const Uproc& uproc) const {
-    return static_cast<double>(UprocUssBytes(uproc)) / static_cast<double>(kMiB);
-  }
-
  private:
-  friend class SyscallScope;
-
-  // Syscall prologue/epilogue helpers.
-  SimTask<Result<void>> EnterSyscall(Uproc& caller);
-  void LeaveSyscall();
-
-  // Validates a user buffer per the isolation policy; returns the (possibly narrowed)
-  // authorization to use.
-  Result<void> ValidateUserBuffer(Uproc& caller, const Capability& cap, uint64_t va,
-                                  uint64_t len, bool is_write);
-
-  // Transfers between user memory (through `cap`, honouring CoW/CoPA) and a kernel buffer,
-  // with TOCTTOU double copy when the policy demands it.
-  SimTask<Result<void>> CopyFromUser(Uproc& caller, const Capability& cap, uint64_t va,
-                                     std::span<std::byte> out);
-  SimTask<Result<void>> CopyToUser(Uproc& caller, const Capability& cap, uint64_t va,
-                                   std::span<const std::byte> in);
-
-  void ReapZombie(Uproc& zombie);
-  void KillUproc(Uproc& victim);
-  // Runs pending handlers / default actions for `uproc`. If a fatal default fires, tears the
-  // μprocess down and never returns (exits the thread).
-  SimTask<void> DeliverSignals(Uproc& uproc);
-  Result<void> ResetUprocImage(Uproc& uproc);
-
-  KernelConfig config_;
-  IsolationPolicy policy_;
-  UprocLayout layout_;
-  Scheduler sched_;
-  Machine machine_;
-  AddressSpace address_space_;
-  PageTable shared_pt_;
-  RamFs vfs_;
-  MqRegistry mqueues_;
-  VirtualLock bkl_;
-  std::unique_ptr<ForkBackend> backend_;
-  struct ShmObject {
-    std::string name;
-    std::vector<FrameId> frames;
-    uint64_t size = 0;
-    bool unlinked = false;
-  };
-
-  std::map<Pid, std::unique_ptr<Uproc>> uprocs_;
-  std::map<std::string, int> shm_by_name_;
-  std::map<int, ShmObject> shm_objects_;
-  int next_shm_id_ = 1;
-  std::map<std::string, UprocEntry> programs_;
-  // Futex wait queues keyed by physical location (frame, offset): shared-memory futexes work
-  // across μprocesses mapping the same frames.
-  std::map<std::pair<FrameId, uint64_t>, std::unique_ptr<WaitQueue>> futexes_;
-  std::map<const PageTable*, Pid> pt_owners_;
-  Pid next_pid_ = 1;
-  KernelStats stats_;
+  ProcService procs_;
+  FileService files_;
+  IpcService ipc_;
 };
 
 }  // namespace ufork

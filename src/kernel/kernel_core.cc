@@ -1,0 +1,353 @@
+#include "src/kernel/kernel_core.h"
+
+#include <algorithm>
+
+#include "src/base/log.h"
+#include "src/kernel/kernel.h"
+
+namespace ufork {
+namespace {
+
+// Virtual address map of the single address space:
+//   [kKernelBase, kKernelTop)  kernel text/data (source of sealed syscall entries)
+//   [kUserBase,   kUserTop)    μprocess regions, handed out by the AddressSpace allocator
+constexpr uint64_t kKernelBase = 256 * kMiB;
+constexpr uint64_t kKernelTop = 1 * kGiB;
+constexpr uint64_t kUserBase = 4 * kGiB;
+constexpr uint64_t kUserTop = 1ULL << 47;
+
+// μprocess regions are aligned generously so capability-representable bounds (see
+// compressed_cap.h) hold for whole-region capabilities.
+constexpr uint64_t kRegionAlign = 2 * kMiB;
+
+}  // namespace
+
+const char* IsolationLevelName(IsolationLevel level) {
+  switch (level) {
+    case IsolationLevel::kNone:
+      return "none";
+    case IsolationLevel::kFault:
+      return "fault";
+    case IsolationLevel::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+const char* ForkStrategyName(ForkStrategy strategy) {
+  switch (strategy) {
+    case ForkStrategy::kCopa:
+      return "CoPA";
+    case ForkStrategy::kCoa:
+      return "CoA";
+    case ForkStrategy::kFull:
+      return "FullCopy";
+    case ForkStrategy::kUnsafeCow:
+      return "UnsafeCoW";
+  }
+  return "?";
+}
+
+KernelCore::KernelCore(const KernelConfig& config, std::unique_ptr<ForkBackend> backend)
+    : config_(config),
+      policy_(IsolationPolicy::FromLevel(config.isolation)),
+      layout_(config.layout),
+      sched_(config.cores),
+      machine_(MachineConfig{config.phys_mem_bytes / kPageSize, config.costs}),
+      address_space_(kUserBase, kUserTop),
+      locks_(sched_, config.lock_mode),
+      backend_(std::move(backend)) {
+  UF_CHECK_MSG(backend_ != nullptr, "a ForkBackend is required");
+  machine_.set_cycle_sink([this](Cycles c) { sched_.Charge(c); });
+  machine_.set_fault_resolver(
+      [this](const PageFaultInfo& info) { return backend_->ResolveFault(*this, info); });
+  sched_.set_context_switch_hook([this](SimThread* prev, SimThread* next) {
+    Uproc* prev_proc = prev != nullptr ? static_cast<Uproc*>(prev->context()) : nullptr;
+    Uproc* next_proc = next != nullptr ? static_cast<Uproc*>(next->context()) : nullptr;
+    return backend_->ContextSwitchCost(costs(), prev_proc, next_proc);
+  });
+  if (config_.aslr_seed.has_value()) {
+    address_space_.EnableAslr(*config_.aslr_seed);
+  }
+}
+
+KernelCore::~KernelCore() = default;
+
+Kernel& KernelCore::AsKernel() {
+  // KernelCore's constructor is protected and Kernel is its only subclass.
+  return static_cast<Kernel&>(*this);
+}
+
+// --- μprocess lookup -----------------------------------------------------------------------
+
+Uproc* KernelCore::FindUproc(Pid pid) {
+  auto it = uprocs_.find(pid);
+  return it == uprocs_.end() ? nullptr : it->second.get();
+}
+
+Uproc* KernelCore::UprocByAddress(uint64_t va) {
+  const auto base = address_space_.RegionContaining(va);
+  if (!base.has_value()) {
+    return nullptr;
+  }
+  for (auto& [pid, uproc] : uprocs_) {
+    if (uproc->base == *base && uproc->state == Uproc::State::kRunning) {
+      return uproc.get();
+    }
+  }
+  return nullptr;
+}
+
+Uproc* KernelCore::UprocByPageTable(const PageTable* pt) {
+  auto it = pt_owners_.find(pt);
+  return it == pt_owners_.end() ? nullptr : FindUproc(it->second);
+}
+
+Uproc& KernelCore::CurrentUproc() {
+  Uproc* uproc = static_cast<Uproc*>(sched_.Current().context());
+  UF_CHECK_MSG(uproc != nullptr, "current thread is not a μprocess thread");
+  return *uproc;
+}
+
+std::vector<Pid> KernelCore::LivePids() const {
+  std::vector<Pid> pids;
+  for (const auto& [pid, uproc] : uprocs_) {
+    if (uproc->state == Uproc::State::kRunning) {
+      pids.push_back(pid);
+    }
+  }
+  return pids;
+}
+
+std::vector<Pid> KernelCore::AllPids() const {
+  std::vector<Pid> pids;
+  pids.reserve(uprocs_.size());
+  for (const auto& [pid, uproc] : uprocs_) {
+    pids.push_back(pid);
+  }
+  return pids;
+}
+
+// --- segment permissions -------------------------------------------------------------------
+
+uint32_t KernelCore::SegmentFlagsAt(uint64_t offset) const {
+  if (offset >= layout_.text_off() && offset < layout_.text_off() + layout_.text_size()) {
+    return kPteRead | kPteExec;
+  }
+  if (offset >= layout_.rodata_off() &&
+      offset < layout_.rodata_off() + layout_.rodata_size()) {
+    return kPteRead;
+  }
+  return kPteRw;  // GOT, data, heap, stack, tls, mmap
+}
+
+// --- μprocess construction ------------------------------------------------------------------
+
+Uproc& KernelCore::CreateUprocShell(std::string name, Pid parent) {
+  const Pid pid = next_pid_++;
+  auto uproc = std::make_unique<Uproc>(pid, sched_);
+  uproc->name = std::move(name);
+  uproc->parent_pid = parent;
+  Uproc& ref = *uproc;
+  uprocs_.emplace(pid, std::move(uproc));
+  if (Uproc* parent_proc = FindUproc(parent)) {
+    parent_proc->children.push_back(pid);
+  }
+  return ref;
+}
+
+void KernelCore::DestroyUprocShell(Uproc& uproc) {
+  UF_CHECK_MSG(uproc.thread == kInvalidThread,
+               "DestroyUprocShell is only for shells whose thread never started");
+  if (Uproc* parent = FindUproc(uproc.parent_pid)) {
+    auto& kids = parent->children;
+    kids.erase(std::remove(kids.begin(), kids.end(), uproc.pid()), kids.end());
+  }
+  uprocs_.erase(uproc.pid());
+}
+
+Result<void> KernelCore::AllocateUprocMemory(Uproc& uproc, bool private_page_table) {
+  uproc.size = layout_.TotalSize();
+  if (private_page_table) {
+    // MAS / VM-clone: identical layout in a private address space — every process sees the
+    // same virtual base, which is why no relocation is needed (and why it is not a SAS).
+    uproc.base = kUserBase;
+    uproc.owned_pt = std::make_unique<PageTable>();
+    uproc.page_table = uproc.owned_pt.get();
+    pt_owners_[uproc.page_table] = uproc.pid();
+  } else {
+    UF_ASSIGN_OR_RETURN(uproc.base,
+                        address_space_.AllocateRegion(uproc.size, kRegionAlign));
+    uproc.page_table = &shared_pt_;
+  }
+  uproc.mmap_cursor = uproc.base + layout_.mmap_off();
+  return OkResult();
+}
+
+Result<void> KernelCore::MapFreshImage(Uproc& uproc) {
+  // All segments except the on-demand mmap zone are mapped eagerly with zero frames — a static
+  // unikernel-style image with the build-time-configured static heap (§4.2).
+  const uint64_t image_bytes = layout_.mmap_off();
+  for (uint64_t off = 0; off < image_bytes; off += kPageSize) {
+    UF_ASSIGN_OR_RETURN(const FrameId frame, machine_.frames().Allocate());
+    machine_.Charge(costs().frame_alloc + costs().pte_dup);
+    uproc.page_table->Map(uproc.base + off, frame, SegmentFlagsAt(off));
+  }
+  return OkResult();
+}
+
+void KernelCore::InstallArchCaps(Uproc& uproc) {
+  const uint32_t data_perms = kPermLoad | kPermStore | kPermLoadCap | kPermStoreCap |
+                              kPermGlobal;
+  if (policy_.confine_caps) {
+    uproc.regs.ddc = Capability::Root(uproc.base, uproc.size, data_perms);
+  } else {
+    // Isolation disabled (R4): ambient authority over the whole user area.
+    uproc.regs.ddc = Capability::Root(kUserBase, kUserTop - kUserBase, data_perms);
+  }
+  uproc.regs.pcc = Capability::Root(uproc.base + layout_.text_off(), layout_.text_size(),
+                                    kPermLoad | kPermExecute);
+  uproc.regs.csp = uproc.regs.ddc
+                       .WithBounds(uproc.base + layout_.stack_off(), layout_.stack_size())
+                       .WithAddress(uproc.base + layout_.stack_off() + layout_.stack_size());
+  // Sealed kernel entry: the only way into kernel code, no trap required (§4.4).
+  uproc.syscall_sentry =
+      Capability::Root(kKernelBase, kKernelTop - kKernelBase, kPermLoad | kPermExecute)
+          .AsSentry();
+}
+
+void KernelCore::StartUprocThread(Uproc& uproc, UprocEntry entry, int pinned_core) {
+  auto wrapper = [](Kernel& kernel, Uproc& proc, UprocEntry fn) -> SimTask<void> {
+    co_await fn(kernel, proc);
+    // The entry returned without calling exit(): POSIX main() return implies exit(0).
+    if (proc.state == Uproc::State::kRunning) {
+      co_await kernel.SysExit(proc, 0);
+    }
+  };
+  const ThreadId tid =
+      sched_.Spawn(wrapper(AsKernel(), uproc, std::move(entry)), uproc.name, pinned_core);
+  uproc.thread = tid;
+  uproc.threads.assign(1, tid);
+  if (uproc.thread_exit_wait == nullptr) {
+    uproc.thread_exit_wait = std::make_unique<WaitQueue>(sched_);
+  }
+  // Attach the uproc to the thread control block for CurrentUproc() and context-switch
+  // pricing. Spawn only enqueues, so the thread cannot have observed a null context.
+  sched_.SetThreadContext(tid, &uproc);
+}
+
+Result<Pid> KernelCore::Spawn(UprocEntry entry, std::string name, int pinned_core) {
+  Uproc& uproc = CreateUprocShell(std::move(name), kInvalidPid);
+  auto constructed = [&]() -> Result<void> {
+    UF_RETURN_IF_ERROR(AllocateUprocMemory(uproc, backend_->private_page_tables()));
+    UF_RETURN_IF_ERROR(MapFreshImage(uproc));
+    return OkResult();
+  }();
+  if (!constructed.ok()) {
+    ReleaseUprocMemory(uproc);
+    DestroyUprocShell(uproc);
+    return constructed.error();
+  }
+  InstallArchCaps(uproc);
+  uproc.fds = std::make_shared<FdTable>();
+  StartUprocThread(uproc, std::move(entry), pinned_core);
+  return uproc.pid();
+}
+
+void KernelCore::ReleaseUprocMemory(Uproc& uproc) {
+  if (uproc.page_table == nullptr) {
+    return;
+  }
+  std::vector<uint64_t> pages;
+  uproc.page_table->ForEachMapped(uproc.base, uproc.base + uproc.size,
+                                  [&pages](uint64_t va, const Pte&) { pages.push_back(va); });
+  bool frames_still_shared = false;
+  for (uint64_t va : pages) {
+    const FrameId frame = uproc.page_table->Unmap(va);
+    machine_.frames().Release(frame);
+    frames_still_shared |= machine_.frames().IsLive(frame);
+  }
+  if (uproc.owned_pt != nullptr) {
+    pt_owners_.erase(uproc.owned_pt.get());
+    uproc.owned_pt.reset();
+  } else if (frames_still_shared && uproc.forks_performed > 0) {
+    // A fork parent exiting while children still share its frames: those frames may contain
+    // capabilities pointing into THIS region, and the relocation scanner resolves them through
+    // AddressSpace::RegionContaining. Keep the region reserved (tombstone) so relocation stays
+    // well-defined; reclaiming such regions is the compaction future work of §6.
+    ++stats_.regions_tombstoned;
+  } else {
+    address_space_.FreeRegion(uproc.base);
+  }
+  uproc.page_table = nullptr;
+}
+
+// --- user-memory access ---------------------------------------------------------------------
+
+Result<void> KernelCore::ValidateUserBuffer(Uproc& caller, const Capability& cap, uint64_t va,
+                                            uint64_t len, bool is_write) {
+  // The hardware enforces the capability check regardless of policy when the transfer happens;
+  // the kernel-side validation models the explicit checks of §4.4 (third principle).
+  if (!policy_.validate_args) {
+    return OkResult();
+  }
+  machine_.Charge(costs().validation_check);
+  UF_RETURN_IF_ERROR(cap.CheckAccess(va, len, is_write ? kPermStore : kPermLoad));
+  const bool confined =
+      caller.ContainsVa(va) && (len == 0 || caller.ContainsVa(va + len - 1));
+  if (policy_.confine_caps && !confined) {
+    return Error{Code::kErrAccess, "buffer outside μprocess region"};
+  }
+  return OkResult();
+}
+
+SimTask<Result<void>> KernelCore::CopyFromUser(Uproc& caller, const Capability& cap,
+                                               uint64_t va, std::span<std::byte> out) {
+  if (policy_.tocttou_protect) {
+    // Copy user memory into the kernel before any check-use sequence (§4.4, fourth principle).
+    machine_.Charge(costs().TocttouCopy(out.size()));
+    ++stats_.tocttou_copies;
+  }
+  co_return machine_.Load(*caller.page_table, cap, va, out);
+}
+
+SimTask<Result<void>> KernelCore::CopyToUser(Uproc& caller, const Capability& cap, uint64_t va,
+                                             std::span<const std::byte> in) {
+  if (policy_.tocttou_protect) {
+    machine_.Charge(costs().TocttouCopy(in.size()));
+    ++stats_.tocttou_copies;
+  }
+  co_return machine_.Store(*caller.page_table, cap, va, in);
+}
+
+// --- metrics --------------------------------------------------------------------------------
+
+uint64_t KernelCore::UprocPssBytes(const Uproc& uproc) const {
+  if (uproc.page_table == nullptr) {
+    return 0;
+  }
+  uint64_t pss = 0;
+  const FrameAllocator& frames = machine_.frames();
+  uproc.page_table->ForEachMapped(
+      uproc.base, uproc.base + uproc.size, [&](uint64_t, const Pte& pte) {
+        pss += kPageSize / frames.RefCount(pte.frame);
+      });
+  return pss;
+}
+
+uint64_t KernelCore::UprocUssBytes(const Uproc& uproc) const {
+  if (uproc.page_table == nullptr) {
+    return 0;
+  }
+  uint64_t uss = 0;
+  const FrameAllocator& frames = machine_.frames();
+  uproc.page_table->ForEachMapped(
+      uproc.base, uproc.base + uproc.size, [&](uint64_t, const Pte& pte) {
+        if (frames.RefCount(pte.frame) == 1) {
+          uss += kPageSize;
+        }
+      });
+  return uss + backend_->ExtraResidencyBytes(*this, uproc);
+}
+
+}  // namespace ufork

@@ -1,0 +1,199 @@
+// KernelCore: the machine-facing core the fork backends program against.
+//
+// The core owns what every subsystem shares — scheduler, machine, address space, the shared
+// page table, the process table, the lock domains and the kernel counters — plus μprocess
+// construction/teardown. It deliberately exposes no syscalls: those live in the per-subsystem
+// services (ProcService, FileService, IpcService) layered on top by Kernel (kernel.h). Fork
+// backends receive a KernelCore&, so a backend cannot reach into VFS or IPC state.
+#ifndef UFORK_SRC_KERNEL_KERNEL_CORE_H_
+#define UFORK_SRC_KERNEL_KERNEL_CORE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/cheri/capability.h"
+#include "src/kernel/fd.h"
+#include "src/kernel/fork_backend.h"
+#include "src/kernel/isolation.h"
+#include "src/kernel/syscall_table.h"
+#include "src/kernel/uproc.h"
+#include "src/machine/machine.h"
+#include "src/mem/address_space.h"
+#include "src/mem/layout.h"
+#include "src/sched/scheduler.h"
+#include "src/sched/sync.h"
+
+namespace ufork {
+
+class Kernel;
+
+struct KernelConfig {
+  int cores = 4;  // Morello SDP has 4 ARMv8.2-A cores
+  ForkStrategy strategy = ForkStrategy::kCopa;
+  IsolationLevel isolation = IsolationLevel::kFull;
+  LayoutConfig layout;
+  uint64_t phys_mem_bytes = 2 * kGiB;
+  // Unikraft-style big kernel lock by default (§4.5); kPerService splits kernel sections by
+  // subsystem; kUncontended models the MAS baseline's idealized fine-grained kernel.
+  LockMode lock_mode = LockMode::kBigKernelLock;
+  std::optional<uint64_t> aslr_seed;
+  CostModel costs;
+};
+
+struct WaitResult {
+  Pid pid = kInvalidPid;
+  int status = 0;
+};
+
+// Aggregated kernel counters surfaced by benchmarks and tests.
+struct KernelStats {
+  uint64_t forks = 0;
+  uint64_t exits = 0;
+  uint64_t syscalls = 0;
+  uint64_t pages_copied_on_fault = 0;
+  uint64_t caps_relocated_on_fault = 0;
+  uint64_t caps_stripped = 0;  // out-of-region capabilities invalidated during relocation
+  uint64_t tocttou_copies = 0;
+  uint64_t regions_tombstoned = 0;  // regions kept reserved at exit (shared frames remain)
+  // Kernel entries per syscall id, indexed by Sys and incremented by SyscallScope::Enter.
+  // Σ per_syscall == syscalls (delivery points such as check_signals enter no kernel section
+  // and count in neither).
+  std::array<uint64_t, kNumSyscalls> per_syscall{};
+
+  uint64_t& Count(Sys id) { return per_syscall[static_cast<size_t>(id)]; }
+  uint64_t Count(Sys id) const { return per_syscall[static_cast<size_t>(id)]; }
+};
+
+class KernelCore {
+ public:
+  KernelCore(const KernelCore&) = delete;
+  KernelCore& operator=(const KernelCore&) = delete;
+
+  // --- boot / run -----------------------------------------------------------------------------
+
+  // Creates a fresh μprocess running `entry` (a new program image, not a fork).
+  Result<Pid> Spawn(UprocEntry entry, std::string name, int pinned_core = -1);
+
+  // Drains the scheduler.
+  void Run() { sched_.Run(); }
+
+  // --- component access -----------------------------------------------------------------------
+
+  Scheduler& sched() { return sched_; }
+  Machine& machine() { return machine_; }
+  const Machine& machine() const { return machine_; }
+  AddressSpace& address_space() { return address_space_; }
+  const UprocLayout& layout() const { return layout_; }
+  const IsolationPolicy& policy() const { return policy_; }
+  const KernelConfig& config() const { return config_; }
+  const CostModel& costs() const { return machine_.costs(); }
+  ForkBackend& backend() { return *backend_; }
+  KernelStats& stats() { return stats_; }
+
+  // The lock guarding `domain` under the configured mode (nullptr: lock-free kernel).
+  VirtualLock* DomainLock(LockDomain domain) { return locks_.Get(domain); }
+  LockMode lock_mode() const { return locks_.mode(); }
+
+  // Wakeup latency for threads blocked on IPC objects: on SMP this is a cross-core IPI plus
+  // remote scheduler entry; on a single core it is just a run-queue insertion.
+  Cycles BlockingWakeCycles() const {
+    return config_.cores > 1 ? config_.costs.blocking_wake : config_.costs.sched_wakeup;
+  }
+
+  Uproc* FindUproc(Pid pid);
+  // SAS: μprocess whose region contains `va` (used by fault resolution and relocation).
+  Uproc* UprocByAddress(uint64_t va);
+  Uproc* UprocByPageTable(const PageTable* pt);
+  Uproc& CurrentUproc();
+  std::vector<Pid> LivePids() const;
+  std::vector<Pid> AllPids() const;
+
+  // The shared page table of the single address space (μFork backend).
+  PageTable& shared_page_table() { return shared_pt_; }
+
+  // PTE flags a region offset should have when privately owned (segment permissions).
+  uint32_t SegmentFlagsAt(uint64_t offset) const;
+
+  // --- μprocess construction (used by fork backends and Spawn) --------------------------------
+
+  // Allocates the Uproc shell: pid, fd table (empty), registers cleared.
+  Uproc& CreateUprocShell(std::string name, Pid parent);
+  // Allocates a SAS region / or assigns the fixed MAS base, creates the page table view.
+  Result<void> AllocateUprocMemory(Uproc& uproc, bool private_page_table);
+  // Eagerly maps all segments with fresh zero frames.
+  Result<void> MapFreshImage(Uproc& uproc);
+  // Derives the architectural capabilities (DDC/PCC/CSP + syscall sentry) for the region.
+  void InstallArchCaps(Uproc& uproc);
+  // Spawns the μprocess thread executing `entry`.
+  void StartUprocThread(Uproc& uproc, UprocEntry entry, int pinned_core = -1);
+
+  // Releases all frames mapped in the μprocess region and the region itself.
+  void ReleaseUprocMemory(Uproc& uproc);
+
+  // Undoes CreateUprocShell on a construction-failure path: removes the shell from the process
+  // table and the parent's child list. Without this, a failed fork/spawn leaves a permanently
+  // kRunning ghost child that makes the parent's wait() block forever instead of ECHILD.
+  void DestroyUprocShell(Uproc& uproc);
+
+  // Drops a reaped (kDead) μprocess from the process table (ProcService::ReapZombie).
+  void EraseUproc(Pid pid) { uprocs_.erase(pid); }
+
+  // --- user-memory access ---------------------------------------------------------------------
+
+  // Validates a user buffer per the isolation policy; returns the (possibly narrowed)
+  // authorization to use.
+  Result<void> ValidateUserBuffer(Uproc& caller, const Capability& cap, uint64_t va,
+                                  uint64_t len, bool is_write);
+
+  // Transfers between user memory (through `cap`, honouring CoW/CoPA) and a kernel buffer,
+  // with TOCTTOU double copy when the policy demands it.
+  SimTask<Result<void>> CopyFromUser(Uproc& caller, const Capability& cap, uint64_t va,
+                                     std::span<std::byte> out);
+  SimTask<Result<void>> CopyToUser(Uproc& caller, const Capability& cap, uint64_t va,
+                                   std::span<const std::byte> in);
+
+  // --- metrics --------------------------------------------------------------------------------
+
+  // Proportional set size: Σ page_size / frame_refcount over the region. Shared pages are
+  // split among sharers.
+  uint64_t UprocPssBytes(const Uproc& uproc) const;
+
+  // Unique set size: only privately-owned frames, plus the backend's per-process overhead
+  // (shared libraries, VM image, allocator dirtying, kernel structures). This is "the memory
+  // consumed by a (forked) process" the paper's Figures 5 and 8 report: what the fork *added*.
+  uint64_t UprocUssBytes(const Uproc& uproc) const;
+  double UprocUssMb(const Uproc& uproc) const {
+    return static_cast<double>(UprocUssBytes(uproc)) / static_cast<double>(kMiB);
+  }
+
+ protected:
+  KernelCore(const KernelConfig& config, std::unique_ptr<ForkBackend> backend);
+  ~KernelCore();
+
+  // The concrete Kernel layered on this core (KernelCore is only ever a Kernel base). Used to
+  // hand the full syscall surface to μprocess entry functions.
+  Kernel& AsKernel();
+
+  KernelConfig config_;
+  IsolationPolicy policy_;
+  UprocLayout layout_;
+  Scheduler sched_;
+  Machine machine_;
+  AddressSpace address_space_;
+  PageTable shared_pt_;
+  LockDomainSet locks_;
+  std::unique_ptr<ForkBackend> backend_;
+
+  std::map<Pid, std::unique_ptr<Uproc>> uprocs_;
+  std::map<const PageTable*, Pid> pt_owners_;
+  Pid next_pid_ = 1;
+  KernelStats stats_;
+};
+
+}  // namespace ufork
+
+#endif  // UFORK_SRC_KERNEL_KERNEL_CORE_H_

@@ -116,7 +116,8 @@ std::string KernelSummaryReport(Kernel& kernel) {
   std::ostringstream os;
   os << "kernel summary (" << kernel.backend().name() << ", "
      << ForkStrategyName(kernel.config().strategy) << ", isolation="
-     << IsolationLevelName(kernel.config().isolation) << "):\n"
+     << IsolationLevelName(kernel.config().isolation)
+     << ", locks=" << LockModeName(kernel.lock_mode()) << "):\n"
      << "  forks=" << stats.forks << " exits=" << stats.exits
      << " syscalls=" << stats.syscalls << "\n"
      << "  fault copies=" << stats.pages_copied_on_fault
@@ -131,6 +132,26 @@ std::string KernelSummaryReport(Kernel& kernel) {
      << "  address space: " << kernel.address_space().Stats().region_count << " regions, "
      << std::fixed << std::setprecision(3)
      << kernel.address_space().Stats().ExternalFragmentation() << " external fragmentation\n";
+  return os.str();
+}
+
+std::string SyscallTableReport(Kernel& kernel) {
+  const KernelStats& stats = kernel.stats();
+  std::ostringstream os;
+  os << "syscall table (" << kNumSyscalls << " entries, locks="
+     << LockModeName(kernel.lock_mode()) << "):\n";
+  os << "  SYSCALL        CLASS     DOMAIN       COUNT\n";
+  uint64_t counted = 0;
+  for (const SyscallDesc& desc : SyscallTable()) {
+    const uint64_t count = stats.Count(desc.id);
+    os << "  " << std::setw(13) << std::left << desc.name << "  " << std::setw(8)
+       << SyscallClassName(desc.klass) << "  " << std::setw(9) << LockDomainName(desc.domain)
+       << std::right << "  " << std::setw(9) << count << "\n";
+    if (desc.klass != SyscallClass::kNoEntry) {
+      counted += count;
+    }
+  }
+  os << "  total counted=" << counted << " (kernel syscalls=" << stats.syscalls << ")\n";
   return os.str();
 }
 

@@ -1,0 +1,445 @@
+#include "src/kernel/proc_service.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/base/log.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/syscall_scope.h"
+
+namespace ufork {
+
+SimTask<Result<Pid>> ProcService::Fork(Uproc& caller, UprocEntry child_entry) {
+  SyscallScope scope(kernel_, caller, Sys::kFork);
+  {
+    auto entered = co_await scope.Enter();
+    if (!entered.ok()) {
+      co_return entered.error();
+    }
+  }
+  const Cycles start = kernel_.sched().Now();
+  auto child = kernel_.backend().Fork(kernel_, caller, std::move(child_entry));
+  if (child.ok()) {
+    ++kernel_.stats().forks;
+    ++caller.forks_performed;
+    Uproc* child_proc = kernel_.FindUproc(*child);
+    UF_CHECK(child_proc != nullptr);
+    child_proc->fork_stats.latency = kernel_.sched().Now() - start;
+  }
+  co_return child;
+}
+
+SimTask<Result<WaitResult>> ProcService::Wait(Uproc& caller) {
+  co_await DeliverSignals(caller);
+  SyscallScope scope(kernel_, caller, Sys::kWait);
+  {
+    auto entered = co_await scope.Enter();
+    if (!entered.ok()) {
+      co_return entered.error();
+    }
+  }
+  for (;;) {
+    Uproc* zombie = nullptr;
+    bool has_children = false;
+    for (Pid child_pid : caller.children) {
+      Uproc* child = kernel_.FindUproc(child_pid);
+      if (child == nullptr) {
+        continue;
+      }
+      has_children = true;
+      if (child->state == Uproc::State::kZombie) {
+        zombie = child;
+        break;
+      }
+    }
+    if (zombie != nullptr) {
+      const WaitResult result{zombie->pid(), zombie->exit_code};
+      ReapZombie(*zombie);
+      kernel_.machine().Charge(kernel_.costs().sched_wakeup);
+      co_return result;
+    }
+    if (!has_children) {
+      co_return Error{Code::kErrChild, "wait() with no children"};
+    }
+    scope.Leave();
+    co_await caller.child_wait.Wait();
+    co_await scope.Reacquire();
+  }
+}
+
+void ProcService::ReapZombie(Uproc& zombie) {
+  if (Uproc* parent = kernel_.FindUproc(zombie.parent_pid)) {
+    auto& kids = parent->children;
+    kids.erase(std::remove(kids.begin(), kids.end(), zombie.pid()), kids.end());
+  }
+  zombie.state = Uproc::State::kDead;
+  kernel_.EraseUproc(zombie.pid());
+}
+
+SimTask<void> ProcService::Exit(Uproc& caller, int code) {
+  SyscallScope scope(kernel_, caller, Sys::kExit);
+  {
+    auto entered = co_await scope.Enter();
+    UF_CHECK_MSG(entered.ok(), "exit() must always reach the kernel");
+  }
+  Machine& machine = kernel_.machine();
+  Scheduler& sched = kernel_.sched();
+  machine.Charge(kernel_.costs().proc_teardown);
+  ++kernel_.stats().exits;
+  caller.exit_code = code;
+  caller.state = Uproc::State::kZombie;
+  // exit() terminates the whole μprocess: every sibling thread dies with it (POSIX).
+  for (const ThreadId tid : caller.threads) {
+    if (sched.IsAlive(tid) && (!sched.InThread() || tid != sched.Current().tid())) {
+      sched.Kill(tid);
+    }
+  }
+  caller.threads.clear();
+  kernel_.backend().OnExit(kernel_, caller);
+  caller.fds->CloseAll();
+  kernel_.ReleaseUprocMemory(caller);
+  // Reparent running children to init (pid 1); reap zombie children now.
+  std::vector<Pid> children = caller.children;
+  Uproc* init = kernel_.FindUproc(1);
+  for (Pid child_pid : children) {
+    Uproc* child = kernel_.FindUproc(child_pid);
+    if (child == nullptr) {
+      continue;
+    }
+    if (child->state == Uproc::State::kZombie) {
+      ReapZombie(*child);
+    } else {
+      // Orphans are reparented to init when possible; a fully orphaned child self-reaps at
+      // its own exit.
+      const bool init_alive = init != nullptr && init->state == Uproc::State::kRunning &&
+                              init->pid() != caller.pid();
+      child->parent_pid = init_alive ? 1 : kInvalidPid;
+      if (init_alive) {
+        init->children.push_back(child_pid);
+      }
+    }
+  }
+  caller.children.clear();
+  // Wake the parent (SIGCHLD delivery) or self-reap when orphaned.
+  Uproc* parent = kernel_.FindUproc(caller.parent_pid);
+  if (parent != nullptr && parent->state == Uproc::State::kRunning) {
+    machine.Charge(kernel_.costs().sched_wakeup);
+    parent->signals.Raise(kSigChld);
+    parent->child_wait.WakeAll();
+  } else {
+    ReapZombie(caller);
+  }
+  scope.Leave();
+  co_await sched.ExitThread();
+}
+
+SimTask<Result<Pid>> ProcService::GetPid(Uproc& caller) {
+  SyscallScope scope(kernel_, caller, Sys::kGetPid);
+  {
+    auto entered = co_await scope.Enter();
+    if (!entered.ok()) {
+      co_return entered.error();
+    }
+  }
+  co_return caller.pid();
+}
+
+SimTask<Result<Pid>> ProcService::GetPPid(Uproc& caller) {
+  SyscallScope scope(kernel_, caller, Sys::kGetPPid);
+  {
+    auto entered = co_await scope.Enter();
+    if (!entered.ok()) {
+      co_return entered.error();
+    }
+  }
+  co_return caller.parent_pid;
+}
+
+SimTask<Result<void>> ProcService::Kill(Uproc& caller, Pid target, int signal) {
+  SyscallScope scope(kernel_, caller, Sys::kKill);
+  {
+    auto entered = co_await scope.Enter();
+    if (!entered.ok()) {
+      co_return entered.error();
+    }
+  }
+  if (signal <= 0 || signal > kMaxSignal) {
+    co_return Error{Code::kErrInval, "bad signal number"};
+  }
+  Uproc* victim = kernel_.FindUproc(target);
+  if (victim == nullptr || victim->state != Uproc::State::kRunning) {
+    co_return Error{Code::kErrSrch, "no such process"};
+  }
+  if (signal != kSigKill) {
+    // Queued; the target observes it at its next delivery point.
+    victim->signals.Raise(signal);
+    co_return OkResult();
+  }
+  if (victim == &caller) {
+    co_return Error{Code::kErrInval, "SIGKILL to self: call exit()"};
+  }
+  KillUproc(*victim);
+  co_return OkResult();
+}
+
+SimTask<Result<void>> ProcService::Sigaction(Uproc& caller, int signal,
+                                             SignalHandler handler) {
+  SyscallScope scope(kernel_, caller, Sys::kSigaction);
+  {
+    auto entered = co_await scope.Enter();
+    if (!entered.ok()) {
+      co_return entered.error();
+    }
+  }
+  if (signal <= 0 || signal > kMaxSignal || signal == kSigKill) {
+    co_return Error{Code::kErrInval, "signal disposition cannot be changed"};
+  }
+  if (handler) {
+    caller.signals.SetHandler(signal, std::move(handler));
+  } else {
+    caller.signals.ResetHandler(signal);
+  }
+  co_return OkResult();
+}
+
+SimTask<Result<void>> ProcService::CheckSignals(Uproc& caller) {
+  // A delivery point, not a kernel entry (SyscallClass::kNoEntry): no sealed-entry
+  // invocation, no charge, no lock, no syscall count.
+  co_await DeliverSignals(caller);
+  co_return OkResult();
+}
+
+SimTask<void> ProcService::DeliverSignals(Uproc& uproc) {
+  // Runs as the target μprocess, outside any kernel lock: handlers are guest code.
+  while (uproc.state == Uproc::State::kRunning && uproc.signals.AnyPending()) {
+    const int signal = uproc.signals.TakePending();
+    if (signal == 0) {
+      break;
+    }
+    kernel_.machine().Charge(kernel_.costs().sched_wakeup);  // signal frame setup
+    if (const SignalHandler* installed = uproc.signals.HandlerFor(signal)) {
+      const SignalHandler handler = *installed;  // the handler may replace itself
+      co_await handler(kernel_, uproc, signal);
+      continue;
+    }
+    if (DefaultActionFor(signal) == SignalDefault::kIgnore) {
+      continue;
+    }
+    co_await Exit(uproc, 128 + signal);  // default action: terminate (never returns)
+  }
+}
+
+void ProcService::KillUproc(Uproc& victim) {
+  Scheduler& sched = kernel_.sched();
+  kernel_.machine().Charge(kernel_.costs().proc_teardown);
+  ++kernel_.stats().exits;
+  for (const ThreadId tid : victim.threads) {
+    sched.Kill(tid);
+  }
+  victim.threads.clear();
+  sched.Kill(victim.thread);
+  victim.exit_code = -9;  // SIGKILL
+  victim.state = Uproc::State::kZombie;
+  kernel_.backend().OnExit(kernel_, victim);
+  victim.fds->CloseAll();
+  kernel_.ReleaseUprocMemory(victim);
+  Uproc* parent = kernel_.FindUproc(victim.parent_pid);
+  if (parent != nullptr && parent->state == Uproc::State::kRunning) {
+    parent->signals.Raise(kSigChld);
+    parent->child_wait.WakeAll();
+  } else {
+    ReapZombie(victim);
+  }
+}
+
+// --- exec / spawn ---------------------------------------------------------------------------
+
+void ProcService::RegisterProgram(std::string name, UprocEntry entry) {
+  programs_[std::move(name)] = std::move(entry);
+}
+
+Result<void> ProcService::ResetUprocImage(Uproc& uproc) {
+  // Tear down every mapping (shared windows included: POSIX drops mappings on exec) and build
+  // a fresh zeroed image.
+  Machine& machine = kernel_.machine();
+  std::vector<uint64_t> pages;
+  uproc.page_table->ForEachMapped(uproc.base, uproc.base + uproc.size,
+                                  [&pages](uint64_t va, const Pte&) { pages.push_back(va); });
+  for (const uint64_t va : pages) {
+    machine.Charge(kernel_.costs().pte_update / 4);
+    machine.frames().Release(uproc.page_table->Unmap(va));
+  }
+  UF_RETURN_IF_ERROR(kernel_.MapFreshImage(uproc));
+  uproc.mmap_cursor = uproc.base + kernel_.layout().mmap_off();
+  kernel_.InstallArchCaps(uproc);
+  uproc.signals.ClearPending();
+  return OkResult();
+}
+
+SimTask<Result<void>> ProcService::Exec(Uproc& caller, std::string program) {
+  SyscallScope scope(kernel_, caller, Sys::kExec);
+  {
+    auto entered = co_await scope.Enter();
+    if (!entered.ok()) {
+      co_return entered.error();
+    }
+  }
+  auto it = programs_.find(program);
+  if (it == programs_.end()) {
+    co_return Error{Code::kErrNoEnt, "no such program: " + program};
+  }
+  kernel_.machine().Charge(kernel_.costs().exec_base);
+  auto reset = ResetUprocImage(caller);
+  if (!reset.ok()) {
+    co_return reset.error();
+  }
+  caller.forked_child = false;  // the fresh image runs its own runtime initialization
+  caller.name = program;
+  // POSIX: exec terminates every thread but the calling one.
+  Scheduler& sched = kernel_.sched();
+  for (const ThreadId tid : caller.threads) {
+    if (sched.IsAlive(tid) && tid != sched.Current().tid()) {
+      sched.Kill(tid);
+    }
+  }
+  UprocEntry entry = it->second;
+  scope.Leave();
+  // The μprocess (PID, parent, descriptors, children) continues under a new thread running
+  // the new image; the old thread — whose program no longer exists — retires here.
+  kernel_.StartUprocThread(caller, std::move(entry));
+  co_await sched.ExitThread();
+}
+
+SimTask<Result<Pid>> ProcService::Spawn(Uproc& caller, std::string program) {
+  SyscallScope scope(kernel_, caller, Sys::kSpawn);
+  {
+    auto entered = co_await scope.Enter();
+    if (!entered.ok()) {
+      co_return entered.error();
+    }
+  }
+  auto it = programs_.find(program);
+  if (it == programs_.end()) {
+    co_return Error{Code::kErrNoEnt, "no such program: " + program};
+  }
+  kernel_.machine().Charge(kernel_.costs().exec_base);
+  Uproc& child = kernel_.CreateUprocShell(program, caller.pid());
+  auto constructed = [&]() -> Result<void> {
+    UF_RETURN_IF_ERROR(
+        kernel_.AllocateUprocMemory(child, kernel_.backend().private_page_tables()));
+    UF_RETURN_IF_ERROR(kernel_.MapFreshImage(child));
+    return OkResult();
+  }();
+  if (!constructed.ok()) {
+    kernel_.ReleaseUprocMemory(child);
+    kernel_.DestroyUprocShell(child);
+    co_return constructed.error();
+  }
+  kernel_.InstallArchCaps(child);
+  child.fds = caller.fds->Clone();  // posix_spawn file-actions default: inherit descriptors
+  kernel_.machine().Charge(kernel_.costs().fd_dup *
+                           static_cast<uint64_t>(child.fds->OpenCount()));
+  UprocEntry entry = it->second;
+  kernel_.StartUprocThread(child, std::move(entry), caller.child_affinity);
+  co_return child.pid();
+}
+
+SimTask<Result<void>> ProcService::Nanosleep(Uproc& caller, Cycles duration) {
+  co_await DeliverSignals(caller);
+  SyscallScope scope(kernel_, caller, Sys::kNanosleep);
+  {
+    auto entered = co_await scope.Enter();
+    if (!entered.ok()) {
+      co_return entered.error();
+    }
+  }
+  scope.Leave();
+  co_await kernel_.sched().Sleep(duration);
+  co_return OkResult();
+}
+
+// --- threads --------------------------------------------------------------------------------
+
+SimTask<Result<ThreadId>> ProcService::ThreadCreate(Uproc& caller, UprocEntry entry) {
+  SyscallScope scope(kernel_, caller, Sys::kThreadCreate);
+  {
+    auto entered = co_await scope.Enter();
+    if (!entered.ok()) {
+      co_return entered.error();
+    }
+  }
+  Scheduler& sched = kernel_.sched();
+  kernel_.machine().Charge(kernel_.costs().sched_wakeup);
+  // Secondary threads share everything; when their entry returns, only the thread ends.
+  auto wrapper = [](Kernel& kernel, Uproc& proc, UprocEntry fn) -> SimTask<void> {
+    co_await fn(kernel, proc);
+    if (proc.thread_exit_wait != nullptr) {
+      proc.thread_exit_wait->WakeAll();
+    }
+  };
+  const ThreadId tid = sched.Spawn(wrapper(kernel_, caller, std::move(entry)),
+                                   caller.name + ":thr", caller.child_affinity);
+  sched.SetThreadContext(tid, &caller);
+  caller.threads.push_back(tid);
+  co_return tid;
+}
+
+SimTask<Result<void>> ProcService::ThreadJoin(Uproc& caller, ThreadId tid) {
+  SyscallScope scope(kernel_, caller, Sys::kThreadJoin);
+  {
+    auto entered = co_await scope.Enter();
+    if (!entered.ok()) {
+      co_return entered.error();
+    }
+  }
+  const bool known =
+      std::find(caller.threads.begin(), caller.threads.end(), tid) != caller.threads.end();
+  scope.Leave();
+  if (!known) {
+    co_return Error{Code::kErrSrch, "join of a thread not in this μprocess"};
+  }
+  Scheduler& sched = kernel_.sched();
+  if (sched.InThread() && sched.Current().tid() == tid) {
+    co_return Error{Code::kErrInval, "a thread cannot join itself"};
+  }
+  while (sched.IsAlive(tid)) {
+    co_await caller.thread_exit_wait->Wait();
+  }
+  auto& threads = caller.threads;
+  threads.erase(std::remove(threads.begin(), threads.end(), tid), threads.end());
+  co_return OkResult();
+}
+
+// --- anonymous mmap -------------------------------------------------------------------------
+
+SimTask<Result<Capability>> ProcService::MmapAnon(Uproc& caller, uint64_t length) {
+  SyscallScope scope(kernel_, caller, Sys::kMmapAnon);
+  {
+    auto entered = co_await scope.Enter();
+    if (!entered.ok()) {
+      co_return entered.error();
+    }
+  }
+  Machine& machine = kernel_.machine();
+  const UprocLayout& layout = kernel_.layout();
+  length = AlignUp(length, kPageSize);
+  const uint64_t zone_end = caller.base + layout.mmap_off() + layout.mmap_size();
+  if (length == 0 || caller.mmap_cursor + length > zone_end) {
+    co_return Error{Code::kErrNoMem, "mmap zone exhausted"};
+  }
+  const uint64_t addr = caller.mmap_cursor;
+  for (uint64_t off = 0; off < length; off += kPageSize) {
+    auto frame = machine.frames().Allocate();
+    if (!frame.ok()) {
+      co_return frame.error();
+    }
+    machine.Charge(kernel_.costs().frame_alloc + kernel_.costs().pte_update);
+    caller.page_table->Map(addr + off, *frame, kPteRw);
+  }
+  caller.mmap_cursor += length;
+  // The returned capability is derived from the μprocess's own authority — it cannot exceed
+  // the region (security invariant, §4.2).
+  co_return caller.regs.ddc.WithBounds(addr, length);
+}
+
+}  // namespace ufork

@@ -1,0 +1,71 @@
+// ProcService: process-lifecycle syscalls and state.
+//
+// Owns everything in the kProc lock domain — fork/wait/exit, pids, signals, exec/spawn and the
+// registered program images, plus threads and the anonymous-mmap grower (it mutates the
+// caller's region, a per-process resource). Fork itself is delegated to the kernel's
+// ForkBackend; this service wraps it in the syscall protocol and the fork accounting.
+#ifndef UFORK_SRC_KERNEL_PROC_SERVICE_H_
+#define UFORK_SRC_KERNEL_PROC_SERVICE_H_
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "src/base/status.h"
+#include "src/cheri/capability.h"
+#include "src/kernel/fork_backend.h"
+#include "src/kernel/kernel_core.h"
+#include "src/kernel/signal.h"
+#include "src/kernel/uproc.h"
+#include "src/sched/task.h"
+
+namespace ufork {
+
+class Kernel;
+
+class ProcService {
+ public:
+  explicit ProcService(Kernel& kernel) : kernel_(kernel) {}
+
+  ProcService(const ProcService&) = delete;
+  ProcService& operator=(const ProcService&) = delete;
+
+  SimTask<Result<Pid>> Fork(Uproc& caller, UprocEntry child_entry);
+  SimTask<Result<WaitResult>> Wait(Uproc& caller);
+  // Never returns: tears the μprocess down and exits the thread.
+  SimTask<void> Exit(Uproc& caller, int code);
+
+  SimTask<Result<Pid>> GetPid(Uproc& caller);
+  SimTask<Result<Pid>> GetPPid(Uproc& caller);
+
+  SimTask<Result<void>> Kill(Uproc& caller, Pid target, int signal);
+  SimTask<Result<void>> Sigaction(Uproc& caller, int signal, SignalHandler handler);
+  SimTask<Result<void>> CheckSignals(Uproc& caller);
+
+  void RegisterProgram(std::string name, UprocEntry entry);
+  SimTask<Result<void>> Exec(Uproc& caller, std::string program);
+  SimTask<Result<Pid>> Spawn(Uproc& caller, std::string program);
+  SimTask<Result<void>> Nanosleep(Uproc& caller, Cycles duration);
+
+  SimTask<Result<ThreadId>> ThreadCreate(Uproc& caller, UprocEntry entry);
+  SimTask<Result<void>> ThreadJoin(Uproc& caller, ThreadId tid);
+
+  SimTask<Result<Capability>> MmapAnon(Uproc& caller, uint64_t length);
+
+  // Runs pending handlers / default actions for `uproc`. If a fatal default fires, tears the
+  // μprocess down and never returns (exits the thread). Called by every delivery point,
+  // including FileService::Read and Nanosleep.
+  SimTask<void> DeliverSignals(Uproc& uproc);
+
+ private:
+  void ReapZombie(Uproc& zombie);
+  void KillUproc(Uproc& victim);
+  Result<void> ResetUprocImage(Uproc& uproc);
+
+  Kernel& kernel_;
+  std::map<std::string, UprocEntry> programs_;
+};
+
+}  // namespace ufork
+
+#endif  // UFORK_SRC_KERNEL_PROC_SERVICE_H_

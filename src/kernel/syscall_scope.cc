@@ -1,0 +1,69 @@
+#include "src/kernel/syscall_scope.h"
+
+#include "src/base/log.h"
+
+namespace ufork {
+
+SyscallScope::~SyscallScope() {
+  // RAII release: the common exit path for kFast syscalls and for error returns on kBlocking
+  // ones. Runs at the end of the caller's await expression — after the co_returned value is
+  // materialized, with no charges or suspensions in between — so the exit charge lands at the
+  // same virtual time the historical inline LeaveSyscall produced.
+  if (open_) {
+    ChargeExitAndRelease();
+  }
+}
+
+SimTask<Result<void>> SyscallScope::Enter() {
+  UF_CHECK_MSG(!entered_ && !open_, "SyscallScope::Enter called twice");
+  UF_CHECK_MSG(desc_.klass != SyscallClass::kNoEntry,
+               "delivery points must not enter the kernel");
+  KernelStats& stats = core_.stats();
+  ++stats.syscalls;
+  ++stats.Count(desc_.id);
+  core_.machine().Charge(core_.costs().SyscallEntry(core_.backend().syscall_kind()));
+  // Entering the kernel means invoking the sealed entry capability: the hardware unseals it
+  // and branches to the fixed kernel entry point; anything else faults (§4.4).
+  auto target = caller_.syscall_sentry.InvokedSentry();
+  if (!target.ok()) {
+    co_return target.error();
+  }
+  if (core_.policy().validate_args) {
+    core_.machine().Charge(core_.costs().validation_check);
+  }
+  lock_ = core_.DomainLock(desc_.domain);
+  if (lock_ != nullptr) {
+    co_await lock_->Acquire();
+  }
+  entered_ = true;
+  open_ = true;
+  co_return OkResult();
+}
+
+void SyscallScope::Leave() {
+  UF_CHECK_MSG(entered_, "SyscallScope::Leave before Enter");
+  UF_CHECK_MSG(open_, "double release: Leave on a scope that already left");
+  UF_CHECK_MSG(desc_.klass == SyscallClass::kBlocking,
+               "explicit Leave is reserved for blocking syscalls; fast paths rely on RAII");
+  ChargeExitAndRelease();
+}
+
+SimTask<void> SyscallScope::Reacquire() {
+  UF_CHECK_MSG(entered_ && !open_, "Reacquire without a preceding Leave");
+  if (lock_ != nullptr) {
+    co_await lock_->Acquire();
+  }
+  open_ = true;
+}
+
+void SyscallScope::ChargeExitAndRelease() {
+  // Syscall return path: restoring the caller's context costs about half the entry. For a
+  // blocked caller this lands after the wakeup, so it is never absorbed into wait time.
+  core_.machine().Charge(core_.costs().SyscallEntry(core_.backend().syscall_kind()) / 2);
+  if (lock_ != nullptr) {
+    lock_->Release();  // owner-checked: catches a scope leaked to a foreign thread
+  }
+  open_ = false;
+}
+
+}  // namespace ufork

@@ -1,0 +1,68 @@
+// SyscallScope: the one implementation of the kernel entry/exit protocol.
+//
+// Construct it at the top of a syscall, `co_await scope.Enter()`, and return: the destructor
+// charges the exit cost and releases the domain lock on every path, so early error returns can
+// no longer leak (or double-release) the lock. The protocol, in order, matches the historical
+// EnterSyscall/LeaveSyscall pair exactly — the golden-cycle pins depend on that:
+//
+//   Enter:  count the syscall (total + per-id) → charge the backend's entry cost → invoke the
+//           sealed entry capability (error return: no lock taken) → charge argument-validation
+//           → acquire the syscall's domain lock (per the configured LockMode).
+//   Leave:  charge half the entry cost (context restore) → release the lock.
+//
+// Blocking syscalls (SyscallClass::kBlocking) call Leave() explicitly before suspending — the
+// kernel never blocks holding a domain lock — and Reacquire() after a wakeup when they must
+// re-enter their kernel section (no entry charges: the caller never left the kernel).
+//
+// Invariants enforced (the lock-asymmetry assertions):
+//   * Enter at most once per scope; explicit Leave only on kBlocking syscalls.
+//   * Leave without a matching Enter/Reacquire CHECK-fails (double-release).
+//   * A scope destroyed while holding releases exactly once; VirtualLock::Release's owner
+//     check catches frames torn down from a foreign thread (lock leak).
+#ifndef UFORK_SRC_KERNEL_SYSCALL_SCOPE_H_
+#define UFORK_SRC_KERNEL_SYSCALL_SCOPE_H_
+
+#include "src/base/status.h"
+#include "src/kernel/kernel_core.h"
+#include "src/kernel/syscall_table.h"
+#include "src/kernel/uproc.h"
+#include "src/sched/sync.h"
+#include "src/sched/task.h"
+
+namespace ufork {
+
+class SyscallScope {
+ public:
+  SyscallScope(KernelCore& core, Uproc& caller, Sys id)
+      : core_(core), caller_(caller), desc_(SyscallDescOf(id)) {}
+  ~SyscallScope();
+
+  SyscallScope(const SyscallScope&) = delete;
+  SyscallScope& operator=(const SyscallScope&) = delete;
+
+  // Runs the entry protocol. On error (sealed-entry check failed) the scope holds nothing and
+  // the destructor is a no-op; the caller must return the error.
+  SimTask<Result<void>> Enter();
+
+  // Explicitly leaves the kernel section before a suspension point. Only legal on syscalls the
+  // table declares kBlocking.
+  void Leave();
+
+  // Re-enters the kernel section after a wakeup (e.g. the wait() retry loop). Lock only — the
+  // caller never left the syscall, so no entry cost and no recount.
+  SimTask<void> Reacquire();
+
+ private:
+  void ChargeExitAndRelease();
+
+  KernelCore& core_;
+  Uproc& caller_;
+  const SyscallDesc& desc_;
+  VirtualLock* lock_ = nullptr;  // domain lock held while open (null: lock-free mode)
+  bool entered_ = false;         // Enter() completed successfully at least once
+  bool open_ = false;            // currently inside the kernel section
+};
+
+}  // namespace ufork
+
+#endif  // UFORK_SRC_KERNEL_SYSCALL_SCOPE_H_

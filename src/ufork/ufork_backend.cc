@@ -6,7 +6,7 @@
 
 namespace ufork {
 
-Result<FrameId> UforkBackend::CopyAndRelocate(Kernel& kernel, FrameId src_frame,
+Result<FrameId> UforkBackend::CopyAndRelocate(KernelCore& kernel, FrameId src_frame,
                                               uint64_t region_lo, uint64_t region_size,
                                               RelocationResult* out) {
   Machine& machine = kernel.machine();
@@ -27,7 +27,7 @@ Result<FrameId> UforkBackend::CopyAndRelocate(Kernel& kernel, FrameId src_frame,
   return dst;
 }
 
-Result<Pid> UforkBackend::Fork(Kernel& kernel, Uproc& parent, UprocEntry entry) {
+Result<Pid> UforkBackend::Fork(KernelCore& kernel, Uproc& parent, UprocEntry entry) {
   Machine& machine = kernel.machine();
   const CostModel& costs = kernel.costs();
   const ForkStrategy strategy = kernel.config().strategy;
@@ -38,7 +38,10 @@ Result<Pid> UforkBackend::Fork(Kernel& kernel, Uproc& parent, UprocEntry entry) 
   // 1. Parent state duplication (§3.5 step 1): reserve a contiguous region and duplicate the
   //    parent's page-table entries into it.
   Uproc& child = kernel.CreateUprocShell(parent.name + "+", parent.pid());
-  UF_RETURN_IF_ERROR(kernel.AllocateUprocMemory(child, /*private_page_table=*/false));
+  if (auto mem = kernel.AllocateUprocMemory(child, /*private_page_table=*/false); !mem.ok()) {
+    kernel.DestroyUprocShell(child);
+    return mem.error();
+  }
 
   ForkStats stats;
   PageTable& pt = *parent.page_table;  // the shared table
@@ -68,7 +71,11 @@ Result<Pid> UforkBackend::Fork(Kernel& kernel, Uproc& parent, UprocEntry entry) 
       auto copied =
           CopyAndRelocate(kernel, parent_pte.frame, child.base, child.size, &eager_reloc);
       if (!copied.ok()) {
+        // Undo the half-built child completely: without DestroyUprocShell the shell would
+        // linger in the process table as a permanently-running ghost child and a subsequent
+        // wait() in the parent would block forever.
         kernel.ReleaseUprocMemory(child);
+        kernel.DestroyUprocShell(child);
         return copied.error();
       }
       pt.Map(child_va, *copied, seg_flags);
@@ -137,7 +144,7 @@ Result<Pid> UforkBackend::Fork(Kernel& kernel, Uproc& parent, UprocEntry entry) 
   return child.pid();
 }
 
-Result<void> UforkBackend::ResolveFault(Kernel& kernel, const PageFaultInfo& info) {
+Result<void> UforkBackend::ResolveFault(KernelCore& kernel, const PageFaultInfo& info) {
   Machine& machine = kernel.machine();
   const CostModel& costs = kernel.costs();
   Uproc* uproc = kernel.UprocByAddress(info.va);

@@ -16,7 +16,7 @@
 #define UFORK_SRC_UFORK_UFORK_BACKEND_H_
 
 #include "src/kernel/fork_backend.h"
-#include "src/kernel/kernel.h"
+#include "src/kernel/kernel_core.h"
 #include "src/ufork/relocate.h"
 
 namespace ufork {
@@ -33,10 +33,10 @@ class UforkBackend : public ForkBackend {
     return costs.context_switch;
   }
 
-  Result<Pid> Fork(Kernel& kernel, Uproc& parent, UprocEntry entry) override;
-  Result<void> ResolveFault(Kernel& kernel, const PageFaultInfo& info) override;
+  Result<Pid> Fork(KernelCore& kernel, Uproc& parent, UprocEntry entry) override;
+  Result<void> ResolveFault(KernelCore& kernel, const PageFaultInfo& info) override;
 
-  uint64_t ExtraResidencyBytes(const Kernel& kernel, const Uproc& uproc) const override {
+  uint64_t ExtraResidencyBytes(const KernelCore& kernel, const Uproc& uproc) const override {
     (void)kernel, (void)uproc;
     // Kernel-side per-μprocess structures: thread stack, task struct, descriptor table and
     // the duplicated PTE ranges (Fig. 8 counts these in the 0.13 MB/process).
@@ -46,7 +46,7 @@ class UforkBackend : public ForkBackend {
  private:
   // Copies `src_frame` into a fresh frame, relocates its capabilities into the target region
   // and returns the new frame. Charges copy + scan + relocation costs.
-  Result<FrameId> CopyAndRelocate(Kernel& kernel, FrameId src_frame, uint64_t region_lo,
+  Result<FrameId> CopyAndRelocate(KernelCore& kernel, FrameId src_frame, uint64_t region_lo,
                                   uint64_t region_size, RelocationResult* out);
 };
 

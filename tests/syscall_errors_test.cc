@@ -1,0 +1,177 @@
+// Syscall error-path matrix: the same POSIX error semantics must hold on all three systems
+// (μFork, the CheriBSD-like MAS baseline, the VM-clone baseline), and — critically — every
+// error return must leave the kernel lock discipline balanced. Before SyscallScope, each early
+// return hand-released the BKL; an asymmetric path deadlocked the next syscall or tripped the
+// VirtualLock owner CHECK. These tests walk every early-return branch on every system; the
+// fact that each guest program completes proves release-exactly-once on all of them.
+#include <gtest/gtest.h>
+
+#include "src/baseline/system.h"
+#include "src/guest/guest.h"
+#include "tests/guest_test_util.h"
+
+namespace ufork {
+namespace {
+
+KernelConfig SmallConfig() {
+  KernelConfig config;
+  config.layout.text_size = 32 * kKiB;
+  config.layout.rodata_size = 8 * kKiB;
+  config.layout.got_size = 4 * kKiB;
+  config.layout.data_size = 8 * kKiB;
+  config.layout.heap_size = 256 * kKiB;
+  config.layout.stack_size = 32 * kKiB;
+  config.layout.tls_size = 4 * kKiB;
+  config.layout.mmap_size = 64 * kKiB;
+  return config;
+}
+
+struct System {
+  const char* name;
+  std::unique_ptr<Kernel> (*make)(KernelConfig config);
+};
+
+const System kSystems[] = {
+    {"ufork", [](KernelConfig c) { return MakeUforkKernel(c); }},
+    {"mas", [](KernelConfig c) { return MakeMasKernel(c, MasParams{}); }},
+    {"vmclone", [](KernelConfig c) { return MakeVmCloneKernel(c, VmCloneParams{}); }},
+};
+
+// Runs `fn` as the init program on each of the three systems.
+void RunOnAllSystems(GuestFn fn) {
+  for (const System& system : kSystems) {
+    SCOPED_TRACE(system.name);
+    auto kernel = system.make(SmallConfig());
+    auto pid = kernel->Spawn(MakeGuestEntry(fn), "error-matrix");
+    ASSERT_TRUE(pid.ok());
+    kernel->Run();
+  }
+}
+
+TEST(SyscallErrors, BadDescriptorReadWriteSeekClose) {
+  RunOnAllSystems([](Guest& g) -> SimTask<void> {
+    auto buf = g.Malloc(64);
+    CO_ASSERT_OK(buf);
+    constexpr int kBogusFd = 17;
+    auto read = co_await g.Read(kBogusFd, *buf, 8);
+    CO_ASSERT_EQ(read.code(), Code::kErrBadFd);
+    auto written = co_await g.Write(kBogusFd, *buf, 8);
+    CO_ASSERT_EQ(written.code(), Code::kErrBadFd);
+    auto sought = co_await g.Seek(kBogusFd, 0, 0);
+    CO_ASSERT_EQ(sought.code(), Code::kErrBadFd);
+    auto closed = co_await g.Close(kBogusFd);
+    CO_ASSERT_EQ(closed.code(), Code::kErrBadFd);
+    // The kernel survived four error returns with its lock discipline intact: a real syscall
+    // still works.
+    auto pid = co_await g.GetPid();
+    CO_ASSERT_OK(pid);
+  });
+}
+
+TEST(SyscallErrors, DoubleCloseReturnsBadFd) {
+  RunOnAllSystems([](Guest& g) -> SimTask<void> {
+    auto fd = co_await g.Open("/double-close", kOpenWrite | kOpenCreate);
+    CO_ASSERT_OK(fd);
+    CO_ASSERT_OK(co_await g.Close(*fd));
+    auto again = co_await g.Close(*fd);
+    CO_ASSERT_EQ(again.code(), Code::kErrBadFd);
+  });
+}
+
+TEST(SyscallErrors, Dup2OntoSelfIsANoOpAndBadTargetsFail) {
+  RunOnAllSystems([](Guest& g) -> SimTask<void> {
+    auto fd = co_await g.Open("/dup2", kOpenWrite | kOpenCreate);
+    CO_ASSERT_OK(fd);
+    // dup2(fd, fd) returns fd without disturbing the open file.
+    auto self = co_await g.Dup2(*fd, *fd);
+    CO_ASSERT_OK(self);
+    CO_ASSERT_EQ(*self, *fd);
+    auto line = g.PlaceString("still-open");
+    CO_ASSERT_OK(line);
+    auto written = co_await g.Write(*fd, *line, 10);
+    CO_ASSERT_OK(written);
+    CO_ASSERT_EQ(*written, 10);
+    // Errors: closed/bogus source, out-of-range target.
+    auto bad_old = co_await g.Dup2(17, 5);
+    CO_ASSERT_EQ(bad_old.code(), Code::kErrBadFd);
+    auto bad_new = co_await g.Dup2(*fd, -1);
+    CO_ASSERT_EQ(bad_new.code(), Code::kErrBadFd);
+    auto huge_new = co_await g.Dup2(*fd, 1 << 20);
+    CO_ASSERT_EQ(huge_new.code(), Code::kErrBadFd);
+    CO_ASSERT_OK(co_await g.Close(*fd));
+  });
+}
+
+TEST(SyscallErrors, WaitWithNoChildrenReturnsEchild) {
+  RunOnAllSystems([](Guest& g) -> SimTask<void> {
+    auto waited = co_await g.Wait();
+    CO_ASSERT_EQ(waited.code(), Code::kErrChild);
+    // And again: the ECHILD path must also release exactly once.
+    auto again = co_await g.Wait();
+    CO_ASSERT_EQ(again.code(), Code::kErrChild);
+  });
+}
+
+TEST(SyscallErrors, ShmAndMqErrorPaths) {
+  RunOnAllSystems([](Guest& g) -> SimTask<void> {
+    auto zero = co_await g.ShmOpen("/shm/zero", 0);
+    CO_ASSERT_EQ(zero.code(), Code::kErrInval);
+    auto map = co_await g.ShmMap(12345);
+    CO_ASSERT_EQ(map.code(), Code::kErrBadFd);
+    auto unlink = co_await g.ShmUnlink("/shm/none");
+    CO_ASSERT_EQ(unlink.code(), Code::kErrNoEnt);
+    auto mq = co_await g.MqOpen("/mq/none", /*create=*/false);
+    CO_ASSERT_TRUE(!mq.ok());
+  });
+}
+
+// --- fork exhaustion: the ghost-child regression ---------------------------------------------
+//
+// CreateUprocShell registers the child in the process table (and the parent's children list)
+// before the backend allocates memory. A failed fork used to leave that shell behind as a
+// permanently-kRunning ghost child, so the parent's subsequent wait() blocked forever. These
+// tests would hang (and time out) without DestroyUprocShell on the failure paths.
+
+TEST(SyscallErrors, UforkForkExhaustionLeavesNoGhostChild) {
+  KernelConfig config = SmallConfig();
+  // The image maps 86 pages; leave room for exactly one of fork's two proactive copies so the
+  // second fails mid-fork, after the child shell exists.
+  config.phys_mem_bytes = 87 * kPageSize;
+  auto kernel = MakeUforkKernel(config);
+  auto pid = kernel->Spawn(MakeGuestEntry([](Guest& g) -> SimTask<void> {
+                             auto child = co_await g.Fork([](Guest& cg) -> SimTask<void> {
+                               co_await cg.Exit(0);
+                             });
+                             CO_ASSERT_EQ(child.code(), Code::kErrNoMem);
+                             auto waited = co_await g.Wait();
+                             CO_ASSERT_EQ(waited.code(), Code::kErrChild);
+                           }),
+                           "ufork-oom");
+  ASSERT_TRUE(pid.ok());
+  kernel->Run();
+  EXPECT_EQ(kernel->stats().forks, 0u);
+  EXPECT_EQ(kernel->LivePids().size(), 0u) << "the failed fork must not leave a ghost child";
+}
+
+TEST(SyscallErrors, VmCloneForkExhaustionLeavesNoGhostChild) {
+  KernelConfig config = SmallConfig();
+  // The VM clone copies all 86 image pages synchronously; 100 frames fail the copy partway.
+  config.phys_mem_bytes = 100 * kPageSize;
+  auto kernel = MakeVmCloneKernel(config);
+  auto pid = kernel->Spawn(MakeGuestEntry([](Guest& g) -> SimTask<void> {
+                             auto child = co_await g.Fork([](Guest& cg) -> SimTask<void> {
+                               co_await cg.Exit(0);
+                             });
+                             CO_ASSERT_EQ(child.code(), Code::kErrNoMem);
+                             auto waited = co_await g.Wait();
+                             CO_ASSERT_EQ(waited.code(), Code::kErrChild);
+                           }),
+                           "vmclone-oom");
+  ASSERT_TRUE(pid.ok());
+  kernel->Run();
+  EXPECT_EQ(kernel->stats().forks, 0u);
+  EXPECT_EQ(kernel->LivePids().size(), 0u) << "the failed clone must not leave a ghost child";
+}
+
+}  // namespace
+}  // namespace ufork
