@@ -98,6 +98,7 @@ struct SystemConfig {
   IsolationLevel isolation = IsolationLevel::kFull;
   uint64_t phys_mem_bytes = 3 * kGiB;
   double mas_allocator_dirty_fraction = 0.0;
+  FaultAroundConfig fault_around;  // default: disabled (window=1), as in the calibrated figures
 };
 
 inline std::unique_ptr<Kernel> MakeSystem(const SystemConfig& sc) {
@@ -107,6 +108,7 @@ inline std::unique_ptr<Kernel> MakeSystem(const SystemConfig& sc) {
   config.strategy = sc.strategy;
   config.isolation = sc.isolation;
   config.phys_mem_bytes = sc.phys_mem_bytes;
+  config.fault_around = sc.fault_around;
   switch (sc.system) {
     case System::kUfork:
       return MakeUforkKernel(config);

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Benchmark gates for bench/run_benches.sh (stdlib only).
+
+Two subcommands:
+
+  compare BASELINE.json CANDIDATE.json [--threshold 0.10]
+      Compares google-benchmark JSON outputs by run_name. Fails (exit 1) if any benchmark's
+      candidate real_time exceeds the baseline by more than the threshold. Aggregate entries
+      are preferred (median, then mean); raw iteration entries are averaged. Benchmarks
+      present in only one file are reported but never fail the gate, so adding or retiring a
+      benchmark does not break CI.
+
+  storm-gate STORM.json [--improvement 0.10] [--benchmark FaultStormRedis]
+              [--counter fault_Mcycles] [--baseline-arg 1] [--candidate-arg 0]
+      Checks the fault-around acceptance criterion on bench_fault_storm output: the adaptive
+      sweep point (arg 0) must improve the given counter by at least `improvement` relative
+      to the window=1 point. The counter is simulator virtual cycles, so this gate is
+      deterministic and safe to run on any host.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return doc.get("benchmarks", [])
+
+
+def representative_times(entries):
+    """Maps run_name -> representative real_time (aggregate median > mean > raw average)."""
+    by_run = {}
+    for entry in entries:
+        run_name = entry.get("run_name", entry.get("name", ""))
+        by_run.setdefault(run_name, []).append(entry)
+    times = {}
+    for run_name, group in by_run.items():
+        aggregates = {e.get("aggregate_name"): e for e in group if e.get("run_type") == "aggregate"}
+        if "median" in aggregates:
+            times[run_name] = float(aggregates["median"]["real_time"])
+        elif "mean" in aggregates:
+            times[run_name] = float(aggregates["mean"]["real_time"])
+        else:
+            raw = [float(e["real_time"]) for e in group if e.get("run_type", "iteration") == "iteration"]
+            if raw:
+                times[run_name] = sum(raw) / len(raw)
+    return times
+
+
+def cmd_compare(args):
+    base = representative_times(load_benchmarks(args.baseline))
+    cand = representative_times(load_benchmarks(args.candidate))
+    failures = []
+    for run_name in sorted(base):
+        if run_name not in cand:
+            print(f"  (skip) {run_name}: not in candidate")
+            continue
+        ratio = cand[run_name] / base[run_name] if base[run_name] > 0 else 1.0
+        marker = "OK"
+        if ratio > 1.0 + args.threshold:
+            marker = "REGRESSED"
+            failures.append(run_name)
+        print(f"  [{marker}] {run_name}: {base[run_name]:.3f} -> {cand[run_name]:.3f} "
+              f"({(ratio - 1.0) * 100.0:+.1f}%)")
+    for run_name in sorted(set(cand) - set(base)):
+        print(f"  (new) {run_name}: no baseline")
+    if failures:
+        print(f"FAIL: {len(failures)} benchmark(s) regressed more than "
+              f"{args.threshold * 100.0:.0f}% vs {args.baseline}")
+        return 1
+    print(f"host-throughput gate OK ({len(base)} baseline benchmarks, "
+          f"threshold {args.threshold * 100.0:.0f}%)")
+    return 0
+
+
+def find_counter(entries, prefix, counter):
+    for entry in entries:
+        if entry.get("run_type") == "aggregate":
+            continue
+        if entry.get("run_name", entry.get("name", "")).startswith(prefix):
+            if counter not in entry:
+                break
+            return float(entry[counter])
+    raise SystemExit(f"error: no iteration entry matching '{prefix}' with counter '{counter}'")
+
+
+def cmd_storm_gate(args):
+    entries = load_benchmarks(args.storm)
+    base = find_counter(entries, f"{args.benchmark}/{args.baseline_arg}/", args.counter)
+    cand = find_counter(entries, f"{args.benchmark}/{args.candidate_arg}/", args.counter)
+    improvement = (base - cand) / base if base > 0 else 0.0
+    print(f"  {args.benchmark} {args.counter}: window=1 {base:.4f} -> adaptive {cand:.4f} "
+          f"({improvement * 100.0:+.1f}% improvement)")
+    if improvement < args.improvement:
+        print(f"FAIL: adaptive fault-around must improve {args.counter} by at least "
+              f"{args.improvement * 100.0:.0f}% over window=1")
+        return 1
+    print("fault-storm gate OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    compare = sub.add_parser("compare")
+    compare.add_argument("baseline")
+    compare.add_argument("candidate")
+    compare.add_argument("--threshold", type=float, default=0.10)
+    compare.set_defaults(fn=cmd_compare)
+
+    storm = sub.add_parser("storm-gate")
+    storm.add_argument("storm")
+    storm.add_argument("--improvement", type=float, default=0.10)
+    storm.add_argument("--benchmark", default="FaultStormRedis")
+    storm.add_argument("--counter", default="fault_Mcycles")
+    storm.add_argument("--baseline-arg", default="1")
+    storm.add_argument("--candidate-arg", default="0")
+    storm.set_defaults(fn=cmd_storm_gate)
+
+    args = parser.parse_args()
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,15 +1,22 @@
 #!/usr/bin/env sh
-# Runs the host-throughput benchmark gate and records the results.
+# Runs the benchmark gates and records the committed baselines.
 #
 #   bench/run_benches.sh [--smoke] [build-dir] [output-json]
 #
-# Defaults: build-dir = build, output-json = BENCH_host_throughput.json (repo root). The JSON
-# is committed so the wall-clock trajectory of the simulator is tracked PR over PR; compare a
-# working tree against it before merging host-side changes (see EXPERIMENTS.md "Host
-# throughput").
+# Defaults: build-dir = build, output-json = BENCH_host_throughput.json (repo root). Two JSON
+# baselines are committed so trajectories are tracked PR over PR:
 #
-# --smoke: single repetition written to a temporary file — verifies every benchmark still runs
-# (CI uses this) without touching the committed baseline JSON.
+#   BENCH_host_throughput.json — wall-clock speed of the simulator itself (host time). A fresh
+#     run is compared against the committed baseline BEFORE overwriting it: more than 10%
+#     regression on any benchmark fails (override the threshold with UF_BENCH_THRESHOLD, or
+#     set UF_BENCH_ALLOW_REGRESSION=1 to record an accepted slowdown).
+#
+#   BENCH_fault_storm.json — the fault-around window sweep (simulator virtual time, fully
+#     deterministic). Gated on the acceptance criterion: adaptive fault-around must cut
+#     post-fork fault-resolution cycles on the Redis update storm by >= 10% vs window=1.
+#
+# --smoke: single repetition written to temporary files — verifies every benchmark still runs
+# and applies both gates without touching the committed baselines (CI uses this).
 set -eu
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -21,27 +28,71 @@ if [ "${1:-}" = "--smoke" ]; then
 fi
 
 build_dir="${1:-"${repo_root}/build"}"
-out_json="${2:-"${repo_root}/BENCH_host_throughput.json"}"
+host_json="${2:-"${repo_root}/BENCH_host_throughput.json"}"
+storm_json="${repo_root}/BENCH_fault_storm.json"
+threshold="${UF_BENCH_THRESHOLD:-0.10}"
 repetitions=3
 if [ "${smoke}" = 1 ]; then
-  out_json="$(mktemp -t bench_smoke.XXXXXX.json)"
   repetitions=1
 fi
 
-bench_bin="${build_dir}/bench/bench_host_throughput"
-if [ ! -x "${bench_bin}" ]; then
-  echo "error: ${bench_bin} not built (cmake --build ${build_dir} --target bench_host_throughput)" >&2
-  exit 1
+for bench in bench_host_throughput bench_fault_storm; do
+  if [ ! -x "${build_dir}/bench/${bench}" ]; then
+    echo "error: ${build_dir}/bench/${bench} not built (cmake --build ${build_dir} --target ${bench})" >&2
+    exit 1
+  fi
+done
+
+python3_bin="$(command -v python3 || true)"
+if [ -z "${python3_bin}" ]; then
+  echo "warning: python3 not found; benchmark gates skipped" >&2
 fi
 
-"${bench_bin}" \
-  --benchmark_out="${out_json}" \
+# --- host throughput (wall clock) ---------------------------------------------------------------
+
+host_new="$(mktemp -t bench_host.XXXXXX.json)"
+"${build_dir}/bench/bench_host_throughput" \
+  --benchmark_out="${host_new}" \
   --benchmark_out_format=json \
   --benchmark_repetitions="${repetitions}" \
   --benchmark_report_aggregates_only=true
 
-echo "wrote ${out_json}"
+if [ -n "${python3_bin}" ] && [ -f "${host_json}" ]; then
+  echo "host-throughput gate (threshold ${threshold}) vs ${host_json}:"
+  if ! "${python3_bin}" "${repo_root}/bench/check_regression.py" compare \
+      "${host_json}" "${host_new}" --threshold "${threshold}"; then
+    if [ "${UF_BENCH_ALLOW_REGRESSION:-0}" = 1 ]; then
+      echo "UF_BENCH_ALLOW_REGRESSION=1: continuing despite regression"
+    else
+      rm -f "${host_new}"
+      exit 1
+    fi
+  fi
+fi
+
 if [ "${smoke}" = 1 ]; then
-  rm -f "${out_json}"
-  echo "smoke run OK (baseline JSON untouched)"
+  rm -f "${host_new}"
+else
+  mv "${host_new}" "${host_json}"
+  echo "wrote ${host_json}"
+fi
+
+# --- fault-around window sweep (virtual time, deterministic) ------------------------------------
+
+storm_new="$(mktemp -t bench_storm.XXXXXX.json)"
+"${build_dir}/bench/bench_fault_storm" \
+  --benchmark_out="${storm_new}" \
+  --benchmark_out_format=json
+
+if [ -n "${python3_bin}" ]; then
+  echo "fault-storm gate:"
+  "${python3_bin}" "${repo_root}/bench/check_regression.py" storm-gate "${storm_new}"
+fi
+
+if [ "${smoke}" = 1 ]; then
+  rm -f "${storm_new}"
+  echo "smoke run OK (committed baselines untouched)"
+else
+  mv "${storm_new}" "${storm_json}"
+  echo "wrote ${storm_json}"
 fi

@@ -350,8 +350,10 @@ void RegisterShellUtilities(Kernel& kernel) {
     co_await g.Exit(written.ok() ? 0 : 1);
   }));
   kernel.RegisterProgram("stats", MakeGuestEntry([](Guest& g) -> SimTask<void> {
-    // Prints the kernel's per-syscall counters — the simulated /proc/stat.
-    auto written = co_await WriteAll(g, kShellStdout, SyscallTableReport(g.kernel()));
+    // Prints the kernel's per-syscall counters and fault/fork summary — the simulated
+    // /proc/stat (+ /proc/vmstat: the fault-around and reclaim counters live in the summary).
+    auto written = co_await WriteAll(
+        g, kShellStdout, SyscallTableReport(g.kernel()) + KernelSummaryReport(g.kernel()));
     co_await g.Exit(written.ok() ? 0 : 1);
   }));
 }

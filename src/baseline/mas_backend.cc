@@ -1,7 +1,10 @@
 #include "src/baseline/mas_backend.h"
 
 #include "src/guest/tinyalloc.h"
+#include "src/kernel/fault_around.h"
 
+#include <array>
+#include <span>
 #include <vector>
 
 namespace ufork {
@@ -63,25 +66,56 @@ Result<void> MasBackend::ResolveFault(KernelCore& kernel, const PageFaultInfo& i
   if (uproc == nullptr) {
     return Error{Code::kFaultNotMapped, "fault against an unowned page table"};
   }
-  Pte* pte = info.page_table->LookupMutable(info.va);
+  PageTable& pt = *info.page_table;
+  Pte* pte = pt.LookupMutable(info.va);
   UF_CHECK(pte != nullptr);
   if ((pte->flags & kPteCow) == 0 || !info.is_write) {
     return Error{Code::kFaultPageProt, "unresolvable page fault"};
   }
-  const uint32_t seg_flags = kernel.SegmentFlagsAt(uproc->OffsetOf(info.va));
-  if (machine.frames().RefCount(pte->frame) > 1) {
-    UF_ASSIGN_OR_RETURN(const FrameId copy, machine.frames().AllocateForCopy());
-    machine.Charge(costs.frame_alloc + costs.page_copy + costs.pte_update);
-    machine.frames().frame(copy).CopyFrom(machine.frames().frame(pte->frame));
-    const FrameId old = pte->frame;
-    info.page_table->Remap(info.va, copy, seg_flags);
-    machine.frames().Release(old);
-    ++kernel.stats().pages_copied_on_fault;
+
+  const uint32_t limit = FaultAroundBegin(kernel, *uproc, info);
+  FaultWindow window = FaultAroundScan(kernel, *uproc, pt, info, *pte, limit);
+
+  Cycles resolved_cycles = costs.page_fault;  // trap cost, charged by the access engine
+  auto charge = [&](Cycles cycles) {
+    machine.Charge(cycles);
+    resolved_cycles += cycles;
+  };
+
+  KernelStats& stats = kernel.stats();
+  if (window.shared) {
+    std::array<FrameId, kMaxFaultAroundWindow> fresh;
+    if (!machine.frames().AllocateForCopy(std::span(fresh.data(), window.pages)).ok()) {
+      window.pages = 1;
+      UF_RETURN_IF_ERROR(machine.frames().AllocateForCopy(std::span(fresh.data(), 1)));
+    }
+    std::array<FrameId, kMaxFaultAroundWindow> old;
+    for (uint64_t i = 0; i < window.pages; ++i) {
+      Pte* page = pt.LookupMutable(info.va + i * kPageSize);
+      charge(costs.frame_alloc + costs.page_copy);
+      machine.frames().frame(fresh[i]).CopyFrom(machine.frames().frame(page->frame));
+      old[i] = page->frame;
+    }
+    charge(window.pages == 1 ? costs.pte_update : costs.pte_update_batched);
+    pt.RemapRange(info.va, std::span<const FrameId>(fresh.data(), window.pages),
+                  window.seg_flags, /*extra_flags_after_first=*/kPteFaultAround);
+    for (uint64_t i = 0; i < window.pages; ++i) {
+      machine.frames().Release(old[i]);
+    }
+    stats.pages_copied_on_fault += window.pages;
   } else {
-    machine.Charge(costs.pte_update);
-    info.page_table->SetFlags(info.va, seg_flags);
+    charge(window.pages == 1 ? costs.pte_update : costs.pte_update_batched);
+    pt.SetFlagsRange(info.va, window.pages, window.seg_flags,
+                     /*extra_flags_after_first=*/kPteFaultAround);
+    stats.pages_reclaimed_in_place += window.pages;
   }
+  stats.fault_cycles += resolved_cycles;
+  FaultAroundCommit(kernel, *uproc, window);
   return OkResult();
+}
+
+void MasBackend::OnExit(KernelCore& kernel, Uproc& uproc) {
+  FaultAroundAccountExitWaste(kernel, uproc);
 }
 
 uint64_t MasBackend::ExtraResidencyBytes(const KernelCore& kernel, const Uproc& uproc) const {

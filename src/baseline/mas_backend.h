@@ -42,6 +42,7 @@ class MasBackend : public ForkBackend {
 
   Result<Pid> Fork(KernelCore& kernel, Uproc& parent, UprocEntry entry) override;
   Result<void> ResolveFault(KernelCore& kernel, const PageFaultInfo& info) override;
+  void OnExit(KernelCore& kernel, Uproc& uproc) override;
   uint64_t ExtraResidencyBytes(const KernelCore& kernel, const Uproc& uproc) const override;
 
  private:

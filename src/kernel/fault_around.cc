@@ -1,0 +1,105 @@
+#include "src/kernel/fault_around.h"
+
+#include <algorithm>
+
+namespace ufork {
+namespace {
+
+// Clears still-set speculative markers in [lo, hi) and returns how many there were. A marker
+// that survived until now was a speculative resolution nobody touched — a wasted copy.
+uint64_t SweepStaleMarkers(PageTable& pt, uint64_t lo, uint64_t hi) {
+  uint64_t stale = 0;
+  for (uint64_t va = lo; va < hi; va += kPageSize) {
+    Pte* pte = pt.LookupMutable(va);
+    if (pte != nullptr && (pte->flags & kPteFaultAround) != 0) {
+      pte->flags &= ~kPteFaultAround;
+      ++stale;
+    }
+  }
+  return stale;
+}
+
+uint32_t ClampedMaxWindow(const FaultAroundConfig& config) {
+  return std::clamp<uint32_t>(config.max_window, 1, kMaxFaultAroundWindow);
+}
+
+}  // namespace
+
+uint32_t FaultAroundBegin(KernelCore& kernel, Uproc& uproc, const PageFaultInfo& info) {
+  const FaultAroundConfig& config = kernel.config().fault_around;
+  const uint32_t max_window = ClampedMaxWindow(config);
+  if (max_window <= 1) {
+    return 1;
+  }
+  FaultAroundState& state = uproc.fault_around;
+  // Audit the previous window: markers still set were wasted speculative copies. Swept for
+  // fixed windows too, so the waste counter stays meaningful across the whole sweep matrix.
+  const uint64_t wasted = SweepStaleMarkers(*info.page_table, state.spec_lo, state.spec_hi);
+  kernel.stats().speculative_pages_wasted += wasted;
+  state.spec_lo = 0;
+  state.spec_hi = 0;
+  uint32_t limit = max_window;
+  if (config.adaptive) {
+    if (wasted > 0) {
+      state.window = std::max<uint32_t>(1, state.window / 2);
+    } else if (state.next_va != 0 && info.va == state.next_va) {
+      // The previous window was fully consumed and the storm marched straight past its end.
+      state.window = std::min(state.window * 2, max_window);
+    }
+    limit = std::min(state.window, max_window);
+  }
+  // Pages the faulting access itself spans are guaranteed to be touched — resolving them now
+  // is pure win, so the span may raise the window above the adaptive value.
+  const uint64_t span_end = std::max(info.access_end, info.va + 1);
+  const uint64_t span_pages = (span_end - info.va + kPageSize - 1) / kPageSize;
+  return std::max<uint32_t>(limit, std::min<uint64_t>(span_pages, max_window));
+}
+
+FaultWindow FaultAroundScan(KernelCore& kernel, Uproc& uproc, PageTable& pt,
+                            const PageFaultInfo& info, const Pte& fault_pte, uint32_t limit) {
+  const FrameAllocator& frames = kernel.machine().frames();
+  FaultWindow window;
+  window.va = info.va;
+  window.shared = frames.RefCount(fault_pte.frame) > 1;
+  const uint64_t offset = uproc.OffsetOf(info.va);
+  window.seg_flags = kernel.SegmentFlagsAt(offset);
+  // The window never crosses the segment boundary: resolved permissions change there, and so
+  // does the pending state worth batching.
+  const uint64_t segment_end = uproc.base + kernel.layout().SegmentEndOf(offset);
+  const uint64_t max_end = std::min(info.va + uint64_t{limit} * kPageSize, segment_end);
+  for (uint64_t va = info.va + kPageSize; va < max_end; va += kPageSize) {
+    const Pte* next = pt.LookupMutable(va);
+    if (next == nullptr || next->flags != fault_pte.flags ||
+        (frames.RefCount(next->frame) > 1) != window.shared) {
+      break;
+    }
+    ++window.pages;
+  }
+  return window;
+}
+
+void FaultAroundCommit(KernelCore& kernel, Uproc& uproc, const FaultWindow& window) {
+  KernelStats& stats = kernel.stats();
+  ++stats.faults_taken;
+  stats.pages_resolved_by_faultaround += window.pages - 1;
+  if (ClampedMaxWindow(kernel.config().fault_around) <= 1) {
+    return;
+  }
+  FaultAroundState& state = uproc.fault_around;
+  state.next_va = window.va + window.pages * kPageSize;
+  state.spec_lo = window.va;
+  state.spec_hi = state.next_va;
+}
+
+void FaultAroundAccountExitWaste(KernelCore& kernel, Uproc& uproc) {
+  FaultAroundState& state = uproc.fault_around;
+  if (state.spec_hi <= state.spec_lo || uproc.page_table == nullptr) {
+    return;
+  }
+  kernel.stats().speculative_pages_wasted +=
+      SweepStaleMarkers(*uproc.page_table, state.spec_lo, state.spec_hi);
+  state.spec_lo = 0;
+  state.spec_hi = 0;
+}
+
+}  // namespace ufork

@@ -280,6 +280,7 @@ void KernelCore::ReleaseUprocMemory(Uproc& uproc) {
     address_space_.FreeRegion(uproc.base);
   }
   uproc.page_table = nullptr;
+  uproc.fault_around = {};  // speculative spans refer to unmapped pages now
 }
 
 // --- user-memory access ---------------------------------------------------------------------

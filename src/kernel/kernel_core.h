@@ -31,6 +31,19 @@ namespace ufork {
 
 class Kernel;
 
+// Fault-around: batched CoW/CoPA fault resolution (DESIGN.md §4.8). One trap resolves a
+// window of adjacent pages in the same pending state; `pte_update_batched` replaces the
+// per-page `pte_update` for multi-page windows. Default max_window=1 keeps resolution
+// page-at-a-time and bit-identical to the pre-fault-around kernel.
+struct FaultAroundConfig {
+  uint32_t max_window = 1;  // upper bound on the window, clamped to kMaxFaultAroundWindow
+  // Grow/shrink the per-μprocess window from observed locality. When false, every window uses
+  // max_window directly (still clipped by access span, segment and state boundaries).
+  bool adaptive = true;
+};
+
+inline constexpr uint32_t kMaxFaultAroundWindow = 16;
+
 struct KernelConfig {
   int cores = 4;  // Morello SDP has 4 ARMv8.2-A cores
   ForkStrategy strategy = ForkStrategy::kCopa;
@@ -41,6 +54,7 @@ struct KernelConfig {
   // subsystem; kUncontended models the MAS baseline's idealized fine-grained kernel.
   LockMode lock_mode = LockMode::kBigKernelLock;
   std::optional<uint64_t> aslr_seed;
+  FaultAroundConfig fault_around;
   CostModel costs;
 };
 
@@ -58,6 +72,15 @@ struct KernelStats {
   uint64_t caps_relocated_on_fault = 0;
   uint64_t caps_stripped = 0;  // out-of-region capabilities invalidated during relocation
   uint64_t tocttou_copies = 0;
+  // Fault-around accounting (DESIGN.md §4.8). Page-accounting invariant across backends:
+  //   faults_taken + pages_resolved_by_faultaround == pages_copied_on_fault +
+  //   pages_reclaimed_in_place.
+  uint64_t faults_taken = 0;                  // resolvable traps actually serviced
+  uint64_t pages_resolved_by_faultaround = 0; // extra pages resolved beyond the faulting one
+  uint64_t pages_reclaimed_in_place = 0;      // last-sharer pages reclaimed without a copy
+  uint64_t speculative_pages_wasted = 0;      // fault-around pages never touched afterwards
+  Cycles fault_cycles = 0;                    // virtual cycles spent in resolvable-fault
+                                              // handling (incl. the page_fault trap cost)
   uint64_t regions_tombstoned = 0;  // regions kept reserved at exit (shared frames remain)
   // Kernel entries per syscall id, indexed by Sys and incremented by SyscallScope::Enter.
   // Σ per_syscall == syscalls (delivery points such as check_signals enter no kernel section

@@ -123,6 +123,12 @@ std::string KernelSummaryReport(Kernel& kernel) {
      << "  fault copies=" << stats.pages_copied_on_fault
      << " (CoW faults=" << machine.cow_faults()
      << ", CoPA faults=" << machine.cap_load_faults() << ")\n"
+     << "  faults taken=" << stats.faults_taken
+     << " fault-around pages=" << stats.pages_resolved_by_faultaround
+     << " reclaimed in place=" << stats.pages_reclaimed_in_place
+     << " speculative wasted=" << stats.speculative_pages_wasted << "\n"
+     << "  fault cycles=" << stats.fault_cycles << " ("
+     << std::fixed << std::setprecision(1) << ToMicroseconds(stats.fault_cycles) << " us)\n"
      << "  caps relocated on fault=" << stats.caps_relocated_on_fault
      << " stripped=" << stats.caps_stripped
      << " tocttou copies=" << stats.tocttou_copies << "\n"

@@ -24,6 +24,17 @@ namespace ufork {
 using Pid = int64_t;
 inline constexpr Pid kInvalidPid = -1;
 
+// Per-μprocess adaptive fault-around controller state (Linux fault-around style, but for
+// CoW/CoPA resolution windows — see DESIGN.md §4.8). The window doubles when the previous
+// window was fully consumed and the next fault lands right where it left off, and halves when
+// speculatively-resolved pages were still untouched at the next fault.
+struct FaultAroundState {
+  uint32_t window = 1;   // current adaptive window (pages), clamped to config.max_window
+  uint64_t next_va = 0;  // one past the last resolved window (adjacency detector)
+  uint64_t spec_lo = 0;  // last window's speculative span [spec_lo, spec_hi): pages that still
+  uint64_t spec_hi = 0;  // carry kPteFaultAround at the next fault were wasted copies
+};
+
 // Per-fork accounting, reported by the benchmarks (Figs. 4, 8).
 struct ForkStats {
   Cycles latency = 0;                  // time for the fork call to complete
@@ -86,6 +97,7 @@ class Uproc {
   // --- accounting ---
   ForkStats fork_stats;  // stats of the fork that created this μprocess
   uint64_t forks_performed = 0;
+  FaultAroundState fault_around;  // adaptive CoW/CoPA resolution window (DESIGN.md §4.8)
 
  private:
   Pid pid_;

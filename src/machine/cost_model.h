@@ -47,6 +47,11 @@ struct CostModel {
   Cycles coa_parent_clear = 2;       // per page: CoA additionally clears parent access bits
   Cycles mas_page_extra = 86;        // per page: vm_map entry + pv tracking in the MAS fork
   Cycles pte_update = 90;            // fault-path PTE rewrite + local TLB shootdown
+  // Rewriting a whole fault-around window of PTEs under one coalesced TLB shootdown. The
+  // shootdown (IPI + invalidate broadcast) dominates pte_update, so a batch costs little more
+  // than a single update; kept distinct from pte_update so the batching stays observable in
+  // the cost model instead of pretending N updates are free.
+  Cycles pte_update_batched = 130;
   Cycles page_fault = 420;           // exception entry + fault decode + handler dispatch
   Cycles pt_node_alloc = 220;        // allocate one radix table node (MAS fork)
 

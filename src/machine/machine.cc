@@ -7,13 +7,16 @@ namespace ufork {
 Machine::Machine(const MachineConfig& config)
     : frames_(config.phys_frames), costs_(config.costs) {}
 
-Result<Pte> Machine::TranslateForAccess(PageTable& pt, uint64_t page_va, bool is_write,
-                                        bool is_tagged_cap_load) {
+Result<Pte> Machine::TranslateForAccess(PageTable& pt, uint64_t page_va, uint64_t access_end,
+                                        bool is_write, bool is_tagged_cap_load) {
   for (int attempt = 0; attempt < 2; ++attempt) {
-    const std::optional<Pte> pte = pt.Lookup(page_va);
-    if (!pte.has_value()) {
+    Pte* pte = pt.LookupMutable(page_va);
+    if (pte == nullptr) {
       return Error{Code::kFaultNotMapped, "access to unmapped page"};
     }
+    // First touch of a speculatively-resolved page: consume the fault-around marker so the
+    // adaptive controller knows the speculative copy paid off (host-side bookkeeping only).
+    pte->flags &= ~kPteFaultAround;
     const uint32_t required = is_write ? kPteWrite : kPteRead;
     const bool perm_ok = (pte->flags & required) == required;
     const bool cap_load_fault = is_tagged_cap_load && (pte->flags & kPteLoadCapFault) != 0;
@@ -30,6 +33,7 @@ Result<Pte> Machine::TranslateForAccess(PageTable& pt, uint64_t page_va, bool is
     PageFaultInfo info;
     info.kind = !perm_ok ? Code::kFaultPageProt : Code::kFaultCapLoadPage;
     info.va = page_va;
+    info.access_end = std::max(access_end, page_va + 1);
     info.is_write = is_write;
     info.page_table = &pt;
     Charge(costs_.page_fault);
@@ -55,7 +59,7 @@ Result<void> Machine::Load(PageTable& pt, const Capability& auth, uint64_t va,
     const uint64_t offset = addr - page_va;
     const uint64_t chunk = std::min<uint64_t>(out.size() - done, kPageSize - offset);
     UF_ASSIGN_OR_RETURN(const Pte pte,
-                        TranslateForAccess(pt, page_va, /*is_write=*/false,
+                        TranslateForAccess(pt, page_va, va + out.size(), /*is_write=*/false,
                                            /*is_tagged_cap_load=*/false));
     frames_.frame(pte.frame).Read(offset, out.subspan(done, chunk));
     done += chunk;
@@ -73,8 +77,9 @@ Result<void> Machine::Store(PageTable& pt, const Capability& auth, uint64_t va,
     const uint64_t page_va = AlignDown(addr, kPageSize);
     const uint64_t offset = addr - page_va;
     const uint64_t chunk = std::min<uint64_t>(in.size() - done, kPageSize - offset);
-    UF_ASSIGN_OR_RETURN(const Pte pte, TranslateForAccess(pt, page_va, /*is_write=*/true,
-                                                          /*is_tagged_cap_load=*/false));
+    UF_ASSIGN_OR_RETURN(const Pte pte,
+                        TranslateForAccess(pt, page_va, va + in.size(), /*is_write=*/true,
+                                           /*is_tagged_cap_load=*/false));
     frames_.frame(pte.frame).Write(offset, in.subspan(done, chunk));
     done += chunk;
   }
@@ -91,8 +96,9 @@ Result<void> Machine::Fill(PageTable& pt, const Capability& auth, uint64_t va, u
     const uint64_t page_va = AlignDown(addr, kPageSize);
     const uint64_t offset = addr - page_va;
     const uint64_t chunk = std::min<uint64_t>(size - done, kPageSize - offset);
-    UF_ASSIGN_OR_RETURN(const Pte pte, TranslateForAccess(pt, page_va, /*is_write=*/true,
-                                                          /*is_tagged_cap_load=*/false));
+    UF_ASSIGN_OR_RETURN(const Pte pte,
+                        TranslateForAccess(pt, page_va, va + size, /*is_write=*/true,
+                                           /*is_tagged_cap_load=*/false));
     frames_.frame(pte.frame).Fill(offset, chunk, value);
     done += chunk;
   }
@@ -101,13 +107,18 @@ Result<void> Machine::Fill(PageTable& pt, const Capability& auth, uint64_t va, u
 
 Result<void> Machine::Copy(PageTable& pt, const Capability& dst_auth, uint64_t dst,
                            const Capability& src_auth, uint64_t src, uint64_t size) {
-  // Chunked through a bounce buffer; real guests use memcpy which the bulk cost models.
-  std::vector<std::byte> buf(std::min<uint64_t>(size, 64 * kKiB));
+  // Chunked through the per-machine bounce buffer; real guests use memcpy which the bulk cost
+  // models. The buffer grows to the high-water chunk size once and is reused ever after.
+  const uint64_t chunk_cap = std::min<uint64_t>(size, 64 * kKiB);
+  if (copy_scratch_.size() < chunk_cap) {
+    copy_scratch_.resize(chunk_cap);
+  }
   uint64_t done = 0;
   while (done < size) {
-    const uint64_t chunk = std::min<uint64_t>(size - done, buf.size());
-    UF_RETURN_IF_ERROR(Load(pt, src_auth, src + done, std::span(buf.data(), chunk)));
-    UF_RETURN_IF_ERROR(Store(pt, dst_auth, dst + done, std::span(buf.data(), chunk)));
+    const uint64_t chunk = std::min<uint64_t>(size - done, chunk_cap);
+    UF_RETURN_IF_ERROR(Load(pt, src_auth, src + done, std::span(copy_scratch_.data(), chunk)));
+    UF_RETURN_IF_ERROR(
+        Store(pt, dst_auth, dst + done, std::span(copy_scratch_.data(), chunk)));
     done += chunk;
   }
   return OkResult();
@@ -120,11 +131,13 @@ Result<Capability> Machine::LoadCap(PageTable& pt, const Capability& auth, uint6
   // First translate without the cap-load attribute check to inspect the tag: untagged granules
   // load as plain integers and never trigger CoPA ("non memory reference loads do not trigger
   // copying", §3.8). The hardware analogue: the LC fault fires only when the loaded tag is set.
-  UF_ASSIGN_OR_RETURN(Pte pte, TranslateForAccess(pt, page_va, /*is_write=*/false,
+  UF_ASSIGN_OR_RETURN(Pte pte, TranslateForAccess(pt, page_va, va + kCapSize,
+                                                  /*is_write=*/false,
                                                   /*is_tagged_cap_load=*/false));
   const bool tagged = frames_.frame(pte.frame).TagAt(va - page_va);
   if (tagged && (pte.flags & kPteLoadCapFault) != 0) {
-    UF_ASSIGN_OR_RETURN(pte, TranslateForAccess(pt, page_va, /*is_write=*/false,
+    UF_ASSIGN_OR_RETURN(pte, TranslateForAccess(pt, page_va, va + kCapSize,
+                                                /*is_write=*/false,
                                                 /*is_tagged_cap_load=*/true));
   }
   return frames_.frame(pte.frame).LoadCap(va - page_va);
@@ -139,7 +152,8 @@ Result<void> Machine::StoreCap(PageTable& pt, const Capability& auth, uint64_t v
   UF_RETURN_IF_ERROR(auth.CheckAccess(va, kCapSize, required));
   Charge(costs_.cap_store_unit);
   const uint64_t page_va = AlignDown(va, kPageSize);
-  UF_ASSIGN_OR_RETURN(const Pte pte, TranslateForAccess(pt, page_va, /*is_write=*/true,
+  UF_ASSIGN_OR_RETURN(const Pte pte, TranslateForAccess(pt, page_va, va + kCapSize,
+                                                        /*is_write=*/true,
                                                         /*is_tagged_cap_load=*/false));
   frames_.frame(pte.frame).StoreCap(va - page_va, value);
   return OkResult();

@@ -29,6 +29,10 @@ namespace ufork {
 struct PageFaultInfo {
   Code kind = Code::kOk;  // kFaultPageProt (CoW write) or kFaultCapLoadPage (CoPA)
   uint64_t va = 0;        // page-aligned faulting address
+  // Exclusive end of the guest access that faulted. A bulk Load/Store that spans pages beyond
+  // `va` announces its full extent here, letting the fault-around resolver size its window to
+  // pages the access is guaranteed to touch. Never below va (scalar accesses: va + width).
+  uint64_t access_end = 0;
   bool is_write = false;
   PageTable* page_table = nullptr;
 };
@@ -112,8 +116,9 @@ class Machine {
 
  private:
   // Translates, checks page permissions, and resolves CoW/CoPA faults. Returns the PTE.
-  Result<Pte> TranslateForAccess(PageTable& pt, uint64_t page_va, bool is_write,
-                                 bool is_tagged_cap_load);
+  // `access_end` is the exclusive end of the full guest access (forwarded to the resolver).
+  Result<Pte> TranslateForAccess(PageTable& pt, uint64_t page_va, uint64_t access_end,
+                                 bool is_write, bool is_tagged_cap_load);
 
   FrameAllocator frames_;
   CostModel costs_;
@@ -121,6 +126,10 @@ class Machine {
   FaultResolver fault_resolver_;
   uint64_t cow_faults_ = 0;
   uint64_t cap_load_faults_ = 0;
+  // Bounce buffer for Copy(): guest-to-guest copies run chunk-by-chunk through here. A member
+  // (rather than a per-call vector) so redis-save style loops do not allocate 64 KiB per call.
+  // Safe to reuse: Copy never suspends, and the machine services one access at a time.
+  std::vector<std::byte> copy_scratch_;
 };
 
 }  // namespace ufork

@@ -10,6 +10,21 @@ Result<FrameId> FrameAllocator::Allocate() { return AllocateInternal(/*zero=*/tr
 
 Result<FrameId> FrameAllocator::AllocateForCopy() { return AllocateInternal(/*zero=*/false); }
 
+Result<void> FrameAllocator::AllocateForCopy(std::span<FrameId> out) {
+  for (size_t i = 0; i < out.size(); ++i) {
+    auto frame = AllocateInternal(/*zero=*/false);
+    if (!frame.ok()) {
+      for (size_t j = 0; j < i; ++j) {
+        Release(out[j]);
+        --total_allocations_;  // the rolled-back batch never happened
+      }
+      return frame.error();
+    }
+    out[i] = *frame;
+  }
+  return OkResult();
+}
+
 Result<FrameId> FrameAllocator::AllocateInternal(bool zero) {
   FrameId id;
   if (!free_list_.empty()) {

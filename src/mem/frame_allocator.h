@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "src/base/status.h"
@@ -36,6 +37,12 @@ class FrameAllocator {
   // and their record storage keeps its capacity — the fork/fault copy path allocates nothing
   // in steady state.
   Result<FrameId> AllocateForCopy();
+
+  // Batch form of AllocateForCopy for the fault-around window: fills `out` with fresh
+  // unspecified-content frames, or allocates nothing at all (frames already handed out are
+  // rolled back) if physical memory cannot cover the whole batch — callers degrade to a
+  // single-page window rather than half-resolving one.
+  Result<void> AllocateForCopy(std::span<FrameId> out);
 
   // Increments the sharing count (a new PTE now maps this frame).
   void AddRef(FrameId id);

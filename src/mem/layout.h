@@ -78,6 +78,19 @@ class UprocLayout {
   uint64_t TotalSize() const { return total_; }
   uint64_t TotalPages() const { return total_ / kPageSize; }
 
+  // Exclusive end offset of the segment containing `offset`. Fault-around windows never cross
+  // this boundary: segment permissions (and hence resolved PTE flags) change there.
+  uint64_t SegmentEndOf(uint64_t offset) const {
+    const uint64_t ends[] = {rodata_off_, got_off_, data_off_, heap_off_,
+                             stack_off_,  tls_off_, mmap_off_, total_};
+    for (const uint64_t end : ends) {
+      if (offset < end) {
+        return end;
+      }
+    }
+    return total_;
+  }
+
   // Offsets of the pages that fork copies proactively (GOT + allocator metadata at the start
   // of the heap, §3.5 step 1).
   bool IsProactiveCopyPage(uint64_t offset) const {

@@ -87,6 +87,20 @@ void PageTable::SetFlags(uint64_t va, uint32_t flags) {
   pte->flags = flags;
 }
 
+void PageTable::RemapRange(uint64_t va, std::span<const FrameId> frames, uint32_t flags,
+                           uint32_t extra_flags_after_first) {
+  for (size_t i = 0; i < frames.size(); ++i) {
+    Remap(va + i * kPageSize, frames[i], i == 0 ? flags : flags | extra_flags_after_first);
+  }
+}
+
+void PageTable::SetFlagsRange(uint64_t va, uint64_t pages, uint32_t flags,
+                              uint32_t extra_flags_after_first) {
+  for (uint64_t i = 0; i < pages; ++i) {
+    SetFlags(va + i * kPageSize, i == 0 ? flags : flags | extra_flags_after_first);
+  }
+}
+
 std::optional<Pte> PageTable::Lookup(uint64_t va) const {
   const Pte* pte = WalkConst(va);
   if (pte == nullptr || pte->frame == kInvalidFrame) {

@@ -18,6 +18,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 
 #include "src/base/status.h"
 #include "src/mem/frame_allocator.h"
@@ -31,6 +32,8 @@ enum PteFlags : uint32_t {
   kPteLoadCapFault = 1u << 3,  // CoPA: tagged capability loads fault
   kPteCow = 1u << 4,           // shared with fork partner; faults are resolvable
   kPteShared = 1u << 5,        // MAP_SHARED memory: exempt from fork-time CoW
+  kPteFaultAround = 1u << 6,   // resolved speculatively by fault-around; cleared on first
+                               // access — still set when rescanned means the copy was wasted
 
   kPteRw = kPteRead | kPteWrite,
   kPteRx = kPteRead | kPteExec,
@@ -59,6 +62,15 @@ class PageTable {
   // Replaces the frame and/or flags of an existing mapping.
   void Remap(uint64_t va, FrameId frame, uint32_t flags);
   void SetFlags(uint64_t va, uint32_t flags);
+
+  // Batch forms used by the fault-around window: page i of the window starting at `va` gets
+  // frames[i] (RemapRange) with `flags`, OR-ed with `extra_flags_after_first` for every page
+  // except the first (the faulting page is consumed immediately; the trailing pages carry the
+  // speculative-resolution marker). Every page in the window must already be mapped.
+  void RemapRange(uint64_t va, std::span<const FrameId> frames, uint32_t flags,
+                  uint32_t extra_flags_after_first = 0);
+  void SetFlagsRange(uint64_t va, uint64_t pages, uint32_t flags,
+                     uint32_t extra_flags_after_first = 0);
 
   std::optional<Pte> Lookup(uint64_t va) const;
   Pte* LookupMutable(uint64_t va);

@@ -3,15 +3,14 @@
 namespace ufork {
 
 RelocationResult RelocateFrameInto(Frame& frame, const AddressSpace& as, uint64_t region_lo,
-                                   uint64_t region_size) {
+                                   uint64_t region_size, RegionMemo* memo) {
   RelocationResult result;
   const uint64_t region_hi = region_lo + region_size;
-  // Capabilities found in one page overwhelmingly share an owning region (they were minted by
-  // the μprocess the page belonged to), so the scan memoizes the last region interval found
-  // and skips the address-space map probe while successive anchors stay inside it. Starts as
-  // the empty interval so the first escaping capability always probes.
-  uint64_t memo_lo = 0;
-  uint64_t memo_hi = 0;
+  // The memo caches the last source-region interval found so successive anchors inside it skip
+  // the address-space map probe (see RegionMemo in relocate.h). Batch callers share one memo
+  // across frames; standalone calls use a fresh local one.
+  RegionMemo local;
+  RegionMemo& m = memo != nullptr ? *memo : local;
   frame.ForEachTaggedCap([&](uint64_t /*offset*/, Capability& cap) {
     ++result.tags_seen;
     if (!cap.EscapesRegion(region_lo, region_hi)) {
@@ -20,7 +19,7 @@ RelocationResult RelocateFrameInto(Frame& frame, const AddressSpace& as, uint64_
     // Locate the source region. The anchor is the capability's base: relocation preserves the
     // region-relative offset, which is meaningful because all regions share one layout.
     const uint64_t anchor = cap.base();
-    if (anchor < memo_lo || anchor >= memo_hi) {
+    if (anchor < m.lo || anchor >= m.hi) {
       const auto src = as.RegionContainingWithSize(anchor);
       if (!src.has_value()) {
         // No owning region: a stale pointer into freed memory or an attempted kernel-
@@ -30,12 +29,12 @@ RelocationResult RelocateFrameInto(Frame& frame, const AddressSpace& as, uint64_
         ++result.stripped;
         return;
       }
-      memo_lo = src->first;
-      memo_hi = src->first + src->second;
+      m.lo = src->first;
+      m.hi = src->first + src->second;
     }
     // Rebase from the source region (when the source is this very region, the capability
     // escapes over its edge and the same call clamps it in place).
-    cap = cap.RelocatedInto(memo_lo, region_lo, region_hi);
+    cap = cap.RelocatedInto(m.lo, region_lo, region_hi);
     ++result.relocated;
   });
   return result;

@@ -24,11 +24,22 @@ struct RelocationResult {
   uint64_t stripped = 0;
 };
 
+// Memoized source-region interval for the relocation scan. Capabilities found in one page —
+// and across the adjacent pages of a fault-around window or an eager fork sweep — overwhelmingly
+// share an owning region, so callers processing several frames pass one memo across the whole
+// batch and the address-space map is probed only when an anchor leaves the cached interval.
+// Starts as the empty interval so the first escaping capability always probes.
+struct RegionMemo {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+};
+
 // Rewrites every tagged capability in `frame` so it refers into [region_lo, region_lo+size).
 // `as` maps a stale capability to its source region (which may be the parent, or a more
-// distant ancestor after chained forks).
+// distant ancestor after chained forks). `memo` carries the source-interval cache across
+// frames; nullptr scans with a fresh per-call memo.
 RelocationResult RelocateFrameInto(Frame& frame, const AddressSpace& as, uint64_t region_lo,
-                                   uint64_t region_size);
+                                   uint64_t region_size, RegionMemo* memo = nullptr);
 
 // Same rewrite for a register file at fork time (tags extend to registers, §3.5 step 2).
 // `parent_lo` is the forking μprocess's region base (registers always refer to the parent).

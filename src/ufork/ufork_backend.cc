@@ -1,14 +1,17 @@
 #include "src/ufork/ufork_backend.h"
 
+#include <array>
+#include <span>
 #include <vector>
 
+#include "src/kernel/fault_around.h"
 #include "src/ufork/relocate.h"
 
 namespace ufork {
 
 Result<FrameId> UforkBackend::CopyAndRelocate(KernelCore& kernel, FrameId src_frame,
                                               uint64_t region_lo, uint64_t region_size,
-                                              RelocationResult* out) {
+                                              RelocationResult* out, RegionMemo* memo) {
   Machine& machine = kernel.machine();
   const CostModel& costs = kernel.costs();
   UF_ASSIGN_OR_RETURN(const FrameId dst, machine.frames().AllocateForCopy());
@@ -16,7 +19,7 @@ Result<FrameId> UforkBackend::CopyAndRelocate(KernelCore& kernel, FrameId src_fr
   Frame& dst_frame = machine.frames().frame(dst);
   dst_frame.CopyFrom(machine.frames().frame(src_frame));
   const RelocationResult reloc =
-      RelocateFrameInto(dst_frame, kernel.address_space(), region_lo, region_size);
+      RelocateFrameInto(dst_frame, kernel.address_space(), region_lo, region_size, memo);
   machine.Charge(costs.cap_relocate * reloc.relocated);
   kernel.stats().caps_stripped += reloc.stripped;
   if (out != nullptr) {
@@ -51,6 +54,7 @@ Result<Pid> UforkBackend::Fork(KernelCore& kernel, Uproc& parent, UprocEntry ent
                    [&](uint64_t va, const Pte& pte) { parent_pages.emplace_back(va, pte); });
 
   RelocationResult eager_reloc;
+  RegionMemo eager_memo;  // source-interval cache shared across the whole eager sweep
   for (const auto& [parent_va, parent_pte] : parent_pages) {
     const uint64_t offset = parent_va - parent.base;
     const uint64_t child_va = child.base + offset;
@@ -68,8 +72,8 @@ Result<Pid> UforkBackend::Fork(KernelCore& kernel, Uproc& parent, UprocEntry ent
     const bool proactive =
         strategy == ForkStrategy::kFull || layout.IsProactiveCopyPage(offset);
     if (proactive) {
-      auto copied =
-          CopyAndRelocate(kernel, parent_pte.frame, child.base, child.size, &eager_reloc);
+      auto copied = CopyAndRelocate(kernel, parent_pte.frame, child.base, child.size,
+                                    &eager_reloc, &eager_memo);
       if (!copied.ok()) {
         // Undo the half-built child completely: without DestroyUprocShell the shell would
         // linger in the process table as a permanently-running ghost child and a subsequent
@@ -157,33 +161,82 @@ Result<void> UforkBackend::ResolveFault(KernelCore& kernel, const PageFaultInfo&
   if ((pte->flags & (kPteCow | kPteLoadCapFault)) == 0) {
     return Error{Code::kFaultPageProt, "fault on a non-shared page"};
   }
-  const uint64_t offset = uproc->OffsetOf(info.va);
-  const uint32_t seg_flags = kernel.SegmentFlagsAt(offset);
 
-  if (machine.frames().RefCount(pte->frame) > 1) {
-    // Copy + relocate, then repoint this mapping (Fig. 2: the copying μprocess gets the fresh
-    // frame; the other sharer keeps the original and resolves lazily on its own fault).
-    RelocationResult reloc;
-    UF_ASSIGN_OR_RETURN(const FrameId copy,
-                        CopyAndRelocate(kernel, pte->frame, uproc->base, uproc->size, &reloc));
-    machine.Charge(costs.pte_update);
-    const FrameId old = pte->frame;
-    pt.Remap(info.va, copy, seg_flags);
-    machine.frames().Release(old);
-    ++kernel.stats().pages_copied_on_fault;
-    kernel.stats().caps_relocated_on_fault += reloc.relocated;
+  const uint32_t limit = FaultAroundBegin(kernel, *uproc, info);
+  FaultWindow window = FaultAroundScan(kernel, *uproc, pt, info, *pte, limit);
+
+  // The trap itself (costs.page_fault) was charged by the access engine before dispatching
+  // here; fault_cycles attributes it to the storm together with the resolution charges.
+  Cycles resolved_cycles = costs.page_fault;
+  auto charge = [&](Cycles cycles) {
+    machine.Charge(cycles);
+    resolved_cycles += cycles;
+  };
+
+  KernelStats& stats = kernel.stats();
+  RelocationResult reloc;
+  RegionMemo memo;  // source-interval cache shared across the window's relocation scans
+  if (window.shared) {
+    // Copy + relocate each window page, then repoint the mappings (Fig. 2: the copying
+    // μprocess gets the fresh frames; the other sharer keeps the originals and resolves
+    // lazily on its own faults).
+    std::array<FrameId, kMaxFaultAroundWindow> fresh;
+    if (!machine.frames().AllocateForCopy(std::span(fresh.data(), window.pages)).ok()) {
+      // Physical memory cannot cover the batch: fall back to the faulting page alone (the
+      // single-page allocation failing is the pre-fault-around failure mode).
+      window.pages = 1;
+      UF_RETURN_IF_ERROR(machine.frames().AllocateForCopy(std::span(fresh.data(), 1)));
+    }
+    std::array<FrameId, kMaxFaultAroundWindow> old;
+    for (uint64_t i = 0; i < window.pages; ++i) {
+      Pte* page = pt.LookupMutable(info.va + i * kPageSize);
+      charge(costs.frame_alloc + costs.page_copy + costs.page_tag_scan);
+      Frame& dst = machine.frames().frame(fresh[i]);
+      dst.CopyFrom(machine.frames().frame(page->frame));
+      const RelocationResult page_reloc =
+          RelocateFrameInto(dst, kernel.address_space(), uproc->base, uproc->size, &memo);
+      charge(costs.cap_relocate * page_reloc.relocated);
+      reloc.tags_seen += page_reloc.tags_seen;
+      reloc.relocated += page_reloc.relocated;
+      reloc.stripped += page_reloc.stripped;
+      old[i] = page->frame;
+    }
+    charge(window.pages == 1 ? costs.pte_update : costs.pte_update_batched);
+    pt.RemapRange(info.va, std::span<const FrameId>(fresh.data(), window.pages),
+                  window.seg_flags, /*extra_flags_after_first=*/kPteFaultAround);
+    for (uint64_t i = 0; i < window.pages; ++i) {
+      machine.frames().Release(old[i]);
+    }
+    stats.pages_copied_on_fault += window.pages;
   } else {
-    // Last sharer: reclaim the page in place. Relocation is still required if the frame holds
+    // Last sharer: reclaim the pages in place. Relocation is still required if a frame holds
     // stale capabilities (e.g. the partner copied first and this is the child's original view).
-    machine.Charge(costs.page_tag_scan + costs.pte_update);
-    const RelocationResult reloc = RelocateFrameInto(
-        machine.frames().frame(pte->frame), kernel.address_space(), uproc->base, uproc->size);
-    machine.Charge(costs.cap_relocate * reloc.relocated);
-    kernel.stats().caps_relocated_on_fault += reloc.relocated;
-    kernel.stats().caps_stripped += reloc.stripped;
-    pt.SetFlags(info.va, seg_flags);
+    for (uint64_t i = 0; i < window.pages; ++i) {
+      Pte* page = pt.LookupMutable(info.va + i * kPageSize);
+      charge(costs.page_tag_scan);
+      const RelocationResult page_reloc =
+          RelocateFrameInto(machine.frames().frame(page->frame), kernel.address_space(),
+                            uproc->base, uproc->size, &memo);
+      charge(costs.cap_relocate * page_reloc.relocated);
+      reloc.tags_seen += page_reloc.tags_seen;
+      reloc.relocated += page_reloc.relocated;
+      reloc.stripped += page_reloc.stripped;
+    }
+    charge(window.pages == 1 ? costs.pte_update : costs.pte_update_batched);
+    pt.SetFlagsRange(info.va, window.pages, window.seg_flags,
+                     /*extra_flags_after_first=*/kPteFaultAround);
+    stats.pages_reclaimed_in_place += window.pages;
   }
+  stats.caps_relocated_on_fault += reloc.relocated;
+  stats.caps_stripped += reloc.stripped;
+  stats.fault_cycles += resolved_cycles;
+  FaultAroundCommit(kernel, *uproc, window);
   return OkResult();
+}
+
+void UforkBackend::OnExit(KernelCore& kernel, Uproc& uproc) {
+  // Speculative pages from the final window that were never touched count as waste.
+  FaultAroundAccountExitWaste(kernel, uproc);
 }
 
 }  // namespace ufork

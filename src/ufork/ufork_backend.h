@@ -35,6 +35,7 @@ class UforkBackend : public ForkBackend {
 
   Result<Pid> Fork(KernelCore& kernel, Uproc& parent, UprocEntry entry) override;
   Result<void> ResolveFault(KernelCore& kernel, const PageFaultInfo& info) override;
+  void OnExit(KernelCore& kernel, Uproc& uproc) override;
 
   uint64_t ExtraResidencyBytes(const KernelCore& kernel, const Uproc& uproc) const override {
     (void)kernel, (void)uproc;
@@ -45,9 +46,11 @@ class UforkBackend : public ForkBackend {
 
  private:
   // Copies `src_frame` into a fresh frame, relocates its capabilities into the target region
-  // and returns the new frame. Charges copy + scan + relocation costs.
+  // and returns the new frame. Charges copy + scan + relocation costs. `memo` carries the
+  // relocation source-interval cache across a multi-page sweep.
   Result<FrameId> CopyAndRelocate(KernelCore& kernel, FrameId src_frame, uint64_t region_lo,
-                                  uint64_t region_size, RelocationResult* out);
+                                  uint64_t region_size, RelocationResult* out,
+                                  RegionMemo* memo = nullptr);
 };
 
 }  // namespace ufork

@@ -1,0 +1,503 @@
+// Adaptive fault-around (DESIGN.md §4.8): window scanning, the adaptive controller, and the
+// end-to-end storm behaviour of all three systems.
+//
+// The page-accounting invariant checked throughout:
+//
+//   faults_taken + pages_resolved_by_faultaround == pages_copied_on_fault +
+//                                                   pages_reclaimed_in_place
+//
+// i.e. every resolved page was reached either by its own trap or by a window extension, and
+// ended in exactly one of the two resolution outcomes (copy-out or last-sharer reclaim).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "src/baseline/system.h"
+#include "src/guest/guest.h"
+#include "src/kernel/fault_around.h"
+#include "tests/guest_test_util.h"
+
+namespace ufork {
+namespace {
+
+KernelConfig StormConfig(ForkStrategy strategy, uint32_t max_window, bool adaptive) {
+  KernelConfig config;
+  config.layout.text_size = 32 * kKiB;
+  config.layout.rodata_size = 8 * kKiB;
+  config.layout.got_size = 4 * kKiB;
+  config.layout.data_size = 8 * kKiB;
+  config.layout.heap_size = 1 * kMiB;
+  config.layout.stack_size = 32 * kKiB;
+  config.layout.tls_size = 4 * kKiB;
+  config.layout.mmap_size = 64 * kKiB;
+  config.strategy = strategy;
+  config.fault_around.max_window = max_window;
+  config.fault_around.adaptive = adaptive;
+  return config;
+}
+
+struct StormRun {
+  KernelStats stats;
+  Cycles completion = 0;
+  uint64_t cow_faults = 0;
+  uint64_t cap_load_faults = 0;
+};
+
+StormRun RunStorm(std::unique_ptr<Kernel> kernel, GuestFn main_fn) {
+  StormRun run;
+  auto pid = kernel->Spawn(MakeGuestEntry(std::move(main_fn)), "storm-main");
+  UF_CHECK(pid.ok());
+  kernel->Run();
+  run.completion = kernel->sched().CompletionTime();
+  run.stats = kernel->stats();
+  run.cow_faults = kernel->machine().cow_faults();
+  run.cap_load_faults = kernel->machine().cap_load_faults();
+  return run;
+}
+
+void ExpectPageAccounting(const KernelStats& stats) {
+  EXPECT_EQ(stats.faults_taken + stats.pages_resolved_by_faultaround,
+            stats.pages_copied_on_fault + stats.pages_reclaimed_in_place);
+}
+
+// Parent publishes a pre-filled heap buffer through the GOT, forks, waits; the child runs
+// `storm` against the (now CoW/CoA-pending) buffer and exits.
+GuestFn MakeForkStormMain(uint64_t buffer_bytes, GuestFn storm) {
+  return [buffer_bytes, storm = std::move(storm)](Guest& g) -> SimTask<void> {
+    auto buf = g.Malloc(buffer_bytes);
+    CO_ASSERT_OK(buf);
+    std::vector<std::byte> fill(buffer_bytes, std::byte{0xa5});
+    CO_ASSERT_OK(g.WriteBytes(*buf, buf->address(), fill));
+    CO_ASSERT_OK(g.GotStore(kGotSlotFirstUser, *buf));
+    GuestFn child_fn = storm;
+    auto child = co_await g.Fork(std::move(child_fn));
+    CO_ASSERT_OK(child);
+    auto waited = co_await g.Wait();
+    CO_ASSERT_OK(waited);
+    CO_ASSERT_EQ(waited->status, 0);
+  };
+}
+
+// One bulk write spanning the whole buffer: the access span alone should size the window.
+GuestFn BulkWriteStorm(uint64_t buffer_bytes) {
+  return [buffer_bytes](Guest& cg) -> SimTask<void> {
+    auto cap = cg.GotLoad(kGotSlotFirstUser);
+    CO_ASSERT_OK(cap);
+    std::vector<std::byte> data(buffer_bytes, std::byte{0x5a});
+    CO_ASSERT_OK(cg.WriteBytes(*cap, cap->address(), data));
+    co_await cg.Exit(0);
+  };
+}
+
+// Page-at-a-time sequential writes: spans never exceed one page, so only the adaptive
+// controller (grow on adjacency) can batch the storm.
+GuestFn PagedWriteStorm(uint64_t buffer_bytes) {
+  return [buffer_bytes](Guest& cg) -> SimTask<void> {
+    auto cap = cg.GotLoad(kGotSlotFirstUser);
+    CO_ASSERT_OK(cap);
+    std::vector<std::byte> data(kPageSize, std::byte{0x33});
+    for (uint64_t off = 0; off < buffer_bytes; off += kPageSize) {
+      const uint64_t chunk = std::min<uint64_t>(kPageSize, buffer_bytes - off);
+      CO_ASSERT_OK(cg.WriteBytes(
+          *cap, cap->address() + off, std::span<const std::byte>(data.data(), chunk)));
+    }
+    co_await cg.Exit(0);
+  };
+}
+
+// One bulk read spanning the whole buffer (CoA: reads fault too).
+GuestFn BulkReadStorm(uint64_t buffer_bytes) {
+  return [buffer_bytes](Guest& cg) -> SimTask<void> {
+    auto cap = cg.GotLoad(kGotSlotFirstUser);
+    CO_ASSERT_OK(cap);
+    std::vector<std::byte> data(buffer_bytes);
+    CO_ASSERT_OK(cg.ReadBytes(*cap, cap->address(), data));
+    for (const std::byte b : data) {
+      CO_ASSERT_EQ(static_cast<int>(b), 0xa5);
+    }
+    co_await cg.Exit(0);
+  };
+}
+
+// --- window matrix: strategies x window configs ------------------------------------------------
+
+struct MatrixCase {
+  ForkStrategy strategy;
+  bool bulk;  // bulk span storm vs page-at-a-time storm
+};
+
+class FaultAroundMatrixTest : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(FaultAroundMatrixTest, UforkWindowedStormMatchesSinglePage) {
+  const MatrixCase& p = GetParam();
+  // Paged storms need to be sustained for adaptivity to win: the final window can overrun the
+  // buffer by up to max_window-1 speculative copies (~1450 cycles each), which a short storm's
+  // trap savings (~510 cycles per avoided trap) cannot cover. Bulk storms are span-sized and
+  // never overrun.
+  const uint64_t kBytes = (p.bulk ? 32 : 128) * kPageSize;
+  GuestFn storm = p.bulk ? BulkWriteStorm(kBytes) : PagedWriteStorm(kBytes);
+  const StormRun w1 = RunStorm(MakeUforkKernel(StormConfig(p.strategy, 1, false)),
+                               MakeForkStormMain(kBytes, storm));
+  const StormRun fa = RunStorm(MakeUforkKernel(StormConfig(p.strategy, 16, true)),
+                               MakeForkStormMain(kBytes, storm));
+  ExpectPageAccounting(w1.stats);
+  ExpectPageAccounting(fa.stats);
+  // window=1 must behave exactly like the pre-fault-around resolver.
+  EXPECT_EQ(w1.stats.pages_resolved_by_faultaround, 0u);
+  EXPECT_EQ(w1.stats.speculative_pages_wasted, 0u);
+  EXPECT_EQ(w1.stats.faults_taken, w1.cow_faults + w1.cap_load_faults);
+  // Fault-around batches the storm: fewer traps, same or more pages resolved (overrun pages
+  // are speculative and must be accounted as waste), and a cheaper virtual completion.
+  EXPECT_LT(fa.stats.faults_taken, w1.stats.faults_taken);
+  EXPECT_GT(fa.stats.pages_resolved_by_faultaround, 0u);
+  EXPECT_EQ(fa.stats.pages_copied_on_fault,
+            w1.stats.pages_copied_on_fault + fa.stats.speculative_pages_wasted);
+  EXPECT_LT(fa.completion, w1.completion);
+  // Relocation coverage never shrinks: every page the single-page run relocated is still
+  // relocated (speculative pages may add more).
+  EXPECT_GE(fa.stats.caps_relocated_on_fault, w1.stats.caps_relocated_on_fault);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, FaultAroundMatrixTest,
+    ::testing::Values(MatrixCase{ForkStrategy::kCopa, true},
+                      MatrixCase{ForkStrategy::kCopa, false},
+                      MatrixCase{ForkStrategy::kCoa, true},
+                      MatrixCase{ForkStrategy::kCoa, false},
+                      MatrixCase{ForkStrategy::kUnsafeCow, true},
+                      MatrixCase{ForkStrategy::kUnsafeCow, false}),
+    [](const ::testing::TestParamInfo<MatrixCase>& tpi) {
+      std::string name = ForkStrategyName(tpi.param.strategy);
+      name += tpi.param.bulk ? "Bulk" : "Paged";
+      return name;
+    });
+
+TEST(FaultAround, CoaReadStormIsWindowed) {
+  const uint64_t kBytes = 16 * kPageSize;
+  const StormRun w1 = RunStorm(MakeUforkKernel(StormConfig(ForkStrategy::kCoa, 1, false)),
+                               MakeForkStormMain(kBytes, BulkReadStorm(kBytes)));
+  const StormRun fa = RunStorm(MakeUforkKernel(StormConfig(ForkStrategy::kCoa, 16, true)),
+                               MakeForkStormMain(kBytes, BulkReadStorm(kBytes)));
+  ExpectPageAccounting(w1.stats);
+  ExpectPageAccounting(fa.stats);
+  EXPECT_LT(fa.stats.faults_taken, w1.stats.faults_taken);
+  EXPECT_LT(fa.completion, w1.completion);
+}
+
+TEST(FaultAround, MasWindowedStorm) {
+  const uint64_t kBytes = 32 * kPageSize;
+  const StormRun w1 = RunStorm(MakeMasKernel(StormConfig(ForkStrategy::kCopa, 1, false)),
+                               MakeForkStormMain(kBytes, BulkWriteStorm(kBytes)));
+  const StormRun fa = RunStorm(MakeMasKernel(StormConfig(ForkStrategy::kCopa, 16, true)),
+                               MakeForkStormMain(kBytes, BulkWriteStorm(kBytes)));
+  ExpectPageAccounting(w1.stats);
+  ExpectPageAccounting(fa.stats);
+  EXPECT_EQ(w1.stats.pages_resolved_by_faultaround, 0u);
+  EXPECT_LT(fa.stats.faults_taken, w1.stats.faults_taken);
+  EXPECT_EQ(fa.stats.pages_copied_on_fault,
+            w1.stats.pages_copied_on_fault + fa.stats.speculative_pages_wasted);
+  EXPECT_LT(fa.completion, w1.completion);
+}
+
+TEST(FaultAround, VmCloneHasNoFaultsToBatch) {
+  const uint64_t kBytes = 8 * kPageSize;
+  for (const uint32_t window : {1u, 16u}) {
+    const StormRun run =
+        RunStorm(MakeVmCloneKernel(StormConfig(ForkStrategy::kCopa, window, true)),
+                 MakeForkStormMain(kBytes, BulkWriteStorm(kBytes)));
+    ExpectPageAccounting(run.stats);
+    EXPECT_EQ(run.stats.faults_taken, 0u);
+    EXPECT_EQ(run.stats.pages_resolved_by_faultaround, 0u);
+    EXPECT_EQ(run.stats.speculative_pages_wasted, 0u);
+  }
+}
+
+// --- last-sharer reclaim-in-place ---------------------------------------------------------------
+
+// The parent rewrites the buffer right after fork (copying its side out and dropping the
+// shared refcount to 1); the child then writes the same pages and must take the
+// reclaim-in-place path — no frame allocation, no copy, counted as pages_reclaimed_in_place.
+GuestFn MakeReclaimMain(uint64_t buffer_bytes) {
+  return [buffer_bytes](Guest& g) -> SimTask<void> {
+    auto buf = g.Malloc(buffer_bytes);
+    CO_ASSERT_OK(buf);
+    std::vector<std::byte> fill(buffer_bytes, std::byte{0x11});
+    CO_ASSERT_OK(g.WriteBytes(*buf, buf->address(), fill));
+    CO_ASSERT_OK(g.GotStore(kGotSlotFirstUser, *buf));
+    GuestFn child_fn = BulkWriteStorm(buffer_bytes);
+    auto child = co_await g.Fork(std::move(child_fn));
+    CO_ASSERT_OK(child);
+    // Runs before the child is scheduled (no suspension point until Wait): the parent's CoW
+    // copies leave the child as last sharer of the original frames.
+    std::vector<std::byte> update(buffer_bytes, std::byte{0x22});
+    CO_ASSERT_OK(g.WriteBytes(*buf, buf->address(), update));
+    auto waited = co_await g.Wait();
+    CO_ASSERT_OK(waited);
+    CO_ASSERT_EQ(waited->status, 0);
+  };
+}
+
+TEST(FaultAround, LastSharerReclaimInPlaceIsWindowed) {
+  const uint64_t kBytes = 16 * kPageSize;
+  for (const bool mas : {false, true}) {
+    const StormRun w1 =
+        mas ? RunStorm(MakeMasKernel(StormConfig(ForkStrategy::kCopa, 1, false)),
+                       MakeReclaimMain(kBytes))
+            : RunStorm(MakeUforkKernel(StormConfig(ForkStrategy::kCopa, 1, false)),
+                       MakeReclaimMain(kBytes));
+    const StormRun fa =
+        mas ? RunStorm(MakeMasKernel(StormConfig(ForkStrategy::kCopa, 16, true)),
+                       MakeReclaimMain(kBytes))
+            : RunStorm(MakeUforkKernel(StormConfig(ForkStrategy::kCopa, 16, true)),
+                       MakeReclaimMain(kBytes));
+    ExpectPageAccounting(w1.stats);
+    ExpectPageAccounting(fa.stats);
+    // Whoever writes second finds refcount 1 and reclaims in place (satellite: this path used
+    // to be invisible in the stats).
+    EXPECT_GE(w1.stats.pages_reclaimed_in_place, kBytes / kPageSize);
+    EXPECT_GE(fa.stats.pages_reclaimed_in_place, kBytes / kPageSize);
+    EXPECT_LT(fa.stats.faults_taken, w1.stats.faults_taken);
+    EXPECT_LT(fa.completion, w1.completion);
+  }
+}
+
+// --- CoPA capability-load storm -----------------------------------------------------------------
+
+TEST(FaultAround, CopaCapLoadStormIsWindowed) {
+  const uint64_t kPages = 12;
+  GuestFn main_fn = [](Guest& g) -> SimTask<void> {
+    auto buf = g.Malloc(kPages * kPageSize);
+    CO_ASSERT_OK(buf);
+    // A tagged capability at the head of every page: each page's first load is a CoPA fault.
+    for (uint64_t p = 0; p < kPages; ++p) {
+      CO_ASSERT_OK(g.StoreCap(*buf, buf->address() + p * kPageSize, *buf));
+    }
+    CO_ASSERT_OK(g.GotStore(kGotSlotFirstUser, *buf));
+    GuestFn child_fn = [](Guest& cg) -> SimTask<void> {
+      auto cap = cg.GotLoad(kGotSlotFirstUser);
+      CO_ASSERT_OK(cap);
+      for (uint64_t p = 0; p < kPages; ++p) {
+        auto loaded = cg.LoadCap(*cap, cap->address() + p * kPageSize);
+        CO_ASSERT_OK(loaded);
+        CO_ASSERT_TRUE(loaded->tag());
+      }
+      co_await cg.Exit(0);
+    };
+    auto child = co_await g.Fork(std::move(child_fn));
+    CO_ASSERT_OK(child);
+    auto waited = co_await g.Wait();
+    CO_ASSERT_OK(waited);
+    CO_ASSERT_EQ(waited->status, 0);
+  };
+  const StormRun w1 =
+      RunStorm(MakeUforkKernel(StormConfig(ForkStrategy::kCopa, 1, false)), main_fn);
+  const StormRun fa =
+      RunStorm(MakeUforkKernel(StormConfig(ForkStrategy::kCopa, 16, true)), main_fn);
+  ExpectPageAccounting(w1.stats);
+  ExpectPageAccounting(fa.stats);
+  EXPECT_GT(w1.cap_load_faults, 0u);
+  EXPECT_LT(fa.cap_load_faults, w1.cap_load_faults);
+  EXPECT_LT(fa.stats.faults_taken, w1.stats.faults_taken);
+  EXPECT_GE(fa.stats.caps_relocated_on_fault, w1.stats.caps_relocated_on_fault);
+}
+
+// --- unit tests of the scanner and controller ---------------------------------------------------
+
+// Runs `body` inside a live μprocess so it can poke PTEs and call the fault-around helpers
+// directly against real kernel state.
+void RunInGuest(Kernel& kernel, std::function<SimTask<void>(Guest&)> body) {
+  bool ran = false;
+  GuestFn main_fn = [&ran, body = std::move(body)](Guest& g) -> SimTask<void> {
+    co_await body(g);
+    ran = true;
+  };
+  auto pid = kernel.Spawn(MakeGuestEntry(std::move(main_fn)), "fa-unit");
+  ASSERT_TRUE(pid.ok());
+  kernel.Run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(FaultAroundScanTest, ClipsAtSegmentBoundary) {
+  auto kernel = MakeUforkKernel(StormConfig(ForkStrategy::kCopa, 16, true));
+  Kernel& k = *kernel;
+  RunInGuest(k, [&k](Guest& g) -> SimTask<void> {
+    Uproc& self = g.uproc();
+    PageTable& pt = *self.page_table;
+    const UprocLayout& layout = k.layout();
+    const uint64_t heap_end = g.base() + layout.heap_off() + layout.heap_size();
+    // Pend the last 4 heap pages and the first 4 stack pages in the same state.
+    std::vector<uint32_t> saved;
+    for (int i = -4; i < 4; ++i) {
+      Pte* pte = pt.LookupMutable(heap_end + static_cast<int64_t>(i) * kPageSize);
+      CO_ASSERT_TRUE(pte != nullptr);
+      saved.push_back(pte->flags);
+      pte->flags = kPteRead | kPteCow;
+    }
+    PageFaultInfo info;
+    info.kind = Code::kFaultPageProt;
+    info.va = heap_end - 4 * kPageSize;
+    info.access_end = info.va + 8 * kPageSize;  // the access itself spans into the stack
+    info.is_write = true;
+    info.page_table = &pt;
+    const uint32_t limit = FaultAroundBegin(k, self, info);
+    CO_ASSERT_EQ(limit, 8u);  // span boost: 8 pages guaranteed touched
+    const Pte* fault_pte = pt.LookupMutable(info.va);
+    const FaultWindow window = FaultAroundScan(k, self, pt, info, *fault_pte, limit);
+    CO_ASSERT_EQ(window.va, info.va);
+    CO_ASSERT_EQ(window.pages, 4u);  // clipped at the heap/stack segment boundary
+    // Restore so the exit path sees the original mappings.
+    uint64_t idx = 0;
+    for (int i = -4; i < 4; ++i) {
+      pt.LookupMutable(heap_end + static_cast<int64_t>(i) * kPageSize)->flags = saved[idx++];
+    }
+  });
+}
+
+TEST(FaultAroundScanTest, StopsAtFlagAndRefcountClassChanges) {
+  auto kernel = MakeUforkKernel(StormConfig(ForkStrategy::kCopa, 16, true));
+  Kernel& k = *kernel;
+  RunInGuest(k, [&k](Guest& g) -> SimTask<void> {
+    Uproc& self = g.uproc();
+    PageTable& pt = *self.page_table;
+    const uint64_t heap_mid = g.base() + k.layout().heap_off() + 64 * kPageSize;
+    std::vector<uint32_t> saved;
+    for (uint64_t i = 0; i < 8; ++i) {
+      Pte* pte = pt.LookupMutable(heap_mid + i * kPageSize);
+      CO_ASSERT_TRUE(pte != nullptr);
+      saved.push_back(pte->flags);
+      pte->flags = kPteRead | kPteCow;
+    }
+    PageFaultInfo info;
+    info.kind = Code::kFaultPageProt;
+    info.va = heap_mid;
+    info.access_end = info.va + 1;
+    info.is_write = true;
+    info.page_table = &pt;
+    const Pte* fault_pte = pt.LookupMutable(info.va);
+    // Flag run: page 5 differs (extra LoadCapFault bit) -> window stops at 5 pages.
+    pt.LookupMutable(heap_mid + 5 * kPageSize)->flags = kPteRead | kPteCow | kPteLoadCapFault;
+    FaultWindow window = FaultAroundScan(k, self, pt, info, *fault_pte, 16);
+    CO_ASSERT_EQ(window.pages, 5u);
+    pt.LookupMutable(heap_mid + 5 * kPageSize)->flags = kPteRead | kPteCow;
+    // Refcount class: page 3 becomes shared (refcount 2) while the fault page is private.
+    FrameAllocator& frames = k.machine().frames();
+    const FrameId shared_frame = pt.LookupMutable(heap_mid + 3 * kPageSize)->frame;
+    frames.AddRef(shared_frame);
+    window = FaultAroundScan(k, self, pt, info, *fault_pte, 16);
+    CO_ASSERT_EQ(window.pages, 3u);
+    CO_ASSERT_TRUE(!window.shared);
+    frames.Release(shared_frame);
+    // Limit clamps the scan even when the run continues.
+    window = FaultAroundScan(k, self, pt, info, *fault_pte, 2);
+    CO_ASSERT_EQ(window.pages, 2u);
+    uint64_t idx = 0;
+    for (uint64_t i = 0; i < 8; ++i) {
+      pt.LookupMutable(heap_mid + i * kPageSize)->flags = saved[idx++];
+    }
+  });
+}
+
+TEST(FaultAroundScanTest, SegmentEndCoversRegionEnd) {
+  // The final segment's end IS the region end, so windows can never scan past the region.
+  UprocLayout layout(StormConfig(ForkStrategy::kCopa, 1, false).layout);
+  EXPECT_EQ(layout.SegmentEndOf(layout.mmap_off()), layout.TotalSize());
+  EXPECT_EQ(layout.SegmentEndOf(layout.TotalSize() - 1), layout.TotalSize());
+  EXPECT_EQ(layout.SegmentEndOf(layout.heap_off()), layout.heap_off() + layout.heap_size());
+}
+
+TEST(FaultAroundControllerTest, GrowsOnAdjacencyAndShrinksOnWaste) {
+  auto kernel = MakeUforkKernel(StormConfig(ForkStrategy::kCopa, 16, true));
+  Kernel& k = *kernel;
+  RunInGuest(k, [&k](Guest& g) -> SimTask<void> {
+    Uproc& self = g.uproc();
+    PageTable& pt = *self.page_table;
+    const uint64_t heap = g.base() + k.layout().heap_off() + 16 * kPageSize;
+    PageFaultInfo info;
+    info.kind = Code::kFaultPageProt;
+    info.is_write = true;
+    info.page_table = &pt;
+    // Perfectly sequential storm: each fault lands exactly where the last window ended, so the
+    // window doubles until it hits max_window.
+    uint64_t va = heap;
+    const uint32_t expected[] = {1, 2, 4, 8, 16, 16};
+    for (const uint32_t want : expected) {
+      info.va = va;
+      info.access_end = va + 1;
+      const uint32_t limit = FaultAroundBegin(k, self, info);
+      CO_ASSERT_EQ(limit, want);
+      FaultWindow window;
+      window.va = va;
+      window.pages = limit;
+      FaultAroundCommit(k, self, window);
+      va += static_cast<uint64_t>(limit) * kPageSize;
+    }
+    CO_ASSERT_EQ(self.fault_around.window, 16u);
+    // Waste: a speculative marker left untouched in the previous window halves the window and
+    // is counted.
+    const uint64_t wasted_before = k.stats().speculative_pages_wasted;
+    Pte* marked = pt.LookupMutable(va - kPageSize);
+    CO_ASSERT_TRUE(marked != nullptr);
+    marked->flags |= kPteFaultAround;
+    info.va = heap + 200 * kPageSize;  // non-adjacent fault
+    info.access_end = info.va + 1;
+    const uint32_t limit = FaultAroundBegin(k, self, info);
+    CO_ASSERT_EQ(limit, 8u);
+    CO_ASSERT_EQ(self.fault_around.window, 8u);
+    CO_ASSERT_EQ(k.stats().speculative_pages_wasted, wasted_before + 1);
+    CO_ASSERT_EQ(marked->flags & kPteFaultAround, 0u);  // sweep cleared the marker
+  });
+}
+
+TEST(FaultAroundControllerTest, AccessConsumesSpeculativeMarker) {
+  auto kernel = MakeUforkKernel(StormConfig(ForkStrategy::kCopa, 16, true));
+  Kernel& k = *kernel;
+  RunInGuest(k, [&k](Guest& g) -> SimTask<void> {
+    Uproc& self = g.uproc();
+    PageTable& pt = *self.page_table;
+    const uint64_t va = g.base() + k.layout().heap_off() + 32 * kPageSize;
+    Pte* pte = pt.LookupMutable(va);
+    CO_ASSERT_TRUE(pte != nullptr);
+    pte->flags |= kPteFaultAround;
+    auto loaded = g.Load<uint64_t>(g.ddc(), va);
+    CO_ASSERT_OK(loaded);
+    // The touch consumed the marker, so the next sweep sees no waste.
+    CO_ASSERT_EQ(pte->flags & kPteFaultAround, 0u);
+    const uint64_t wasted_before = k.stats().speculative_pages_wasted;
+    self.fault_around.spec_lo = va;
+    self.fault_around.spec_hi = va + kPageSize;
+    PageFaultInfo info;
+    info.kind = Code::kFaultPageProt;
+    info.va = va + 8 * kPageSize;
+    info.access_end = info.va + 1;
+    info.is_write = true;
+    info.page_table = &pt;
+    (void)FaultAroundBegin(k, self, info);
+    CO_ASSERT_EQ(k.stats().speculative_pages_wasted, wasted_before);
+  });
+}
+
+TEST(FaultAroundControllerTest, DisabledWindowIsAlwaysOne) {
+  auto kernel = MakeUforkKernel(StormConfig(ForkStrategy::kCopa, 1, true));
+  Kernel& k = *kernel;
+  RunInGuest(k, [&k](Guest& g) -> SimTask<void> {
+    Uproc& self = g.uproc();
+    PageTable& pt = *self.page_table;
+    PageFaultInfo info;
+    info.kind = Code::kFaultPageProt;
+    info.va = g.base() + k.layout().heap_off() + 8 * kPageSize;
+    // Even a multi-page access span cannot widen the window when fault-around is off.
+    info.access_end = info.va + 8 * kPageSize;
+    info.is_write = true;
+    info.page_table = &pt;
+    CO_ASSERT_EQ(FaultAroundBegin(k, self, info), 1u);
+    FaultWindow window;
+    window.va = info.va;
+    FaultAroundCommit(k, self, window);
+    CO_ASSERT_EQ(self.fault_around.spec_lo, 0u);  // no speculation state when disabled
+    CO_ASSERT_EQ(self.fault_around.spec_hi, 0u);
+  });
+}
+
+}  // namespace
+}  // namespace ufork

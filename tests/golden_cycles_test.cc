@@ -97,7 +97,7 @@ constexpr uint64_t kOffNext = 0;        // capability link to the next block
 constexpr uint64_t kOffPayload = 16;    // integer payload
 constexpr uint64_t kOffScratch = 24;    // block 0 only: region-relative offset of scratch
 
-GoldenRun RunCopaChain() {
+GoldenRun RunCopaChain(FaultAroundConfig fault_around = {}) {
   GoldenRun run;
   GuestFn main_fn = [&run](Guest& g) -> SimTask<void> {
     Capability prev;
@@ -151,6 +151,7 @@ GoldenRun RunCopaChain() {
   };
   KernelConfig config = HelloConfig();
   config.strategy = ForkStrategy::kCopa;
+  config.fault_around = fault_around;
   GoldenRun result = RunGolden(MakeUforkKernel(config), std::move(main_fn));
   result.fork_latency = run.fork_latency;
   result.fork_stats = run.fork_stats;
@@ -177,6 +178,11 @@ TEST(GoldenCycles, UforkHelloFork) {
   EXPECT_EQ(run.stats.pages_copied_on_fault, 1u);
   EXPECT_EQ(run.stats.caps_relocated_on_fault, 0u);
   EXPECT_EQ(run.stats.caps_stripped, 0u);
+  EXPECT_EQ(run.stats.faults_taken, 1u);
+  EXPECT_EQ(run.stats.pages_resolved_by_faultaround, 0u);
+  EXPECT_EQ(run.stats.pages_reclaimed_in_place, 0u);
+  EXPECT_EQ(run.stats.speculative_pages_wasted, 0u);
+  EXPECT_EQ(run.stats.fault_cycles, 1960u);  // page_fault + frame_alloc+page_copy+tag_scan + pte_update
   EXPECT_EQ(run.cow_faults, 1u);
   EXPECT_EQ(run.cap_load_faults, 0u);
 }
@@ -187,6 +193,9 @@ TEST(GoldenCycles, MasHelloFork) {
   EXPECT_EQ(run.fork_latency, 484400u);
   EXPECT_EQ(run.stats.forks, 1u);
   EXPECT_EQ(run.stats.pages_copied_on_fault, 2u);
+  EXPECT_EQ(run.stats.faults_taken, 2u);
+  EXPECT_EQ(run.stats.pages_resolved_by_faultaround, 0u);
+  EXPECT_EQ(run.stats.pages_reclaimed_in_place, 0u);
   EXPECT_EQ(run.cow_faults, 2u);
 }
 
@@ -211,8 +220,39 @@ TEST(GoldenCycles, CopaPointerChase) {
   EXPECT_EQ(run.stats.pages_copied_on_fault, 5u);
   EXPECT_EQ(run.stats.caps_relocated_on_fault, 7u);
   EXPECT_EQ(run.stats.caps_stripped, 0u);
+  EXPECT_EQ(run.stats.faults_taken, 5u);
+  EXPECT_EQ(run.stats.pages_resolved_by_faultaround, 0u);
+  EXPECT_EQ(run.stats.pages_reclaimed_in_place, 0u);
+  EXPECT_EQ(run.stats.speculative_pages_wasted, 0u);
+  EXPECT_EQ(run.stats.fault_cycles, 9968u);
   EXPECT_EQ(run.cow_faults, 1u);
   EXPECT_EQ(run.cap_load_faults, 4u);
+}
+
+// Same CoPA pointer chase with an 8-page adaptive fault-around window: 3 traps resolve what
+// took 5, with 4 extra pages resolved by the window. Two of those were speculative overrun
+// past the chain tail — this sparse workload (two blocks per page, 4 data pages total) is
+// exactly the shape where fault-around wastes copies, which is why it defaults off and why
+// the adaptive controller halves the window on observed waste. Re-record when the
+// fault-around mechanics intentionally change.
+TEST(GoldenCycles, CopaPointerChaseFaultAround8) {
+  FaultAroundConfig fault_around;
+  fault_around.max_window = 8;
+  fault_around.adaptive = true;
+  const GoldenRun run = RunCopaChain(fault_around);
+  EXPECT_EQ(run.chain_sum, kChainBlocks * (kChainBlocks + 1) / 2);
+  EXPECT_EQ(run.completion, 227472u);
+  EXPECT_EQ(run.fork_latency, 137152u);  // fork itself is untouched by fault-around
+  EXPECT_EQ(run.stats.forks, 1u);
+  EXPECT_EQ(run.stats.faults_taken, 3u);
+  EXPECT_EQ(run.stats.pages_resolved_by_faultaround, 4u);
+  EXPECT_EQ(run.stats.pages_copied_on_fault, 7u);
+  EXPECT_EQ(run.stats.pages_reclaimed_in_place, 0u);
+  EXPECT_EQ(run.stats.speculative_pages_wasted, 2u);
+  EXPECT_EQ(run.stats.fault_cycles, 11928u);
+  // Page-accounting invariant: every resolved page is either copied or reclaimed in place.
+  EXPECT_EQ(run.stats.faults_taken + run.stats.pages_resolved_by_faultaround,
+            run.stats.pages_copied_on_fault + run.stats.pages_reclaimed_in_place);
 }
 
 }  // namespace
