@@ -15,7 +15,10 @@ Result<Pid> MasBackend::Fork(KernelCore& kernel, Uproc& parent, UprocEntry entry
   machine.Charge(costs.fork_base_mas);
 
   Uproc& child = kernel.CreateUprocShell(parent.name + "+", parent.pid());
-  UF_RETURN_IF_ERROR(kernel.AllocateUprocMemory(child, /*private_page_table=*/true));
+  if (auto mem = kernel.AllocateUprocMemory(child, /*private_page_table=*/true); !mem.ok()) {
+    kernel.DestroyUprocShell(child);  // no ghost child on construction failure
+    return mem.error();
+  }
 
   ForkStats stats;
   PageTable& parent_pt = *parent.page_table;
@@ -68,7 +71,10 @@ Result<void> MasBackend::ResolveFault(KernelCore& kernel, const PageFaultInfo& i
   }
   PageTable& pt = *info.page_table;
   Pte* pte = pt.LookupMutable(info.va);
-  UF_CHECK(pte != nullptr);
+  if (pte == nullptr) {
+    // Guest-reachable: delivered to the faulting μprocess, never a host abort.
+    return Error{Code::kFaultNotMapped, "fault on unmapped page"};
+  }
   if ((pte->flags & kPteCow) == 0 || !info.is_write) {
     return Error{Code::kFaultPageProt, "unresolvable page fault"};
   }

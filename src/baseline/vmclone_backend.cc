@@ -12,7 +12,10 @@ Result<Pid> VmCloneBackend::Fork(KernelCore& kernel, Uproc& parent, UprocEntry e
   machine.Charge(costs.vmclone_domain_create + costs.hypercall);
 
   Uproc& child = kernel.CreateUprocShell(parent.name + "+", parent.pid());
-  UF_RETURN_IF_ERROR(kernel.AllocateUprocMemory(child, /*private_page_table=*/true));
+  if (auto mem = kernel.AllocateUprocMemory(child, /*private_page_table=*/true); !mem.ok()) {
+    kernel.DestroyUprocShell(child);  // no ghost child on construction failure
+    return mem.error();
+  }
 
   ForkStats stats;
   PageTable& parent_pt = *parent.page_table;

@@ -186,6 +186,12 @@ class Guest {
   }
   SimTask<Result<void>> PrivilegedOp() { return kernel_.SysPrivilegedOp(uproc_); }
 
+  // The guest runtime's trap vector (simulator substitution): a guest program that observes an
+  // unresolvable kFault* error from a memory access reports it here, and the kernel delivers
+  // SIGSEGV — terminating this μprocess (status 128 + SIGSEGV) unless a handler is installed.
+  // On hardware the exception would enter the kernel directly; here the guest routes it.
+  SimTask<void> RaiseFault(const Error& fault) { return kernel_.procs().RaiseFault(uproc_, fault); }
+
   // --- host <-> guest staging helpers -----------------------------------------------------------
 
   // Writes host bytes into a fresh guest allocation and returns its capability.

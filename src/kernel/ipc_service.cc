@@ -10,7 +10,8 @@
 namespace ufork {
 
 IpcService::IpcService(Kernel& kernel)
-    : kernel_(kernel), mqueues_(kernel.sched(), kernel.BlockingWakeCycles()) {}
+    : kernel_(kernel),
+      mqueues_(kernel.sched(), kernel.BlockingWakeCycles(), &kernel.fault_injector()) {}
 
 SimTask<Result<std::pair<int, int>>> IpcService::Pipe(Uproc& caller) {
   SyscallScope scope(kernel_, caller, Sys::kPipe);
@@ -21,7 +22,11 @@ SimTask<Result<std::pair<int, int>>> IpcService::Pipe(Uproc& caller) {
     }
   }
   kernel_.machine().Charge(kernel_.costs().pipe_op);
-  auto [read_end, write_end] = Pipe::Create(kernel_.sched(), kernel_.BlockingWakeCycles());
+  if (kernel_.fault_injector().ShouldFail(FaultSite::kPipeReserve)) {
+    co_return Error{Code::kErrNoMem, "pipe buffer reservation failed (injected)"};
+  }
+  auto [read_end, write_end] = Pipe::Create(kernel_.sched(), kernel_.BlockingWakeCycles(),
+                                            &kernel_.fault_injector());
   auto rfd = caller.fds->Install(std::move(read_end));
   if (!rfd.ok()) {
     co_return rfd.error();
@@ -167,7 +172,11 @@ SimTask<Result<void>> IpcService::FutexWait(Uproc& caller, Capability cap, uint6
     co_return value.error();
   }
   const std::optional<Pte> pte = caller.page_table->Lookup(va);
-  UF_CHECK(pte.has_value());
+  if (!pte.has_value()) {
+    // Guest-reachable (a capability can outlive the mapping it was derived over), so this is a
+    // fault delivered to the caller, not a kernel invariant.
+    co_return Error{Code::kFaultNotMapped, "futex word on unmapped page"};
+  }
   const auto key = std::make_pair(pte->frame, va % kPageSize);
   if (*value != expected) {
     co_return Error{Code::kErrAgain, "futex value changed"};
@@ -197,7 +206,9 @@ SimTask<Result<uint64_t>> IpcService::FutexWake(Uproc& caller, Capability cap, u
     co_return check.error();
   }
   const std::optional<Pte> pte = caller.page_table->Lookup(va);
-  UF_CHECK(pte.has_value());
+  if (!pte.has_value()) {
+    co_return Error{Code::kFaultNotMapped, "futex word on unmapped page"};
+  }
   auto it = futexes_.find(std::make_pair(pte->frame, va % kPageSize));
   uint64_t woken = 0;
   if (it != futexes_.end()) {

@@ -5,6 +5,7 @@
 #ifndef UFORK_SRC_KERNEL_IPC_SERVICE_H_
 #define UFORK_SRC_KERNEL_IPC_SERVICE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -41,6 +42,16 @@ class IpcService {
   SimTask<Result<void>> FutexWait(Uproc& caller, Capability cap, uint64_t va,
                                   uint64_t expected);
   SimTask<Result<uint64_t>> FutexWake(Uproc& caller, Capability cap, uint64_t va, uint64_t n);
+
+  // Enumerates the frame references the shm registry holds outside any page table, for the
+  // kernel's frame-accounting invariant checker.
+  void ForEachShmFrame(const std::function<void(FrameId)>& fn) const {
+    for (const auto& [id, object] : shm_objects_) {
+      for (const FrameId frame : object.frames) {
+        fn(frame);
+      }
+    }
+  }
 
  private:
   struct ShmObject {

@@ -50,7 +50,14 @@ namespace ufork {
 class Kernel : public KernelCore {
  public:
   Kernel(const KernelConfig& config, std::unique_ptr<ForkBackend> backend)
-      : KernelCore(config, std::move(backend)), procs_(*this), files_(*this), ipc_(*this) {}
+      : KernelCore(config, std::move(backend)), procs_(*this), files_(*this), ipc_(*this) {
+    // KernelCore wired the memory-layer injection sites; the service-owned sites (ramdisk
+    // growth) and the shm contribution to the frame-accounting invariant are wired here,
+    // where the services exist.
+    files_.vfs().set_fault_injector(&fault_injector_);
+    set_kernel_frame_refs_provider(
+        [this](const std::function<void(FrameId)>& fn) { ipc_.ForEachShmFrame(fn); });
+  }
 
   // --- services -------------------------------------------------------------------------------
 

@@ -69,6 +69,8 @@ KernelCore::KernelCore(const KernelConfig& config, std::unique_ptr<ForkBackend> 
   if (config_.aslr_seed.has_value()) {
     address_space_.EnableAslr(*config_.aslr_seed);
   }
+  machine_.frames().set_fault_injector(&fault_injector_);
+  address_space_.set_fault_injector(&fault_injector_);
 }
 
 KernelCore::~KernelCore() = default;
@@ -281,6 +283,73 @@ void KernelCore::ReleaseUprocMemory(Uproc& uproc) {
   }
   uproc.page_table = nullptr;
   uproc.fault_around = {};  // speculative spans refer to unmapped pages now
+}
+
+// --- frame-accounting invariant -------------------------------------------------------------
+
+Result<void> KernelCore::CheckFrameAccounting() const {
+  // Expected refcount per frame: PTE mappings across every page table, plus kernel-held
+  // references (shm objects registered by Kernel). The 48-bit walk is sparse, so its cost is
+  // O(mapped pages), not O(address space).
+  constexpr uint64_t kVaTop = 1ULL << 48;
+  std::map<FrameId, uint32_t> expected;
+  const auto count_pt = [&expected](const PageTable& pt) {
+    pt.ForEachMapped(0, kVaTop,
+                     [&expected](uint64_t, const Pte& pte) { ++expected[pte.frame]; });
+  };
+  count_pt(shared_pt_);
+  for (const auto& [pid, uproc] : uprocs_) {
+    if (uproc->owned_pt != nullptr) {
+      count_pt(*uproc->owned_pt);
+    }
+  }
+  if (kernel_frame_refs_) {
+    kernel_frame_refs_([&expected](FrameId frame) { ++expected[frame]; });
+  }
+
+  const FrameAllocator& frames = machine_.frames();
+  Result<void> verdict = OkResult();
+  uint64_t live_slots = 0;
+  frames.ForEachLive([&](FrameId id, uint32_t refcount) {
+    ++live_slots;
+    if (!verdict.ok()) {
+      return;
+    }
+    auto it = expected.find(id);
+    const uint32_t mapped = it == expected.end() ? 0 : it->second;
+    if (mapped != refcount) {
+      verdict = Error{Code::kErrInval,
+                      "frame " + std::to_string(id) + " refcount " +
+                          std::to_string(refcount) + " but " + std::to_string(mapped) +
+                          " references exist" + (mapped == 0 ? " (leaked frame)" : "")};
+    }
+    if (it != expected.end()) {
+      expected.erase(it);
+    }
+  });
+  if (!verdict.ok()) {
+    return verdict;
+  }
+  if (!expected.empty()) {
+    const auto& [id, refs] = *expected.begin();
+    return Error{Code::kErrInval, "frame " + std::to_string(id) + " has " +
+                                      std::to_string(refs) +
+                                      " references but is not live (dangling mapping)"};
+  }
+  if (live_slots != frames.frames_in_use()) {
+    return Error{Code::kErrInval,
+                 "frames_in_use " + std::to_string(frames.frames_in_use()) +
+                     " != live slot count " + std::to_string(live_slots)};
+  }
+  return OkResult();
+}
+
+void KernelCore::CheckFrameAccountingOrDie() const {
+  const Result<void> result = CheckFrameAccounting();
+  if (!result.ok()) [[unlikely]] {
+    const std::string msg = "frame accounting violated: " + result.error().message;
+    UF_CHECK_MSG(false, msg.c_str());
+  }
 }
 
 // --- user-memory access ---------------------------------------------------------------------

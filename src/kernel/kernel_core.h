@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/fault_injection.h"
 #include "src/base/status.h"
 #include "src/cheri/capability.h"
 #include "src/kernel/fd.h"
@@ -55,6 +56,10 @@ struct KernelConfig {
   LockMode lock_mode = LockMode::kBigKernelLock;
   std::optional<uint64_t> aslr_seed;
   FaultAroundConfig fault_around;
+  // Cross-check FrameAllocator refcounts against the sum of PTE mappings plus kernel-held
+  // frame references after every syscall (SyscallScope exit). Debug aid: O(mapped pages) per
+  // syscall, so off by default.
+  bool check_frame_invariants = false;
   CostModel costs;
 };
 
@@ -116,6 +121,25 @@ class KernelCore {
   const CostModel& costs() const { return machine_.costs(); }
   ForkBackend& backend() { return *backend_; }
   KernelStats& stats() { return stats_; }
+
+  // Deterministic fault-injection registry (DESIGN.md §4.9). Wired into the frame allocator
+  // and the region allocator at construction; IPC/VFS sites are wired by Kernel.
+  FaultInjector& fault_injector() { return fault_injector_; }
+
+  // --- frame-accounting invariant (DESIGN.md §4.9) --------------------------------------------
+
+  // Enumerates frame references the kernel holds outside any page table (e.g. shm objects).
+  // The registered provider calls its argument once per held reference.
+  using KernelFrameRefsProvider = std::function<void(const std::function<void(FrameId)>&)>;
+  void set_kernel_frame_refs_provider(KernelFrameRefsProvider provider) {
+    kernel_frame_refs_ = std::move(provider);
+  }
+
+  // Verifies that every live frame's refcount equals the number of PTEs mapping it (across the
+  // shared page table and all private page tables) plus kernel-held references, and that
+  // frames_in_use matches the live-slot count. Returns the first mismatch as an error.
+  Result<void> CheckFrameAccounting() const;
+  void CheckFrameAccountingOrDie() const;
 
   // The lock guarding `domain` under the configured mode (nullptr: lock-free kernel).
   VirtualLock* DomainLock(LockDomain domain) { return locks_.Get(domain); }
@@ -215,6 +239,8 @@ class KernelCore {
   std::map<const PageTable*, Pid> pt_owners_;
   Pid next_pid_ = 1;
   KernelStats stats_;
+  FaultInjector fault_injector_;
+  KernelFrameRefsProvider kernel_frame_refs_;
 };
 
 }  // namespace ufork

@@ -12,6 +12,15 @@ SimTask<Result<void>> MessageQueue::Send(std::vector<std::byte> message) {
   while (messages_.size() >= kMqMaxMessages) {
     co_await senders_wq_.Wait();
   }
+  if (injector_ != nullptr) {
+    // All storage for the message is charged before it is enqueued: a failure mid-charge
+    // leaves the queue exactly as it was (all-or-nothing, never half a message visible).
+    for (uint64_t charged = 0; charged < message.size(); charged += kMqAllocChunk) {
+      if (injector_->ShouldFail(FaultSite::kMqGrow)) {
+        co_return Error{Code::kErrNoMem, "message storage allocation failed (injected)"};
+      }
+    }
+  }
   messages_.push_back(std::move(message));
   receivers_wq_.Wake();
   co_return OkResult();
@@ -33,7 +42,11 @@ Result<std::shared_ptr<OpenFile>> MqRegistry::Open(const std::string& name, bool
     if (!create) {
       return Error{Code::kErrNoEnt, "no such message queue"};
     }
-    it = queues_.emplace(name, std::make_shared<MessageQueue>(sched_, wake_cost_)).first;
+    if (injector_ != nullptr && injector_->ShouldFail(FaultSite::kMqReserve)) {
+      return Error{Code::kErrNoMem, "queue descriptor reservation failed (injected)"};
+    }
+    it = queues_.emplace(name, std::make_shared<MessageQueue>(sched_, wake_cost_, injector_))
+             .first;
   }
   return std::static_pointer_cast<OpenFile>(std::make_shared<MqHandle>(it->second));
 }

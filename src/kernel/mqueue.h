@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/fault_injection.h"
 #include "src/base/status.h"
 #include "src/kernel/fd.h"
 #include "src/sched/scheduler.h"
@@ -21,11 +22,19 @@ namespace ufork {
 
 inline constexpr uint64_t kMqMaxMessages = 64;
 inline constexpr uint64_t kMqMaxMessageSize = 8192;
+// Granularity at which message storage is charged against the kMqGrow injection site: one
+// ShouldFail probe per started 1 KiB of payload, mirroring a kernel allocating queue storage
+// in slabs.
+inline constexpr uint64_t kMqAllocChunk = 1024;
 
 class MessageQueue {
  public:
-  MessageQueue(Scheduler& sched, Cycles wake_cost)
-      : sched_(sched), wake_cost_(wake_cost), senders_wq_(sched), receivers_wq_(sched) {
+  MessageQueue(Scheduler& sched, Cycles wake_cost, FaultInjector* injector = nullptr)
+      : sched_(sched),
+        wake_cost_(wake_cost),
+        injector_(injector),
+        senders_wq_(sched),
+        receivers_wq_(sched) {
     senders_wq_.set_resume_delay(wake_cost);
     receivers_wq_.set_resume_delay(wake_cost);
   }
@@ -38,15 +47,18 @@ class MessageQueue {
  private:
   Scheduler& sched_;
   Cycles wake_cost_;
+  FaultInjector* injector_;
   WaitQueue senders_wq_;
   WaitQueue receivers_wq_;
   std::deque<std::vector<std::byte>> messages_;
 };
 
-// Registry of named queues (the mq filesystem namespace).
+// Registry of named queues (the mq filesystem namespace). `injector` arms the kMqReserve site
+// in Open and threads kMqGrow into every queue it creates (null: injection disabled).
 class MqRegistry {
  public:
-  MqRegistry(Scheduler& sched, Cycles wake_cost) : sched_(sched), wake_cost_(wake_cost) {}
+  MqRegistry(Scheduler& sched, Cycles wake_cost, FaultInjector* injector = nullptr)
+      : sched_(sched), wake_cost_(wake_cost), injector_(injector) {}
 
   Result<std::shared_ptr<OpenFile>> Open(const std::string& name, bool create);
   Result<void> Unlink(const std::string& name);
@@ -54,6 +66,7 @@ class MqRegistry {
  private:
   Scheduler& sched_;
   Cycles wake_cost_;
+  FaultInjector* injector_;
   std::map<std::string, std::shared_ptr<MessageQueue>> queues_;
 };
 

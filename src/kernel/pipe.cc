@@ -6,8 +6,8 @@
 namespace ufork {
 
 std::pair<std::shared_ptr<OpenFile>, std::shared_ptr<OpenFile>> Pipe::Create(
-    Scheduler& sched, Cycles wake_cost) {
-  auto pipe = std::make_shared<Pipe>(sched, wake_cost);
+    Scheduler& sched, Cycles wake_cost, FaultInjector* injector) {
+  auto pipe = std::make_shared<Pipe>(sched, wake_cost, injector);
   auto read_end = std::make_shared<PipeEnd>(pipe, /*is_writer=*/false);
   auto write_end = std::make_shared<PipeEnd>(pipe, /*is_writer=*/true);
   return {read_end, write_end};
@@ -77,6 +77,15 @@ SimTask<Result<int64_t>> PipeEnd::Write(std::span<const std::byte> in) {
     if (p.Space() == 0) {
       co_await p.writers_wq_.Wait();
       continue;
+    }
+    if (p.injector_ != nullptr && p.injector_->ShouldFail(FaultSite::kPipeGrow)) {
+      // Checked before any byte of this chunk is staged: either nothing of the write is
+      // visible (ENOMEM) or a prefix of whole chunks is (POSIX short write) — never a torn
+      // chunk.
+      if (written == 0) {
+        co_return Error{Code::kErrNoMem, "pipe buffer growth failed (injected)"};
+      }
+      co_return static_cast<int64_t>(written);
     }
     const uint64_t n = std::min<uint64_t>(in.size() - written, p.Space());
     const uint64_t tail = (p.head_ + p.fill_) % p.buffer_.size();

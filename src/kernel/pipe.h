@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/base/fault_injection.h"
 #include "src/base/status.h"
 #include "src/kernel/fd.h"
 #include "src/sched/scheduler.h"
@@ -21,9 +22,10 @@ inline constexpr uint64_t kPipeCapacity = 64 * 1024;
 
 class Pipe {
  public:
-  Pipe(Scheduler& sched, Cycles wake_cost)
+  Pipe(Scheduler& sched, Cycles wake_cost, FaultInjector* injector = nullptr)
       : sched_(sched),
         wake_cost_(wake_cost),
+        injector_(injector),
         readers_wq_(sched),
         writers_wq_(sched),
         buffer_(kPipeCapacity) {
@@ -33,8 +35,9 @@ class Pipe {
 
   // Creates the pair of ends, each installed as refcount-1 descriptions. wake_cost is the
   // resume latency a blocked side pays when the other side unblocks it (cross-core wakeup).
+  // `injector` arms the kPipeGrow site in Write (null: injection disabled).
   static std::pair<std::shared_ptr<OpenFile>, std::shared_ptr<OpenFile>> Create(
-      Scheduler& sched, Cycles wake_cost);
+      Scheduler& sched, Cycles wake_cost, FaultInjector* injector = nullptr);
 
  private:
   friend class PipeEnd;
@@ -44,6 +47,7 @@ class Pipe {
 
   Scheduler& sched_;
   Cycles wake_cost_;
+  FaultInjector* injector_;
   WaitQueue readers_wq_;
   WaitQueue writers_wq_;
   std::vector<std::byte> buffer_;

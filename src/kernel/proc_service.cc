@@ -209,6 +209,16 @@ SimTask<Result<void>> ProcService::CheckSignals(Uproc& caller) {
   co_return OkResult();
 }
 
+SimTask<void> ProcService::RaiseFault(Uproc& uproc, const Error& fault) {
+  // Crash containment (§4.9): a capability or translation fault the resolvers could not claim
+  // is the μprocess's bug, never the host's. Deliver SIGSEGV — a handler may run; the default
+  // action terminates with status 128 + SIGSEGV, leaving every other μprocess untouched.
+  UF_LOG(kInfo) << uproc.name << " pid " << uproc.pid() << ": " << CodeName(fault.code)
+                << " (" << fault.message << ") -> SIGSEGV";
+  uproc.signals.Raise(kSigSegv);
+  co_await DeliverSignals(uproc);
+}
+
 SimTask<void> ProcService::DeliverSignals(Uproc& uproc) {
   // Runs as the target μprocess, outside any kernel lock: handlers are guest code.
   while (uproc.state == Uproc::State::kRunning && uproc.signals.AnyPending()) {
@@ -291,7 +301,11 @@ SimTask<Result<void>> ProcService::Exec(Uproc& caller, std::string program) {
   kernel_.machine().Charge(kernel_.costs().exec_base);
   auto reset = ResetUprocImage(caller);
   if (!reset.ok()) {
-    co_return reset.error();
+    // Past the point of no return: the old image is already torn down, so exec cannot
+    // "return -1" into a program that no longer exists. POSIX kills the process instead.
+    scope.Leave();
+    co_await Exit(caller, 128 + kSigKill);
+    UF_UNREACHABLE();
   }
   caller.forked_child = false;  // the fresh image runs its own runtime initialization
   caller.name = program;
@@ -431,6 +445,11 @@ SimTask<Result<Capability>> ProcService::MmapAnon(Uproc& caller, uint64_t length
   for (uint64_t off = 0; off < length; off += kPageSize) {
     auto frame = machine.frames().Allocate();
     if (!frame.ok()) {
+      // All-or-nothing: unmap and release the pages this call already mapped, or the next
+      // mmap over the same cursor would double-map them.
+      for (uint64_t undo = 0; undo < off; undo += kPageSize) {
+        machine.frames().Release(caller.page_table->Unmap(addr + undo));
+      }
       co_return frame.error();
     }
     machine.Charge(kernel_.costs().frame_alloc + kernel_.costs().pte_update);

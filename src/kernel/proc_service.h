@@ -57,6 +57,12 @@ class ProcService {
   // including FileService::Read and Nanosleep.
   SimTask<void> DeliverSignals(Uproc& uproc);
 
+  // Crash containment: converts an unresolvable guest-triggered fault (capability or
+  // translation) into SIGSEGV delivery to `uproc`. With no handler installed the default
+  // action terminates the μprocess with status 128 + SIGSEGV; the kernel and every other
+  // μprocess keep running. Does not return if the default action fires on the calling thread.
+  SimTask<void> RaiseFault(Uproc& uproc, const Error& fault);
+
  private:
   void ReapZombie(Uproc& zombie);
   void KillUproc(Uproc& victim);

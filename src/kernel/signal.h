@@ -27,6 +27,7 @@ class Uproc;
 inline constexpr int kSigInt = 2;
 inline constexpr int kSigKill = 9;
 inline constexpr int kSigUsr1 = 10;
+inline constexpr int kSigSegv = 11;  // capability/translation fault containment (§4.9)
 inline constexpr int kSigUsr2 = 12;
 inline constexpr int kSigTerm = 15;
 inline constexpr int kSigChld = 17;

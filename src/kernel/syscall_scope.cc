@@ -64,6 +64,11 @@ void SyscallScope::ChargeExitAndRelease() {
     lock_->Release();  // owner-checked: catches a scope leaked to a foreign thread
   }
   open_ = false;
+  if (core_.config().check_frame_invariants) [[unlikely]] {
+    // Every kernel exit is a consistency point: frame-mutating syscalls never suspend mid
+    // mutation (blocking ones Leave() first), so refcounts and mappings must agree here.
+    core_.CheckFrameAccountingOrDie();
+  }
 }
 
 }  // namespace ufork

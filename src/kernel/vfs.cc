@@ -20,7 +20,7 @@ Result<std::shared_ptr<OpenFile>> RamFs::Open(const std::string& path, uint32_t 
     it->second->data.clear();
   }
   return std::static_pointer_cast<OpenFile>(
-      std::make_shared<RamFileHandle>(it->second, flags));
+      std::make_shared<RamFileHandle>(it->second, flags, injector_));
 }
 
 Result<void> RamFs::Unlink(const std::string& path) {
@@ -87,6 +87,16 @@ SimTask<Result<int64_t>> RamFileHandle::Write(std::span<const std::byte> in) {
     offset_ = inode_->data.size();
   }
   if (offset_ + in.size() > inode_->data.size()) {
+    if (injector_ != nullptr) {
+      // One probe per 4 KiB growth block, all checked before the resize: a failed write
+      // leaves both the file contents and its size untouched (ENOSPC, disk full).
+      const uint64_t growth = offset_ + in.size() - inode_->data.size();
+      for (uint64_t charged = 0; charged < growth; charged += kVfsBlockSize) {
+        if (injector_->ShouldFail(FaultSite::kVfsGrow)) {
+          co_return Error{Code::kErrNoSpc, "ramdisk block allocation failed (injected)"};
+        }
+      }
+    }
     inode_->data.resize(offset_ + in.size());
   }
   std::memcpy(inode_->data.data() + offset_, in.data(), in.size());

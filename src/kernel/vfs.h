@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/fault_injection.h"
 #include "src/base/status.h"
 #include "src/kernel/fd.h"
 
@@ -27,6 +28,10 @@ enum OpenFlags : uint32_t {
 };
 
 enum SeekWhence : int { kSeekSet = 0, kSeekCur = 1, kSeekEnd = 2 };
+
+// Ramdisk block size: granularity at which file growth is charged against the kVfsGrow
+// injection site (one probe per started block).
+inline constexpr uint64_t kVfsBlockSize = 4096;
 
 class RamFs {
  public:
@@ -44,15 +49,21 @@ class RamFs {
 
   uint64_t TotalBytes() const;
 
+  // Deterministic fault injection: kVfsGrow fires in RamFileHandle::Write whenever the ramdisk
+  // would grow a file (disk full, ENOSPC). Null: disabled.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
  private:
+  FaultInjector* injector_ = nullptr;
   std::map<std::string, std::shared_ptr<Inode>> inodes_;
 };
 
 // Open-file description for a ramdisk file: shared offset across dup/fork, as POSIX requires.
 class RamFileHandle : public OpenFile {
  public:
-  RamFileHandle(std::shared_ptr<RamFs::Inode> inode, uint32_t flags)
-      : inode_(std::move(inode)), flags_(flags) {}
+  RamFileHandle(std::shared_ptr<RamFs::Inode> inode, uint32_t flags,
+                FaultInjector* injector = nullptr)
+      : inode_(std::move(inode)), flags_(flags), injector_(injector) {}
 
   SimTask<Result<int64_t>> Read(std::span<std::byte> out) override;
   SimTask<Result<int64_t>> Write(std::span<const std::byte> in) override;
@@ -62,6 +73,7 @@ class RamFileHandle : public OpenFile {
  private:
   std::shared_ptr<RamFs::Inode> inode_;
   uint32_t flags_;
+  FaultInjector* injector_ = nullptr;
   uint64_t offset_ = 0;
 };
 

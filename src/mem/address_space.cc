@@ -20,6 +20,10 @@ Result<uint64_t> AddressSpace::AllocateRegion(uint64_t size, uint64_t align) {
   if (size == 0) {
     return Error{Code::kErrInval, "zero-sized region"};
   }
+  if (injector_ != nullptr && injector_->ShouldFail(FaultSite::kRegionGrant)) {
+    // POSIX reports address-space exhaustion on fork/spawn/mmap as ENOMEM.
+    return Error{Code::kErrNoMem, "address space exhausted (injected)"};
+  }
   for (auto it = free_.begin(); it != free_.end(); ++it) {
     const uint64_t block_base = it->first;
     const uint64_t block_size = it->second;
@@ -51,6 +55,9 @@ Result<uint64_t> AddressSpace::AllocateRegionAt(uint64_t base, uint64_t size) {
   size = AlignUp(size, kPageSize);
   if (!IsAligned(base, kPageSize) || size == 0) {
     return Error{Code::kErrInval, "misaligned placement"};
+  }
+  if (injector_ != nullptr && injector_->ShouldFail(FaultSite::kCompactTarget)) {
+    return Error{Code::kErrNoSpc, "target range not free (injected)"};
   }
   // Find the free block containing [base, base+size).
   auto it = free_.upper_bound(base);

@@ -13,6 +13,7 @@
 #include <optional>
 #include <utility>
 
+#include "src/base/fault_injection.h"
 #include "src/base/rng.h"
 #include "src/base/status.h"
 #include "src/base/units.h"
@@ -65,6 +66,9 @@ class AddressSpace {
 
   void EnableAslr(uint64_t seed);
 
+  // Deterministic fault injection (FaultSite::kRegionGrant / kCompactTarget). Null: disabled.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
   AddressSpaceStats Stats() const;
 
   uint64_t lo() const { return lo_; }
@@ -75,6 +79,7 @@ class AddressSpace {
 
   uint64_t lo_;
   uint64_t hi_;
+  FaultInjector* injector_ = nullptr;
   std::map<uint64_t, uint64_t> free_;       // base -> size, coalesced
   std::map<uint64_t, uint64_t> allocated_;  // base -> size
   std::optional<Rng> aslr_rng_;

@@ -11,6 +11,9 @@ Result<FrameId> FrameAllocator::Allocate() { return AllocateInternal(/*zero=*/tr
 Result<FrameId> FrameAllocator::AllocateForCopy() { return AllocateInternal(/*zero=*/false); }
 
 Result<void> FrameAllocator::AllocateForCopy(std::span<FrameId> out) {
+  if (injector_ != nullptr && injector_->ShouldFail(FaultSite::kFrameBatch)) {
+    return Error{Code::kErrNoMem, "out of physical frames (injected batch failure)"};
+  }
   for (size_t i = 0; i < out.size(); ++i) {
     auto frame = AllocateInternal(/*zero=*/false);
     if (!frame.ok()) {
@@ -26,6 +29,9 @@ Result<void> FrameAllocator::AllocateForCopy(std::span<FrameId> out) {
 }
 
 Result<FrameId> FrameAllocator::AllocateInternal(bool zero) {
+  if (injector_ != nullptr && injector_->ShouldFail(FaultSite::kFrameAlloc)) {
+    return Error{Code::kErrNoMem, "out of physical frames (injected)"};
+  }
   FrameId id;
   if (!free_list_.empty()) {
     id = free_list_.back();

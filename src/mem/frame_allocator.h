@@ -9,10 +9,12 @@
 #define UFORK_SRC_MEM_FRAME_ALLOCATOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "src/base/fault_injection.h"
 #include "src/base/status.h"
 #include "src/mem/frame.h"
 
@@ -70,6 +72,19 @@ class FrameAllocator {
   uint64_t peak_frames() const { return peak_frames_; }
   uint64_t total_allocations() const { return total_allocations_; }
 
+  // Invokes fn(id, refcount) for every live frame, in id order. Drives the frame-accounting
+  // invariant checker (KernelCore::CheckFrameAccounting).
+  void ForEachLive(const std::function<void(FrameId, uint32_t)>& fn) const {
+    for (FrameId id = 0; id < slots_.size(); ++id) {
+      if (slots_[id].refcount > 0) {
+        fn(id, slots_[id].refcount);
+      }
+    }
+  }
+
+  // Deterministic fault injection (FaultSite::kFrameAlloc / kFrameBatch). Null: disabled.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
  private:
   Result<FrameId> AllocateInternal(bool zero);
 
@@ -79,6 +94,7 @@ class FrameAllocator {
   };
 
   uint64_t max_frames_;
+  FaultInjector* injector_ = nullptr;
   std::vector<Slot> slots_;
   std::vector<FrameId> free_list_;
   uint64_t frames_in_use_ = 0;

@@ -56,36 +56,76 @@ Result<CompactionStats> CompactAddressSpace(Kernel& kernel) {
     }
     const uint64_t old_base = uproc->base;
     const uint64_t new_base = *candidate;
-    UF_ASSIGN_OR_RETURN(const uint64_t granted, as.AllocateRegionAt(new_base, uproc->size));
-    UF_CHECK(granted == new_base);
+    auto granted = as.AllocateRegionAt(new_base, uproc->size);
+    if (!granted.ok()) {
+      // Degrade, don't die: a failed target grant (raced allocation, injected exhaustion)
+      // keeps the fragmented layout; the μprocess is untouched and the sweep continues.
+      ++stats.regions_skipped_grant_failed;
+      continue;
+    }
+
+    // Per-region counters stay local until the move commits: an aborted region must leave the
+    // stats exactly as if it had only been considered.
+    uint64_t pages_remapped = 0;
+    uint64_t caps_relocated = 0;
 
     // Move the mappings (ascending order; the target block is disjoint from the source).
     for (const auto& [va, pte] : pages) {
       machine.Charge(costs.pte_update);
       const FrameId frame = pt.Unmap(va);
       pt.Map(new_base + (va - old_base), frame, pte.flags);
-      ++stats.pages_remapped;
+      ++pages_remapped;
     }
     // Rewrite every tagged capability in the moved frames — the same offset translation fork
     // performs, applied region-to-region. The old region is still registered, so chained
     // lookups resolve.
+    FaultInjector& injector = kernel.fault_injector();
+    std::vector<FrameId> rewritten;
+    bool aborted = false;
     for (const auto& [va, pte] : pages) {
       if ((pte.flags & kPteShared) != 0) {
         continue;  // tag-free shared windows
+      }
+      if (injector.ShouldFail(FaultSite::kCompactRelocate)) {
+        aborted = true;
+        break;
       }
       machine.Charge(costs.page_tag_scan);
       const RelocationResult reloc = RelocateFrameInto(machine.frames().frame(pte.frame), as,
                                                        new_base, uproc->size);
       machine.Charge(costs.cap_relocate * reloc.relocated);
-      stats.caps_relocated += reloc.relocated;
+      caps_relocated += reloc.relocated;
+      rewritten.push_back(pte.frame);
+    }
+    if (aborted) {
+      // Roll the region back in place. Both regions are still allocated, so the reverse
+      // relocation resolves new-region capabilities through RegionContaining exactly as the
+      // forward pass did; frames not yet rewritten still point into the old region and pass
+      // through the scan untouched.
+      for (const FrameId frame : rewritten) {
+        machine.Charge(costs.page_tag_scan);
+        const RelocationResult reloc =
+            RelocateFrameInto(machine.frames().frame(frame), as, old_base, uproc->size);
+        machine.Charge(costs.cap_relocate * reloc.relocated);
+      }
+      for (const auto& [va, pte] : pages) {
+        machine.Charge(costs.pte_update);
+        const FrameId frame = pt.Unmap(new_base + (va - old_base));
+        pt.Map(va, frame, pte.flags);
+      }
+      as.FreeRegion(new_base);
+      ++stats.regions_aborted;
+      continue;
     }
     const RelocationResult reg_reloc =
         RelocateRegisterFile(uproc->regs, old_base, uproc->size, new_base);
-    stats.caps_relocated += reg_reloc.relocated;
+    caps_relocated += reg_reloc.relocated;
 
     uproc->mmap_cursor = new_base + (uproc->mmap_cursor - old_base);
     uproc->base = new_base;
     as.FreeRegion(old_base);
+    stats.pages_remapped += pages_remapped;
+    stats.caps_relocated += caps_relocated;
     ++stats.regions_moved;
   }
 

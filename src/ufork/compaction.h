@@ -22,6 +22,8 @@ struct CompactionStats {
   uint64_t regions_considered = 0;
   uint64_t regions_moved = 0;
   uint64_t regions_skipped_shared = 0;  // still CoW/CoPA-entangled with a fork partner
+  uint64_t regions_skipped_grant_failed = 0;  // target-region grant failed; layout kept as-is
+  uint64_t regions_aborted = 0;  // relocation failed mid-region; region rolled back in place
   uint64_t pages_remapped = 0;
   uint64_t caps_relocated = 0;
   uint64_t bytes_reclaimed_contiguity = 0;  // growth of the largest free block

@@ -55,6 +55,20 @@ Result<Pid> UforkBackend::Fork(KernelCore& kernel, Uproc& parent, UprocEntry ent
 
   RelocationResult eager_reloc;
   RegionMemo eager_memo;  // source-interval cache shared across the whole eager sweep
+  // Full mid-fork rollback: release the half-built child (its shared mappings drop their extra
+  // frame references), drop the ghost shell, and restore every parent PTE the sweep demoted to
+  // CoW — after rollback the parent must look exactly as before the fork, or it would take
+  // spurious resolvable faults on pages that have no sharer.
+  const auto rollback = [&]() {
+    kernel.ReleaseUprocMemory(child);
+    kernel.DestroyUprocShell(child);
+    for (const auto& [va, original] : parent_pages) {
+      const std::optional<Pte> current = pt.Lookup(va);
+      if (current.has_value() && current->flags != original.flags) {
+        pt.SetFlags(va, original.flags);
+      }
+    }
+  };
   for (const auto& [parent_va, parent_pte] : parent_pages) {
     const uint64_t offset = parent_va - parent.base;
     const uint64_t child_va = child.base + offset;
@@ -78,8 +92,7 @@ Result<Pid> UforkBackend::Fork(KernelCore& kernel, Uproc& parent, UprocEntry ent
         // Undo the half-built child completely: without DestroyUprocShell the shell would
         // linger in the process table as a permanently-running ghost child and a subsequent
         // wait() in the parent would block forever.
-        kernel.ReleaseUprocMemory(child);
-        kernel.DestroyUprocShell(child);
+        rollback();
         return copied.error();
       }
       pt.Map(child_va, *copied, seg_flags);
@@ -157,7 +170,11 @@ Result<void> UforkBackend::ResolveFault(KernelCore& kernel, const PageFaultInfo&
   }
   PageTable& pt = *info.page_table;
   Pte* pte = pt.LookupMutable(info.va);
-  UF_CHECK(pte != nullptr);
+  if (pte == nullptr) {
+    // Guest-reachable (an access through a stale capability can fault inside an owned region
+    // on a page that was never mapped): delivered to the guest, never a host abort.
+    return Error{Code::kFaultNotMapped, "fault on unmapped page"};
+  }
   if ((pte->flags & (kPteCow | kPteLoadCapFault)) == 0) {
     return Error{Code::kFaultPageProt, "fault on a non-shared page"};
   }

@@ -1,0 +1,218 @@
+// Unit tests for the deterministic fault-injection registry (DESIGN.md §4.9) and its wiring
+// into the memory layer. The contract under test: every failure schedule is a pure function of
+// (site, policy, seed); an injected failure leaves the allocator it hit exactly as it was; and
+// a disarmed registry is observationally free (hits are not even counted).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "src/base/fault_injection.h"
+#include "src/base/units.h"
+#include "src/mem/address_space.h"
+#include "src/mem/frame_allocator.h"
+
+namespace ufork {
+namespace {
+
+// --- policy grammar ----------------------------------------------------------------------------
+
+TEST(FaultPolicy, ParsesEveryPolicyKind) {
+  auto nth = FaultPolicy::Parse("nth=3");
+  ASSERT_TRUE(nth.ok());
+  EXPECT_EQ(nth->kind, FaultPolicy::Kind::kNth);
+  EXPECT_EQ(nth->n, 3u);
+
+  auto after = FaultPolicy::Parse("after=10");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->kind, FaultPolicy::Kind::kAfterBudget);
+  EXPECT_EQ(after->n, 10u);
+
+  auto prob = FaultPolicy::Parse("prob=0.05");
+  ASSERT_TRUE(prob.ok());
+  EXPECT_EQ(prob->kind, FaultPolicy::Kind::kProbabilistic);
+  EXPECT_DOUBLE_EQ(prob->p, 0.05);
+
+  auto oneshot = FaultPolicy::Parse("oneshot");
+  ASSERT_TRUE(oneshot.ok());
+  EXPECT_EQ(oneshot->kind, FaultPolicy::Kind::kOneShot);
+}
+
+TEST(FaultPolicy, RejectsMalformedSpecs) {
+  EXPECT_EQ(FaultPolicy::Parse("bogus").code(), Code::kErrInval);
+  EXPECT_EQ(FaultPolicy::Parse("foo=3").code(), Code::kErrInval);
+  EXPECT_EQ(FaultPolicy::Parse("nth=").code(), Code::kErrInval);
+  EXPECT_EQ(FaultPolicy::Parse("nth=x").code(), Code::kErrInval);
+  EXPECT_EQ(FaultPolicy::Parse("nth=0").code(), Code::kErrInval) << "nth is 1-based";
+  EXPECT_EQ(FaultPolicy::Parse("nth=3trailing").code(), Code::kErrInval);
+  EXPECT_EQ(FaultPolicy::Parse("prob=1.5").code(), Code::kErrInval);
+  EXPECT_EQ(FaultPolicy::Parse("prob=-0.5").code(), Code::kErrInval);
+}
+
+TEST(FaultSiteNames, AreStableIdentifiers) {
+  EXPECT_STREQ(FaultSiteName(FaultSite::kFrameAlloc), "frame-alloc");
+  EXPECT_STREQ(FaultSiteName(FaultSite::kCompactRelocate), "compact-relocate");
+  EXPECT_STREQ(FaultSiteName(FaultSite::kVfsGrow), "vfs-grow");
+}
+
+// --- schedule semantics ------------------------------------------------------------------------
+
+TEST(FaultInjector, DisarmedRegistryCountsNothing) {
+  FaultInjector injector;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(injector.ShouldFail(FaultSite::kFrameAlloc));
+  }
+  EXPECT_EQ(injector.hits(FaultSite::kFrameAlloc), 0u);
+  EXPECT_EQ(injector.total_failures(), 0u);
+  EXPECT_FALSE(injector.any_armed());
+}
+
+TEST(FaultInjector, NthFailsExactlyOnce) {
+  FaultInjector injector;
+  injector.Arm(FaultSite::kFrameAlloc, FaultPolicy::Nth(3));
+  std::vector<bool> observed;
+  for (int i = 0; i < 5; ++i) {
+    observed.push_back(injector.ShouldFail(FaultSite::kFrameAlloc));
+  }
+  EXPECT_EQ(observed, (std::vector<bool>{false, false, true, false, false}));
+  EXPECT_EQ(injector.hits(FaultSite::kFrameAlloc), 5u);
+  EXPECT_EQ(injector.failures(FaultSite::kFrameAlloc), 1u);
+  EXPECT_TRUE(injector.armed(FaultSite::kFrameAlloc));
+}
+
+TEST(FaultInjector, AfterBudgetFailsEveryHitPastTheBudget) {
+  FaultInjector injector;
+  injector.Arm(FaultSite::kRegionGrant, FaultPolicy::AfterBudget(2));
+  std::vector<bool> observed;
+  for (int i = 0; i < 5; ++i) {
+    observed.push_back(injector.ShouldFail(FaultSite::kRegionGrant));
+  }
+  EXPECT_EQ(observed, (std::vector<bool>{false, false, true, true, true}));
+  EXPECT_EQ(injector.failures(FaultSite::kRegionGrant), 3u);
+}
+
+TEST(FaultInjector, OneShotFiresThenDisarms) {
+  FaultInjector injector;
+  injector.Arm(FaultSite::kPipeReserve, FaultPolicy::OneShot());
+  EXPECT_TRUE(injector.ShouldFail(FaultSite::kPipeReserve));
+  EXPECT_FALSE(injector.armed(FaultSite::kPipeReserve));
+  EXPECT_FALSE(injector.any_armed());
+  // Disarmed again: the next hit is not even counted.
+  EXPECT_FALSE(injector.ShouldFail(FaultSite::kPipeReserve));
+  EXPECT_EQ(injector.hits(FaultSite::kPipeReserve), 1u);
+  EXPECT_EQ(injector.failures(FaultSite::kPipeReserve), 1u);
+}
+
+TEST(FaultInjector, ProbabilisticScheduleReplaysFromTheSeed) {
+  constexpr uint64_t kSeed = 42;
+  constexpr int kDraws = 256;
+  const auto draw = [&](FaultSite site) {
+    FaultInjector injector;
+    injector.Arm(site, FaultPolicy::Probabilistic(0.5), kSeed);
+    std::vector<bool> observed;
+    for (int i = 0; i < kDraws; ++i) {
+      observed.push_back(injector.ShouldFail(site));
+    }
+    return observed;
+  };
+  const auto first = draw(FaultSite::kFrameAlloc);
+  EXPECT_EQ(first, draw(FaultSite::kFrameAlloc)) << "same (site, seed) must replay exactly";
+  // One master seed yields an independent stream per site.
+  EXPECT_NE(first, draw(FaultSite::kMqGrow));
+}
+
+TEST(FaultInjector, ProbabilityExtremesAreDegenerate) {
+  FaultInjector injector;
+  injector.Arm(FaultSite::kVfsGrow, FaultPolicy::Probabilistic(0.0), 7);
+  injector.Arm(FaultSite::kPipeGrow, FaultPolicy::Probabilistic(1.0), 7);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_FALSE(injector.ShouldFail(FaultSite::kVfsGrow));
+    EXPECT_TRUE(injector.ShouldFail(FaultSite::kPipeGrow));
+  }
+}
+
+TEST(FaultInjector, RearmingResetsCountersAndArmAllCoversEverySite) {
+  FaultInjector injector;
+  injector.Arm(FaultSite::kFrameAlloc, FaultPolicy::Nth(1));
+  EXPECT_TRUE(injector.ShouldFail(FaultSite::kFrameAlloc));
+  injector.Arm(FaultSite::kFrameAlloc, FaultPolicy::Nth(1));
+  EXPECT_EQ(injector.hits(FaultSite::kFrameAlloc), 0u) << "Arm starts a fresh schedule";
+
+  injector.ArmAll(FaultPolicy::OneShot(), 9);
+  for (size_t i = 0; i < kNumFaultSites; ++i) {
+    EXPECT_TRUE(injector.armed(static_cast<FaultSite>(i)));
+  }
+  injector.DisarmAll();
+  EXPECT_FALSE(injector.any_armed());
+}
+
+// --- frame allocator wiring --------------------------------------------------------------------
+
+TEST(FrameAllocatorInjection, SingleAllocationFailsOnSchedule) {
+  FrameAllocator frames(/*max_frames=*/8);
+  FaultInjector injector;
+  frames.set_fault_injector(&injector);
+  injector.Arm(FaultSite::kFrameAlloc, FaultPolicy::Nth(2));
+
+  ASSERT_TRUE(frames.Allocate().ok());
+  auto failed = frames.Allocate();
+  EXPECT_EQ(failed.code(), Code::kErrNoMem);
+  EXPECT_TRUE(frames.Allocate().ok());
+  EXPECT_EQ(frames.frames_in_use(), 2u);
+}
+
+TEST(FrameAllocatorInjection, BatchFailureAllocatesNothing) {
+  FrameAllocator frames(/*max_frames=*/8);
+  FaultInjector injector;
+  frames.set_fault_injector(&injector);
+  std::array<FrameId, 4> out{};
+
+  injector.Arm(FaultSite::kFrameBatch, FaultPolicy::OneShot());
+  EXPECT_EQ(frames.AllocateForCopy(std::span(out)).code(), Code::kErrNoMem);
+  EXPECT_EQ(frames.frames_in_use(), 0u);
+  EXPECT_EQ(frames.total_allocations(), 0u);
+
+  // Disarmed (oneshot): the identical call succeeds in full.
+  ASSERT_TRUE(frames.AllocateForCopy(std::span(out)).ok());
+  EXPECT_EQ(frames.frames_in_use(), 4u);
+}
+
+TEST(FrameAllocatorInjection, ExhaustedBatchRollsBackPartialAllocations) {
+  FrameAllocator frames(/*max_frames=*/4);
+  auto a = frames.Allocate();
+  auto b = frames.Allocate();
+  ASSERT_TRUE(a.ok() && b.ok());
+
+  // Room for 2, batch of 4: the two frames handed out mid-batch must come back.
+  std::array<FrameId, 4> big{};
+  EXPECT_EQ(frames.AllocateForCopy(std::span(big)).code(), Code::kErrNoMem);
+  EXPECT_EQ(frames.frames_in_use(), 2u);
+
+  std::array<FrameId, 2> fits{};
+  EXPECT_TRUE(frames.AllocateForCopy(std::span(fits)).ok());
+  EXPECT_EQ(frames.frames_in_use(), 4u);
+}
+
+// --- address-space wiring ----------------------------------------------------------------------
+
+TEST(AddressSpaceInjection, RegionGrantAndCompactTargetFailOnSchedule) {
+  AddressSpace as(/*lo=*/1 * kMiB, /*hi=*/9 * kMiB);
+  FaultInjector injector;
+  as.set_fault_injector(&injector);
+
+  injector.Arm(FaultSite::kRegionGrant, FaultPolicy::OneShot());
+  const auto before = as.Stats();
+  EXPECT_EQ(as.AllocateRegion(1 * kMiB, kPageSize).code(), Code::kErrNoMem);
+  EXPECT_EQ(as.Stats().region_count, before.region_count);
+  EXPECT_EQ(as.Stats().free_bytes, before.free_bytes);
+
+  auto granted = as.AllocateRegion(1 * kMiB, kPageSize);
+  ASSERT_TRUE(granted.ok());
+
+  injector.Arm(FaultSite::kCompactTarget, FaultPolicy::OneShot());
+  EXPECT_EQ(as.AllocateRegionAt(*granted + 1 * kMiB, 1 * kMiB).code(), Code::kErrNoSpc);
+  EXPECT_TRUE(as.AllocateRegionAt(*granted + 1 * kMiB, 1 * kMiB).ok());
+}
+
+}  // namespace
+}  // namespace ufork

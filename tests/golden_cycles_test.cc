@@ -255,5 +255,53 @@ TEST(GoldenCycles, CopaPointerChaseFaultAround8) {
             run.stats.pages_copied_on_fault + run.stats.pages_reclaimed_in_place);
 }
 
+// --- fault-injection zero-cost guard (DESIGN.md §4.9) ------------------------------------------
+//
+// The injection registry is compiled into every hot path unconditionally; its entire disabled
+// cost must be one predictable branch. These guards pin that claim to the recorded constants:
+// with the registry present-but-disarmed, golden virtual time is bit-identical.
+
+TEST(GoldenCycles, DisarmedFaultRegistryIsObservationallyFree) {
+  auto kernel = MakeUforkKernel(HelloConfig());
+  // Exercise the arm/disarm lifecycle before the run: a previously-armed-then-disarmed
+  // registry must be indistinguishable from one that was never touched.
+  kernel->fault_injector().ArmAll(FaultPolicy::Probabilistic(1.0), /*seed=*/7);
+  kernel->fault_injector().DisarmAll();
+  const GoldenRun run = RunHelloFork(std::move(kernel));
+  EXPECT_EQ(run.completion, 216830u);
+  EXPECT_EQ(run.fork_latency, 137128u);
+  EXPECT_EQ(run.stats.fault_cycles, 1960u);
+  EXPECT_EQ(run.stats.syscalls, 4u);
+}
+
+TEST(GoldenCycles, ArmedThenDisarmedMatchesNeverArmedExactly) {
+  const GoldenRun baseline = RunHelloFork(MakeUforkKernel(HelloConfig()));
+  auto kernel = MakeUforkKernel(HelloConfig());
+  kernel->fault_injector().ArmAll(FaultPolicy::OneShot(), /*seed=*/3);
+  kernel->fault_injector().DisarmAll();
+  const GoldenRun guarded = RunHelloFork(std::move(kernel));
+  EXPECT_EQ(guarded.completion, baseline.completion);
+  EXPECT_EQ(guarded.fork_latency, baseline.fork_latency);
+  EXPECT_EQ(guarded.stats.forks, baseline.stats.forks);
+  EXPECT_EQ(guarded.stats.exits, baseline.stats.exits);
+  EXPECT_EQ(guarded.stats.syscalls, baseline.stats.syscalls);
+  EXPECT_EQ(guarded.stats.pages_copied_on_fault, baseline.stats.pages_copied_on_fault);
+  EXPECT_EQ(guarded.stats.caps_relocated_on_fault, baseline.stats.caps_relocated_on_fault);
+  EXPECT_EQ(guarded.stats.faults_taken, baseline.stats.faults_taken);
+  EXPECT_EQ(guarded.stats.fault_cycles, baseline.stats.fault_cycles);
+  EXPECT_EQ(guarded.stats.regions_tombstoned, baseline.stats.regions_tombstoned);
+  EXPECT_EQ(guarded.stats.per_syscall, baseline.stats.per_syscall);
+}
+
+// The post-syscall frame-accounting checker is host-side debug instrumentation; switching it
+// on must not charge a single virtual cycle.
+TEST(GoldenCycles, FrameInvariantCheckerChargesNoVirtualTime) {
+  KernelConfig config = HelloConfig();
+  config.check_frame_invariants = true;
+  const GoldenRun run = RunHelloFork(MakeUforkKernel(config));
+  EXPECT_EQ(run.completion, 216830u);
+  EXPECT_EQ(run.fork_latency, 137128u);
+}
+
 }  // namespace
 }  // namespace ufork

@@ -356,5 +356,93 @@ TEST(Compaction, SkipsRegionsEntangledWithForkPartners) {
   kernel->Run();
 }
 
+// Shared setup for the compaction fault-injection tests: A makes a hole, B parks at a
+// safepoint with a sentinel value reachable through its GOT, and the test decides what the
+// injector does to the compactor. Returns B's pid; `b_ok` reports whether B's pointers still
+// resolved after it woke.
+Pid ParkVictim(Kernel& kernel, const std::string& queue, bool& b_ok) {
+  auto a = kernel.Spawn(MakeGuestEntry([](Guest& g) -> SimTask<void> {
+                          g.Compute(10);
+                          co_return;
+                        }),
+                        "A");
+  UF_CHECK(a.ok());
+  GuestFn victim = [&b_ok, queue](Guest& g) -> SimTask<void> {
+    auto block = g.Malloc(64);
+    CO_ASSERT_OK(block);
+    CO_ASSERT_OK(g.StoreAt<uint64_t>(*block, 0, 31337));
+    CO_ASSERT_OK(g.GotStore(kGotSlotFirstUser, *block));
+    co_await ParkOnQueue(g, queue);  // safepoint
+    auto cap = g.GotLoad(kGotSlotFirstUser);
+    CO_ASSERT_OK(cap);
+    CO_ASSERT_TRUE(cap->tag());
+    auto v = g.LoadAt<uint64_t>(*cap, 0);
+    CO_ASSERT_OK(v);
+    b_ok = *v == 31337;
+  };
+  auto b = kernel.Spawn(MakeGuestEntry(std::move(victim)), "B");
+  UF_CHECK(b.ok());
+  kernel.sched().set_allow_blocked_exit(true);
+  kernel.Run();  // A exits; B parks
+  return *b;
+}
+
+TEST(Compaction, TargetGrantFailureSkipsTheRegionAndDegrades) {
+  auto kernel = MakeUforkKernel(TinyConfig());
+  bool b_ok = false;
+  const Pid b = ParkVictim(*kernel, "/mq/park-grant", b_ok);
+  const uint64_t base_before = kernel->FindUproc(b)->base;
+
+  // The target-region grant fails: the sweep must keep the fragmented layout and move on —
+  // before §4.9 this was a host CHECK that killed the whole simulated machine.
+  kernel->fault_injector().Arm(FaultSite::kCompactTarget, FaultPolicy::OneShot());
+  auto degraded = CompactAddressSpace(*kernel);
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_EQ(degraded->regions_skipped_grant_failed, 1u);
+  EXPECT_EQ(degraded->regions_moved, 0u);
+  EXPECT_EQ(kernel->FindUproc(b)->base, base_before) << "a skipped region must not move";
+
+  // Pressure gone (oneshot): the next sweep performs the identical move.
+  auto retried = CompactAddressSpace(*kernel);
+  ASSERT_TRUE(retried.ok());
+  EXPECT_EQ(retried->regions_moved, 1u);
+  EXPECT_LT(kernel->FindUproc(b)->base, base_before);
+
+  ASSERT_TRUE(kernel->Spawn(MakeGuestEntry(MakeWaker("/mq/park-grant")), "waker").ok());
+  kernel->Run();
+  EXPECT_TRUE(b_ok);
+}
+
+TEST(Compaction, RelocateFailureRollsTheRegionBackInPlace) {
+  auto kernel = MakeUforkKernel(TinyConfig());
+  bool b_ok = false;
+  const Pid b = ParkVictim(*kernel, "/mq/park-abort", b_ok);
+  const uint64_t base_before = kernel->FindUproc(b)->base;
+
+  // Fail the relocation scan on the region's second frame: by then one frame's capabilities
+  // are already rewritten to the new base, so the abort path must reverse-relocate them,
+  // remap every page back, release the target grant — and charge none of it to the stats.
+  kernel->fault_injector().Arm(FaultSite::kCompactRelocate, FaultPolicy::Nth(2));
+  auto aborted = CompactAddressSpace(*kernel);
+  ASSERT_TRUE(aborted.ok());
+  EXPECT_EQ(aborted->regions_aborted, 1u);
+  EXPECT_EQ(aborted->regions_moved, 0u);
+  EXPECT_EQ(aborted->pages_remapped, 0u) << "an aborted move must not leak partial counters";
+  EXPECT_EQ(aborted->caps_relocated, 0u);
+  EXPECT_EQ(kernel->FindUproc(b)->base, base_before) << "the region must be back in place";
+  kernel->fault_injector().DisarmAll();
+
+  auto retried = CompactAddressSpace(*kernel);
+  ASSERT_TRUE(retried.ok());
+  EXPECT_EQ(retried->regions_moved, 1u);
+  EXPECT_LT(kernel->FindUproc(b)->base, base_before);
+
+  // B wakes in the moved region and its sentinel must still resolve — proof the abort left
+  // every capability coherent for the later, successful move.
+  ASSERT_TRUE(kernel->Spawn(MakeGuestEntry(MakeWaker("/mq/park-abort")), "waker").ok());
+  kernel->Run();
+  EXPECT_TRUE(b_ok);
+}
+
 }  // namespace
 }  // namespace ufork
