@@ -16,6 +16,17 @@ Two subcommands:
       sweep point (arg 0) must improve the given counter by at least `improvement` relative
       to the window=1 point. The counter is simulator virtual cycles, so this gate is
       deterministic and safe to run on any host.
+
+  overload-gate OVERLOAD.json [--baseline BENCH_overload.json] [--min-ratio 0.8]
+              [--threshold 0.10] [--allow-crashes]
+      Checks the overload-survival acceptance criteria on bench_overload output, per system
+      row with admission armed (rows named *_NoAdmission are the ablation and never gated):
+        1. crashed == 0 at both rate points (no uncontained ENOMEM deaths; waived by
+           --allow-crashes for chaos-armed soaks, where injected faults do kill children),
+        2. goodput at 2x (arg 20) >= min-ratio * goodput at 1x (arg 10): admission control
+           sheds load instead of collapsing,
+        3. if a baseline file is given, each row's goodput >= baseline - threshold.
+      Counters are simulator virtual time, so 1 and 2 are deterministic per seed.
 """
 
 import argparse
@@ -101,6 +112,63 @@ def cmd_storm_gate(args):
     return 0
 
 
+def overload_rows(entries):
+    """Maps (capture_name, rate_arg) -> iteration entry for OverloadFleet rows."""
+    rows = {}
+    for entry in entries:
+        if entry.get("run_type") == "aggregate":
+            continue
+        run_name = entry.get("run_name", entry.get("name", ""))
+        parts = run_name.split("/")
+        if len(parts) < 3 or parts[0] != "OverloadFleet":
+            continue
+        rows[(parts[1], parts[2])] = entry
+    return rows
+
+
+def cmd_overload_gate(args):
+    rows = overload_rows(load_benchmarks(args.overload))
+    baseline = overload_rows(load_benchmarks(args.baseline)) if args.baseline else {}
+    systems = sorted({name for (name, _) in rows if not name.endswith("_NoAdmission")})
+    if not systems:
+        raise SystemExit("error: no gated OverloadFleet rows found")
+    failures = []
+    for system in systems:
+        low = rows.get((system, "10"))
+        high = rows.get((system, "20"))
+        if low is None or high is None:
+            failures.append(f"{system}: missing a rate point (need args 10 and 20)")
+            continue
+        crashed = float(low.get("crashed", 0)) + float(high.get("crashed", 0))
+        if crashed > 0 and not args.allow_crashes:
+            failures.append(f"{system}: {crashed:.0f} uncontained child death(s) under overload")
+        goodput_1x = float(low["goodput_rps"])
+        goodput_2x = float(high["goodput_rps"])
+        ratio = goodput_2x / goodput_1x if goodput_1x > 0 else 0.0
+        marker = "OK" if ratio >= args.min_ratio else "FAIL"
+        if ratio < args.min_ratio:
+            failures.append(f"{system}: goodput at 2x is {ratio:.2f}x of saturation "
+                            f"(need >= {args.min_ratio:.2f}x)")
+        print(f"  [{marker}] {system}: goodput 1x {goodput_1x:.0f} rps, 2x {goodput_2x:.0f} rps "
+              f"({ratio:.2f}x), crashed {crashed:.0f}")
+        for arg in ("10", "20"):
+            base = baseline.get((system, arg))
+            if base is None:
+                continue
+            base_goodput = float(base["goodput_rps"])
+            cand_goodput = float(rows[(system, arg)]["goodput_rps"])
+            if base_goodput > 0 and cand_goodput < base_goodput * (1.0 - args.threshold):
+                failures.append(f"{system}/{arg}: goodput {cand_goodput:.0f} rps regressed more "
+                                f"than {args.threshold * 100.0:.0f}% vs baseline "
+                                f"{base_goodput:.0f} rps")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(f"overload gate OK ({len(systems)} system(s))")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -120,6 +188,14 @@ def main():
     storm.add_argument("--baseline-arg", default="1")
     storm.add_argument("--candidate-arg", default="0")
     storm.set_defaults(fn=cmd_storm_gate)
+
+    overload = sub.add_parser("overload-gate")
+    overload.add_argument("overload")
+    overload.add_argument("--baseline", default=None)
+    overload.add_argument("--min-ratio", type=float, default=0.8)
+    overload.add_argument("--threshold", type=float, default=0.10)
+    overload.add_argument("--allow-crashes", action="store_true")
+    overload.set_defaults(fn=cmd_overload_gate)
 
     args = parser.parse_args()
     return args.fn(args)

@@ -15,6 +15,11 @@
 #     deterministic). Gated on the acceptance criterion: adaptive fault-around must cut
 #     post-fork fault-resolution cycles on the Redis update storm by >= 10% vs window=1.
 #
+#   BENCH_overload.json — the open-loop overload fleet (simulator virtual time, deterministic
+#     per seed; the run itself asserts per-seed bit-identical replay). Gated on the §4.10
+#     acceptance criteria: goodput at 2x saturation >= 80% of saturation goodput, zero
+#     uncontained ENOMEM deaths, and goodput >= committed baseline - 10%.
+#
 # --smoke: single repetition written to temporary files — verifies every benchmark still runs
 # and applies both gates without touching the committed baselines (CI uses this).
 set -eu
@@ -30,13 +35,14 @@ fi
 build_dir="${1:-"${repo_root}/build"}"
 host_json="${2:-"${repo_root}/BENCH_host_throughput.json"}"
 storm_json="${repo_root}/BENCH_fault_storm.json"
+overload_json="${repo_root}/BENCH_overload.json"
 threshold="${UF_BENCH_THRESHOLD:-0.10}"
 repetitions=3
 if [ "${smoke}" = 1 ]; then
   repetitions=1
 fi
 
-for bench in bench_host_throughput bench_fault_storm; do
+for bench in bench_host_throughput bench_fault_storm bench_overload; do
   if [ ! -x "${build_dir}/bench/${bench}" ]; then
     echo "error: ${build_dir}/bench/${bench} not built (cmake --build ${build_dir} --target ${bench})" >&2
     exit 1
@@ -91,8 +97,33 @@ fi
 
 if [ "${smoke}" = 1 ]; then
   rm -f "${storm_new}"
-  echo "smoke run OK (committed baselines untouched)"
 else
   mv "${storm_new}" "${storm_json}"
   echo "wrote ${storm_json}"
+fi
+
+# --- overload fleet (virtual time, deterministic per seed) --------------------------------------
+
+overload_new="$(mktemp -t bench_overload.XXXXXX.json)"
+UFORK_OVERLOAD_REPLAY_CHECK=1 "${build_dir}/bench/bench_overload" \
+  --benchmark_out="${overload_new}" \
+  --benchmark_out_format=json
+
+if [ -n "${python3_bin}" ]; then
+  echo "overload gate:"
+  overload_baseline_args=""
+  if [ -f "${overload_json}" ]; then
+    overload_baseline_args="--baseline ${overload_json}"
+  fi
+  # shellcheck disable=SC2086
+  "${python3_bin}" "${repo_root}/bench/check_regression.py" overload-gate \
+      "${overload_new}" ${overload_baseline_args} --threshold "${threshold}"
+fi
+
+if [ "${smoke}" = 1 ]; then
+  rm -f "${overload_new}"
+  echo "smoke run OK (committed baselines untouched)"
+else
+  mv "${overload_new}" "${overload_json}"
+  echo "wrote ${overload_json}"
 fi

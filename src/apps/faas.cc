@@ -1,5 +1,6 @@
 #include "src/apps/faas.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace ufork {
@@ -90,7 +91,16 @@ SimTask<void> ZygoteCoordinator(Guest& g, ZygoteParams params, ZygoteResult* res
   const Cycles start = sched.Now();
   uint64_t completed = 0;
   uint64_t launched = 0;
+  uint64_t retries = 0;
   int inflight = 0;
+  // Bounded exponential backoff for kernel pushback: when fork is refused — admission control
+  // below the low watermark (EAGAIN) or a failed grant (ENOMEM) — a flat retry interval turns
+  // the coordinator into part of the overload (it re-offers load exactly as fast as the kernel
+  // can refuse it). Doubling from 50μs to a 3.2ms ceiling spaces the retries out in virtual
+  // time; the first successful fork resets the backoff to the floor.
+  constexpr Cycles kBackoffFloor = Microseconds(50);
+  constexpr Cycles kBackoffCeiling = Microseconds(3200);
+  Cycles backoff = kBackoffFloor;
 
   while (sched.Now() - start < params.window) {
     if (inflight >= params.worker_cores) {
@@ -112,9 +122,14 @@ SimTask<void> ZygoteCoordinator(Guest& g, ZygoteParams params, ZygoteResult* res
     };
     auto child = co_await g.Fork(std::move(executor_fn));
     if (!child.ok()) {
-      co_await g.Nanosleep(Microseconds(50));
+      ++retries;
+      co_await g.Nanosleep(backoff);
+      if (child.error().code == Code::kErrAgain || child.error().code == Code::kErrNoMem) {
+        backoff = std::min(backoff * 2, kBackoffCeiling);
+      }
       continue;
     }
+    backoff = kBackoffFloor;
     ++launched;
     ++inflight;
   }
@@ -129,6 +144,7 @@ SimTask<void> ZygoteCoordinator(Guest& g, ZygoteParams params, ZygoteResult* res
     }
   }
   result->functions_completed = completed;
+  result->fork_retries = retries;
   result->elapsed = sched.Now() - start;
 }
 

@@ -24,6 +24,10 @@ struct ZygoteParams {
 
 struct ZygoteResult {
   uint64_t functions_completed = 0;
+  // Forks refused by the kernel (admission-control EAGAIN or allocation ENOMEM) and retried
+  // after exponential backoff. A loaded-but-healthy system keeps this near zero; under
+  // overload it is the coordinator's contribution to backing the arrival rate off.
+  uint64_t fork_retries = 0;
   Cycles elapsed = 0;
   double FunctionsPerSecond() const {
     return elapsed == 0 ? 0.0

@@ -92,6 +92,11 @@ class Guest {
   // Affinity for future fork children (sched_setaffinity-then-fork). -1 = any core.
   void SetChildAffinity(int core) { uproc_.child_affinity = core; }
 
+  // Frame-billing tenant for this μprocess and its future children (DESIGN.md §4.10).
+  // Host-side bookkeeping only: no charge, no virtual-time effect.
+  void SetTenant(TenantId tenant) { uproc_.tenant = tenant; }
+  TenantId tenant() const { return uproc_.tenant; }
+
   // --- GOT (position-independent global access, §3.7) ------------------------------------------
 
   Result<void> GotStore(int slot, const Capability& value);

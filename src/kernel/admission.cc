@@ -1,0 +1,68 @@
+#include "src/kernel/admission.h"
+
+#include "src/base/check.h"
+#include "src/kernel/kernel_core.h"
+
+namespace ufork {
+
+AdmissionController::AdmissionController(Scheduler& sched, FrameAllocator& frames,
+                                         KernelStats& stats, const OverloadConfig& config)
+    : sched_(sched), frames_(frames), stats_(stats), queue_(sched) {
+  Configure(config);
+}
+
+void AdmissionController::Configure(const OverloadConfig& config) {
+  if (config.enabled) {
+    UF_CHECK_MSG(config.critical_watermark <= config.low_watermark &&
+                     config.low_watermark <= config.clear_watermark,
+                 "overload watermarks must satisfy critical <= low <= clear");
+  }
+  config_ = config;
+  if (!config_.enabled) {
+    rejecting_ = false;
+    queue_.WakeAll();
+  }
+}
+
+void AdmissionController::UpdateState(uint64_t free) {
+  if (!rejecting_ && free < config_.low_watermark) {
+    rejecting_ = true;
+    ++stats_.admission_trips;
+  } else if (rejecting_ && free >= config_.clear_watermark) {
+    rejecting_ = false;
+  }
+}
+
+AdmissionController::Decision AdmissionController::Evaluate() {
+  UF_DCHECK(config_.enabled);
+  const uint64_t free = frames_.free_frames();
+  UpdateState(free);
+  if (!rejecting_) {
+    return Decision::kAdmit;
+  }
+  if (free >= config_.critical_watermark && queue_.size() < config_.max_parked) {
+    return Decision::kPark;
+  }
+  ++stats_.admission_rejected;
+  return Decision::kReject;
+}
+
+SimTask<void> AdmissionController::ParkUntilDrained() {
+  ++stats_.admission_parked;
+  co_await queue_.Wait();
+  ++stats_.admission_resumed;
+}
+
+void AdmissionController::OnFramesFreed() {
+  if (!rejecting_ || queue_.empty()) {
+    return;
+  }
+  UpdateState(frames_.free_frames());
+  if (!rejecting_) {
+    // Past the clear watermark: drain every parked forker. Each re-Evaluates on resume, so a
+    // thundering herd that dips the pool again simply re-parks (or rejects) in FIFO order.
+    queue_.WakeAll();
+  }
+}
+
+}  // namespace ufork

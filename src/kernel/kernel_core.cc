@@ -56,11 +56,23 @@ KernelCore::KernelCore(const KernelConfig& config, std::unique_ptr<ForkBackend> 
       machine_(MachineConfig{config.phys_mem_bytes / kPageSize, config.costs}),
       address_space_(kUserBase, kUserTop),
       locks_(sched_, config.lock_mode),
-      backend_(std::move(backend)) {
+      backend_(std::move(backend)),
+      admission_(sched_, machine_.frames(), stats_, config.overload) {
   UF_CHECK_MSG(backend_ != nullptr, "a ForkBackend is required");
   machine_.set_cycle_sink([this](Cycles c) { sched_.Charge(c); });
-  machine_.set_fault_resolver(
-      [this](const PageFaultInfo& info) { return backend_->ResolveFault(*this, info); });
+  machine_.set_fault_resolver([this](const PageFaultInfo& info) {
+    // Frames the resolver copies into are charged to the faulting μprocess's tenant (the
+    // syscall-entry stamp may belong to a different μprocess on another core). The lookup
+    // is host-side only, so it is gated on caps actually being in force.
+    if (machine_.frames().tenant_caps_active()) [[unlikely]] {
+      Uproc* faulter = backend_->private_page_tables() ? UprocByPageTable(info.page_table)
+                                                       : UprocByAddress(info.va);
+      if (faulter != nullptr) {
+        machine_.frames().set_current_tenant(faulter->tenant);
+      }
+    }
+    return backend_->ResolveFault(*this, info);
+  });
   sched_.set_context_switch_hook([this](SimThread* prev, SimThread* next) {
     Uproc* prev_proc = prev != nullptr ? static_cast<Uproc*>(prev->context()) : nullptr;
     Uproc* next_proc = next != nullptr ? static_cast<Uproc*>(next->context()) : nullptr;
@@ -71,6 +83,11 @@ KernelCore::KernelCore(const KernelConfig& config, std::unique_ptr<ForkBackend> 
   }
   machine_.frames().set_fault_injector(&fault_injector_);
   address_space_.set_fault_injector(&fault_injector_);
+  // Backpressure drain: every last-reference frame release re-evaluates the watermarks and
+  // wakes parked forkers once the pool clears. Installed unconditionally — tests and benches
+  // arm the controller at runtime via admission().Configure() — and free when idle: the hook
+  // charges nothing and OnFramesFreed early-outs unless forkers are actually parked.
+  machine_.frames().set_release_hook([this] { admission_.OnFramesFreed(); });
 }
 
 KernelCore::~KernelCore() = default;
@@ -154,6 +171,7 @@ Uproc& KernelCore::CreateUprocShell(std::string name, Pid parent) {
   uprocs_.emplace(pid, std::move(uproc));
   if (Uproc* parent_proc = FindUproc(parent)) {
     parent_proc->children.push_back(pid);
+    ref.tenant = parent_proc->tenant;  // the μprocess tree bills to one tenant (§4.10)
   }
   return ref;
 }

@@ -17,6 +17,7 @@
 #include "src/base/fault_injection.h"
 #include "src/base/status.h"
 #include "src/cheri/capability.h"
+#include "src/kernel/admission.h"
 #include "src/kernel/fd.h"
 #include "src/kernel/fork_backend.h"
 #include "src/kernel/isolation.h"
@@ -60,6 +61,9 @@ struct KernelConfig {
   // frame references after every syscall (SyscallScope exit). Debug aid: O(mapped pages) per
   // syscall, so off by default.
   bool check_frame_invariants = false;
+  // Frame-pool watermarks / admission control / backpressure (DESIGN.md §4.10). Disabled by
+  // default: the golden-cycle pins cover the disabled configuration.
+  OverloadConfig overload;
   CostModel costs;
 };
 
@@ -87,6 +91,11 @@ struct KernelStats {
   Cycles fault_cycles = 0;                    // virtual cycles spent in resolvable-fault
                                               // handling (incl. the page_fault trap cost)
   uint64_t regions_tombstoned = 0;  // regions kept reserved at exit (shared frames remain)
+  // Overload control (DESIGN.md §4.10). All zero unless OverloadConfig::enabled.
+  uint64_t admission_trips = 0;     // ADMITTING -> REJECTING transitions (low watermark hit)
+  uint64_t admission_rejected = 0;  // fork/spawn refused with EAGAIN
+  uint64_t admission_parked = 0;    // would-be forkers parked on the backpressure queue
+  uint64_t admission_resumed = 0;   // parked forkers woken as frames freed
   // Kernel entries per syscall id, indexed by Sys and incremented by SyscallScope::Enter.
   // Σ per_syscall == syscalls (delivery points such as check_signals enter no kernel section
   // and count in neither).
@@ -125,6 +134,10 @@ class KernelCore {
   // Deterministic fault-injection registry (DESIGN.md §4.9). Wired into the frame allocator
   // and the region allocator at construction; IPC/VFS sites are wired by Kernel.
   FaultInjector& fault_injector() { return fault_injector_; }
+
+  // Overload control (DESIGN.md §4.10): watermark hysteresis, EAGAIN rejection and the
+  // backpressure park queue consulted by ProcService::Fork/Spawn. Disabled by default.
+  AdmissionController& admission() { return admission_; }
 
   // --- frame-accounting invariant (DESIGN.md §4.9) --------------------------------------------
 
@@ -240,6 +253,7 @@ class KernelCore {
   Pid next_pid_ = 1;
   KernelStats stats_;
   FaultInjector fault_injector_;
+  AdmissionController admission_;
   KernelFrameRefsProvider kernel_frame_refs_;
 };
 

@@ -138,6 +138,25 @@ std::string KernelSummaryReport(Kernel& kernel) {
      << "  address space: " << kernel.address_space().Stats().region_count << " regions, "
      << std::fixed << std::setprecision(3)
      << kernel.address_space().Stats().ExternalFragmentation() << " external fragmentation\n";
+  const AdmissionController& admission = kernel.admission();
+  if (admission.enabled()) {
+    const OverloadConfig& overload = admission.config();
+    os << "  admission: watermarks low=" << overload.low_watermark
+       << " critical=" << overload.critical_watermark << " clear=" << overload.clear_watermark
+       << " free=" << machine.frames().free_frames()
+       << (admission.rejecting() ? " [REJECTING]" : " [ADMITTING]") << "\n"
+       << "  admission trips=" << stats.admission_trips
+       << " rejected=" << stats.admission_rejected << " parked=" << stats.admission_parked
+       << " resumed=" << stats.admission_resumed << " (now parked " << admission.parked()
+       << ")\n";
+  }
+  if (machine.frames().tenant_caps_active()) {
+    os << "  tenants:";
+    machine.frames().ForEachTenant([&](TenantId tenant, uint64_t frames) {
+      os << " " << tenant << "=" << frames;
+    });
+    os << " cap rejections=" << machine.frames().tenant_cap_rejections() << "\n";
+  }
   return os.str();
 }
 

@@ -9,7 +9,37 @@
 
 namespace ufork {
 
+SimTask<Result<void>> ProcService::AdmitNewUproc(Uproc& caller) {
+  // Admission happens at the front door, before the syscall enters its kernel section: a
+  // parked forker holds no lock, and a rejected one never pays for construction it would
+  // only roll back. Existing μprocesses are never throttled — only *new* ones are refused,
+  // so the frames that remain let the admitted fleet run to completion (§4.10).
+  AdmissionController& admission = kernel_.admission();
+  if (!admission.enabled()) {
+    co_return OkResult();
+  }
+  for (;;) {
+    switch (admission.Evaluate()) {
+      case AdmissionController::Decision::kAdmit:
+        co_return OkResult();
+      case AdmissionController::Decision::kReject:
+        co_return Error{Code::kErrAgain,
+                        "admission control: free frames below the low watermark"};
+      case AdmissionController::Decision::kPark:
+        // Backpressure: wait for the frame pool to clear, then re-contend in FIFO order.
+        co_await admission.ParkUntilDrained();
+        break;
+    }
+  }
+}
+
 SimTask<Result<Pid>> ProcService::Fork(Uproc& caller, UprocEntry child_entry) {
+  {
+    auto admitted = co_await AdmitNewUproc(caller);
+    if (!admitted.ok()) {
+      co_return admitted.error();
+    }
+  }
   SyscallScope scope(kernel_, caller, Sys::kFork);
   {
     auto entered = co_await scope.Enter();
@@ -325,6 +355,12 @@ SimTask<Result<void>> ProcService::Exec(Uproc& caller, std::string program) {
 }
 
 SimTask<Result<Pid>> ProcService::Spawn(Uproc& caller, std::string program) {
+  {
+    auto admitted = co_await AdmitNewUproc(caller);
+    if (!admitted.ok()) {
+      co_return admitted.error();
+    }
+  }
   SyscallScope scope(kernel_, caller, Sys::kSpawn);
   {
     auto entered = co_await scope.Enter();

@@ -35,6 +35,9 @@ SimTask<Result<void>> SyscallScope::Enter() {
   if (lock_ != nullptr) {
     co_await lock_->Acquire();
   }
+  // Frame grants made inside this kernel section bill to the caller's tenant (§4.10). Pure
+  // host-side bookkeeping: no charge, no virtual-time effect.
+  core_.machine().frames().set_current_tenant(caller_.tenant);
   entered_ = true;
   open_ = true;
   co_return OkResult();

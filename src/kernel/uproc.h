@@ -16,6 +16,7 @@
 #include "src/kernel/fd.h"
 #include "src/kernel/signal.h"
 #include "src/machine/register_file.h"
+#include "src/mem/frame_allocator.h"
 #include "src/mem/page_table.h"
 #include "src/sched/scheduler.h"
 
@@ -98,6 +99,9 @@ class Uproc {
   ForkStats fork_stats;  // stats of the fork that created this μprocess
   uint64_t forks_performed = 0;
   FaultAroundState fault_around;  // adaptive CoW/CoPA resolution window (DESIGN.md §4.8)
+  // Frame-billing tenant (DESIGN.md §4.10): inherited by fork/spawn children, stamped into
+  // the FrameAllocator at every kernel entry so grants charge to this μprocess's tree.
+  TenantId tenant = kSystemTenant;
 
  private:
   Pid pid_;

@@ -32,6 +32,15 @@ Result<FrameId> FrameAllocator::AllocateInternal(bool zero) {
   if (injector_ != nullptr && injector_->ShouldFail(FaultSite::kFrameAlloc)) {
     return Error{Code::kErrNoMem, "out of physical frames (injected)"};
   }
+  if (!tenant_caps_.empty()) [[unlikely]] {
+    auto cap = tenant_caps_.find(current_tenant_);
+    if (cap != tenant_caps_.end() && TenantFrames(current_tenant_) >= cap->second) {
+      ++tenant_cap_rejections_;
+      return Error{Code::kErrNoMem, "tenant " + std::to_string(current_tenant_) +
+                                        " frame cap (" + std::to_string(cap->second) +
+                                        ") exceeded"};
+    }
+  }
   FrameId id;
   if (!free_list_.empty()) {
     id = free_list_.back();
@@ -50,6 +59,8 @@ Result<FrameId> FrameAllocator::AllocateInternal(bool zero) {
     slot.frame->Reset();
   }
   slot.refcount = 1;
+  slot.tenant = current_tenant_;
+  ++tenant_frames_[current_tenant_];
   ++frames_in_use_;
   ++total_allocations_;
   peak_frames_ = std::max(peak_frames_, frames_in_use_);
@@ -67,12 +78,32 @@ void FrameAllocator::Release(FrameId id) {
   if (--slot.refcount == 0) {
     --frames_in_use_;
     free_list_.push_back(id);
+    auto charged = tenant_frames_.find(slot.tenant);
+    UF_DCHECK(charged != tenant_frames_.end() && charged->second > 0);
+    --charged->second;
+    if (release_hook_) {
+      release_hook_();
+    }
   }
 }
 
 uint32_t FrameAllocator::RefCount(FrameId id) const {
   UF_CHECK(id < slots_.size());
   return slots_[id].refcount;
+}
+
+void FrameAllocator::SetTenantCap(TenantId tenant, uint64_t max_frames) {
+  UF_CHECK_MSG(tenant != kSystemTenant, "the system tenant cannot be capped");
+  if (max_frames == 0) {
+    tenant_caps_.erase(tenant);
+  } else {
+    tenant_caps_[tenant] = max_frames;
+  }
+}
+
+uint64_t FrameAllocator::TenantFrames(TenantId tenant) const {
+  auto it = tenant_frames_.find(tenant);
+  return it == tenant_frames_.end() ? 0 : it->second;
 }
 
 }  // namespace ufork

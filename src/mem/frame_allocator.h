@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <span>
 #include <vector>
@@ -22,6 +23,13 @@ namespace ufork {
 
 using FrameId = uint64_t;
 inline constexpr FrameId kInvalidFrame = ~0ULL;
+
+// Frame-accounting tenant (DESIGN.md §4.10). Every allocated frame is charged to the tenant
+// that was current at grant time; per-tenant caps turn one tenant's runaway allocation into
+// its own ENOMEM instead of fleet-wide exhaustion. Tenant 0 is the kernel/system tenant and
+// can never be capped.
+using TenantId = uint32_t;
+inline constexpr TenantId kSystemTenant = 0;
 
 class FrameAllocator {
  public:
@@ -72,6 +80,41 @@ class FrameAllocator {
   uint64_t peak_frames() const { return peak_frames_; }
   uint64_t total_allocations() const { return total_allocations_; }
 
+  // Watermark inputs (DESIGN.md §4.10): the admission controller keys off the free-frame
+  // count, which includes both recycled frames and never-grown slots.
+  uint64_t max_frames() const { return max_frames_; }
+  uint64_t free_frames() const { return max_frames_ - frames_in_use_; }
+
+  // --- per-tenant charging (DESIGN.md §4.10) ----------------------------------------------------
+  //
+  // The kernel stamps the current tenant at every kernel entry (SyscallScope) and fault
+  // resolution; each grant is charged to that tenant until the frame's last reference drops.
+  // AddRef does not re-charge: a CoW-shared frame stays billed to its allocator.
+
+  void set_current_tenant(TenantId tenant) { current_tenant_ = tenant; }
+  TenantId current_tenant() const { return current_tenant_; }
+
+  // Caps `tenant` at `max_frames` outstanding frames (0 = remove the cap). Grants beyond the
+  // cap fail with kErrNoMem and count in tenant_cap_rejections(). kSystemTenant is uncappable.
+  void SetTenantCap(TenantId tenant, uint64_t max_frames);
+
+  uint64_t TenantFrames(TenantId tenant) const;
+  bool tenant_caps_active() const { return !tenant_caps_.empty(); }
+  uint64_t tenant_cap_rejections() const { return tenant_cap_rejections_; }
+
+  // Invokes fn(tenant, frames) for every tenant with outstanding frames, in tenant order.
+  void ForEachTenant(const std::function<void(TenantId, uint64_t)>& fn) const {
+    for (const auto& [tenant, frames] : tenant_frames_) {
+      if (frames > 0) {
+        fn(tenant, frames);
+      }
+    }
+  }
+
+  // Hook invoked after a frame's last reference drops (the frame became free). The overload
+  // subsystem uses it to drain the backpressure queue; unset (the default) costs one branch.
+  void set_release_hook(std::function<void()> hook) { release_hook_ = std::move(hook); }
+
   // Invokes fn(id, refcount) for every live frame, in id order. Drives the frame-accounting
   // invariant checker (KernelCore::CheckFrameAccounting).
   void ForEachLive(const std::function<void(FrameId, uint32_t)>& fn) const {
@@ -91,6 +134,7 @@ class FrameAllocator {
   struct Slot {
     std::unique_ptr<Frame> frame;
     uint32_t refcount = 0;
+    TenantId tenant = kSystemTenant;  // billing owner while the slot is live
   };
 
   uint64_t max_frames_;
@@ -100,6 +144,11 @@ class FrameAllocator {
   uint64_t frames_in_use_ = 0;
   uint64_t peak_frames_ = 0;
   uint64_t total_allocations_ = 0;
+  TenantId current_tenant_ = kSystemTenant;
+  std::map<TenantId, uint64_t> tenant_frames_;  // outstanding frames per tenant
+  std::map<TenantId, uint64_t> tenant_caps_;    // grant-time ceilings (absent: uncapped)
+  uint64_t tenant_cap_rejections_ = 0;
+  std::function<void()> release_hook_;
 };
 
 }  // namespace ufork

@@ -479,5 +479,133 @@ TEST(Exhaustion, CowBreakAllocationFailureIsContainedToTheFaultingProcess) {
   }
 }
 
+// --- fault-around batch allocation (window > 1) ------------------------------------------------
+
+// Fixed 4-page windows so a single CoW store over a fork-shared MmapAnon area drives the
+// batched kFrameBatch allocation path deterministically (adaptive growth needs a warm-up
+// storm; fixed windows do not).
+KernelConfig WindowedConfig() {
+  KernelConfig config = SmallConfig();
+  config.fault_around.max_window = 4;
+  config.fault_around.adaptive = false;
+  return config;
+}
+
+const System kCowWindowSystems[] = {
+    {"ufork", [](KernelConfig c) { return MakeUforkKernel(c); }},
+    {"mas", [](KernelConfig c) { return MakeMasKernel(c, MasParams{}); }},
+};
+
+TEST(Exhaustion, MmapCowWindowBatchFailureDegradesToSinglePage) {
+  // The shared-window resolvers allocate the whole fault-around batch up front; if physical
+  // memory cannot cover it they must fall back to the single faulting page — the access
+  // SUCCEEDS, just without speculation — and the abandoned batch must leak nothing.
+  for (const System& system : kCowWindowSystems) {
+    SCOPED_TRACE(system.name);
+    auto kernel = system.make(WindowedConfig());
+    auto pid = kernel->Spawn(
+        MakeGuestEntry([](Guest& g) -> SimTask<void> {
+          auto area = co_await g.MmapAnon(4 * kPageSize);
+          CO_ASSERT_OK(area);
+          for (uint64_t i = 0; i < 4; ++i) {
+            CO_ASSERT_OK(g.Store<uint64_t>(*area, area->base() + i * kPageSize, 0xA0 + i));
+          }
+          const Capability shared = *area;
+          CO_ASSERT_OK(g.GotStore(kGotSlotFirstUser, shared));
+
+          auto child = co_await g.Fork([](Guest& cg) -> SimTask<void> {
+            // The GOT hands the child its OWN (relocated) view of the area — writing through
+            // the parent's capability would architecturally target the parent's pages.
+            auto mine = cg.GotLoad(kGotSlotFirstUser);
+            CO_ASSERT_OK(mine);
+            Kernel& k = cg.kernel();
+            const uint64_t copied0 = k.stats().pages_copied_on_fault;
+            // The 4-page batch fails once; the degraded single-page retry succeeds.
+            k.fault_injector().Arm(FaultSite::kFrameBatch, FaultPolicy::Nth(1));
+            CO_ASSERT_OK(cg.Store<uint64_t>(*mine, mine->base(), 0xB0));
+            k.fault_injector().DisarmAll();
+            CO_ASSERT_EQ(k.stats().pages_copied_on_fault, copied0 + 1);
+
+            // Pressure gone: the next fault window batches the remaining three pages.
+            CO_ASSERT_OK(cg.Store<uint64_t>(*mine, mine->base() + kPageSize, 0xB1));
+            CO_ASSERT_EQ(k.stats().pages_copied_on_fault, copied0 + 4);
+            for (uint64_t i = 2; i < 4; ++i) {
+              auto inherited = cg.Load<uint64_t>(*mine, mine->base() + i * kPageSize);
+              CO_ASSERT_OK(inherited);
+              CO_ASSERT_EQ(*inherited, 0xA0 + i);
+            }
+            co_await cg.Exit(0);
+          });
+          CO_ASSERT_OK(child);
+          auto waited = co_await g.Wait();
+          CO_ASSERT_OK(waited);
+          CO_ASSERT_EQ(waited->status, 0);
+
+          // The parent's view never moved, and its pages are still writable.
+          for (uint64_t i = 0; i < 4; ++i) {
+            auto v = g.Load<uint64_t>(shared, shared.base() + i * kPageSize);
+            CO_ASSERT_OK(v);
+            CO_ASSERT_EQ(*v, 0xA0 + i);
+          }
+          CO_ASSERT_OK(g.Store<uint64_t>(shared, shared.base(), 0xC0));
+        }),
+        "batch-oom");
+    ASSERT_TRUE(pid.ok());
+    kernel->Run();
+    EXPECT_EQ(kernel->LivePids().size(), 0u);
+    EXPECT_TRUE(kernel->CheckFrameAccounting().ok());
+  }
+}
+
+TEST(Exhaustion, MmapCowWindowExhaustionIsContainedToTheFaultingProcess) {
+  // Persistent pressure: the batch AND its single-page fallback fail. The error must surface
+  // to the faulting guest (SIGSEGV containment), with no frame leaked by either attempt and
+  // the parent's copies intact.
+  for (const System& system : kCowWindowSystems) {
+    SCOPED_TRACE(system.name);
+    auto kernel = system.make(WindowedConfig());
+    auto pid = kernel->Spawn(
+        MakeGuestEntry([](Guest& g) -> SimTask<void> {
+          auto area = co_await g.MmapAnon(4 * kPageSize);
+          CO_ASSERT_OK(area);
+          for (uint64_t i = 0; i < 4; ++i) {
+            CO_ASSERT_OK(g.Store<uint64_t>(*area, area->base() + i * kPageSize, 0xA0 + i));
+          }
+          const Capability shared = *area;
+          CO_ASSERT_OK(g.GotStore(kGotSlotFirstUser, shared));
+
+          auto child = co_await g.Fork([](Guest& cg) -> SimTask<void> {
+            auto mine = cg.GotLoad(kGotSlotFirstUser);
+            CO_ASSERT_OK(mine);
+            Kernel& k = cg.kernel();
+            const uint64_t frames0 = k.machine().frames().frames_in_use();
+            k.fault_injector().Arm(FaultSite::kFrameBatch, FaultPolicy::AfterBudget(0));
+            auto store = cg.Store<uint64_t>(*mine, mine->base(), 0xB0);
+            k.fault_injector().DisarmAll();
+            CO_ASSERT_TRUE(!store.ok());
+            CO_ASSERT_EQ(k.machine().frames().frames_in_use(), frames0);
+            co_await cg.RaiseFault(store.error());
+            ADD_FAILURE() << "default SIGSEGV disposition must terminate the μprocess";
+          });
+          CO_ASSERT_OK(child);
+          auto waited = co_await g.Wait();
+          CO_ASSERT_OK(waited);
+          CO_ASSERT_EQ(waited->status, 128 + kSigSegv);
+
+          for (uint64_t i = 0; i < 4; ++i) {
+            auto v = g.Load<uint64_t>(shared, shared.base() + i * kPageSize);
+            CO_ASSERT_OK(v);
+            CO_ASSERT_EQ(*v, 0xA0 + i);
+          }
+          CO_ASSERT_OK(g.Store<uint64_t>(shared, shared.base(), 0xC0));
+        }),
+        "batch-contained");
+    ASSERT_TRUE(pid.ok());
+    kernel->Run();
+    EXPECT_EQ(kernel->LivePids().size(), 0u);
+    EXPECT_TRUE(kernel->CheckFrameAccounting().ok());
+  }
+}
+
 }  // namespace
 }  // namespace ufork
