@@ -99,6 +99,7 @@ struct SystemConfig {
   uint64_t phys_mem_bytes = 3 * kGiB;
   double mas_allocator_dirty_fraction = 0.0;
   FaultAroundConfig fault_around;  // default: disabled (window=1), as in the calibrated figures
+  int host_shards = 1;  // >1: sharded multi-threaded host (DESIGN.md §4.11)
 };
 
 inline std::unique_ptr<Kernel> MakeSystem(const SystemConfig& sc) {
@@ -109,6 +110,7 @@ inline std::unique_ptr<Kernel> MakeSystem(const SystemConfig& sc) {
   config.isolation = sc.isolation;
   config.phys_mem_bytes = sc.phys_mem_bytes;
   config.fault_around = sc.fault_around;
+  config.host_shards = sc.host_shards;
   switch (sc.system) {
     case System::kUfork:
       return MakeUforkKernel(config);

@@ -102,6 +102,59 @@ BENCHMARK_CAPTURE(SimulatedFork, uFork, System::kUfork);
 BENCHMARK_CAPTURE(SimulatedFork, CheriBSD, System::kCheriBsd);
 BENCHMARK_CAPTURE(SimulatedFork, Nephele, System::kNephele);
 
+// --- ForkFleetThroughput ------------------------------------------------------------------------
+
+constexpr int kFleetRoots = 8;
+constexpr int kFleetForksPerRoot = 8;
+
+// The sharded-host scaling gate (DESIGN.md §4.11): an 8-root fork fleet, each root forking
+// and reaping children that dirty anonymous memory (CoW work on the shared machine). Arg is
+// the host shard count; `forks_per_hsec` is the wall-clock scaling figure check_regression.py
+// gates on (≥2.5× at 4 shards vs 1 on a ≥4-core host — on fewer cores the gate skips).
+// UseRealTime: shard workers burn CPU time in parallel; wall clock is the merit figure.
+void ForkFleetThroughput(::benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  SystemConfig sc;
+  sc.layout = HelloLayout();
+  sc.cores = 4;
+  sc.host_shards = shards;
+  for (auto _ : state) {
+    auto kernel = MakeSystem(sc);
+    for (int root = 0; root < kFleetRoots; ++root) {
+      auto pid = kernel->Spawn(MakeGuestEntry([](Guest& g) -> SimTask<void> {
+                                 for (int i = 0; i < kFleetForksPerRoot; ++i) {
+                                   auto child =
+                                       co_await g.Fork([](Guest& cg) -> SimTask<void> {
+                                         auto mapped = co_await cg.MmapAnon(4 * kPageSize);
+                                         UF_CHECK(mapped.ok());
+                                         for (uint64_t off = 0; off < 4 * kPageSize;
+                                              off += kPageSize) {
+                                           UF_CHECK(cg.Store<uint64_t>(
+                                                        *mapped, mapped->base() + off, off)
+                                                        .ok());
+                                         }
+                                         co_await cg.Exit(0);
+                                       });
+                                   UF_CHECK(child.ok());
+                                   auto waited = co_await g.Wait();
+                                   UF_CHECK(waited.ok());
+                                 }
+                               }),
+                               "fleet" + std::to_string(root));
+      UF_CHECK(pid.ok());
+    }
+    kernel->Run();
+  }
+  const auto total_forks =
+      static_cast<int64_t>(state.iterations()) * kFleetRoots * kFleetForksPerRoot;
+  state.SetItemsProcessed(total_forks);
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["forks_per_hsec"] =
+      ::benchmark::Counter(static_cast<double>(total_forks), ::benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(ForkFleetThroughput)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
 // --- CopaFaultResolution ------------------------------------------------------------------------
 
 constexpr uint64_t kCopaBlocks = 256;    // tagged chain spread over ~128 heap pages

@@ -21,7 +21,9 @@
 #define UFORK_SRC_BASE_FAULT_INJECTION_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string_view>
 
@@ -84,14 +86,19 @@ class FaultInjector {
   void DisarmAll();
 
   bool armed(FaultSite site) const { return SlotOf(site).armed; }
-  bool any_armed() const { return armed_count_ > 0; }
+  bool any_armed() const { return armed_count_.load(std::memory_order_relaxed) > 0; }
 
-  // The injection hook. With nothing armed this is one branch; armed sites count the hit and
-  // evaluate the policy. Never charges virtual cycles.
+  // The injection hook. With nothing armed this is one relaxed load and branch; armed sites
+  // count the hit and evaluate the policy under mu_ (shard workers share the injector, and a
+  // chaos soak must count every hit exactly once — DESIGN.md §4.11). Never charges virtual
+  // cycles. NOTE: with sites armed at shards>1, hit ORDER across shards follows host timing,
+  // so nth=K selects a host-timing-dependent victim; per-shard failure TOTALS under after=/
+  // prob= remain policy-driven.
   bool ShouldFail(FaultSite site) {
-    if (armed_count_ == 0) [[likely]] {
+    if (armed_count_.load(std::memory_order_relaxed) == 0) [[likely]] {
       return false;
     }
+    std::lock_guard<std::mutex> lk(mu_);
     return ShouldFailSlow(site);
   }
 
@@ -112,10 +119,12 @@ class FaultInjector {
   Slot& SlotOf(FaultSite site) { return slots_[static_cast<size_t>(site)]; }
   const Slot& SlotOf(FaultSite site) const { return slots_[static_cast<size_t>(site)]; }
 
-  bool ShouldFailSlow(FaultSite site);
+  bool ShouldFailSlow(FaultSite site);  // caller holds mu_
+  void DisarmLocked(FaultSite site);    // caller holds mu_
 
   std::array<Slot, kNumFaultSites> slots_{};
-  uint32_t armed_count_ = 0;
+  std::atomic<uint32_t> armed_count_{0};
+  std::mutex mu_;  // guards slots_ when any site is armed
 };
 
 }  // namespace ufork

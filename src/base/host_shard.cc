@@ -1,0 +1,7 @@
+#include "src/base/host_shard.h"
+
+namespace ufork {
+
+thread_local int tls_host_shard = -1;
+
+}  // namespace ufork

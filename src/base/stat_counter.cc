@@ -1,0 +1,7 @@
+#include "src/base/stat_counter.h"
+
+namespace ufork {
+
+std::atomic<uint32_t> StatCounter::concurrent_holders_{0};
+
+}  // namespace ufork

@@ -1,5 +1,7 @@
 #include "src/kernel/admission.h"
 
+#include <iterator>
+
 #include "src/base/check.h"
 #include "src/kernel/kernel_core.h"
 
@@ -7,7 +9,7 @@ namespace ufork {
 
 AdmissionController::AdmissionController(Scheduler& sched, FrameAllocator& frames,
                                          KernelStats& stats, const OverloadConfig& config)
-    : sched_(sched), frames_(frames), stats_(stats), queue_(sched) {
+    : sched_(sched), frames_(frames), stats_(stats) {
   Configure(config);
 }
 
@@ -17,51 +19,124 @@ void AdmissionController::Configure(const OverloadConfig& config) {
                      config.low_watermark <= config.clear_watermark,
                  "overload watermarks must satisfy critical <= low <= clear");
   }
+  std::lock_guard<std::mutex> lk(mu_);
   config_ = config;
   if (!config_.enabled) {
-    rejecting_ = false;
-    queue_.WakeAll();
+    rejecting_.store(false, std::memory_order_relaxed);
+    DrainLocked();
   }
 }
 
-void AdmissionController::UpdateState(uint64_t free) {
-  if (!rejecting_ && free < config_.low_watermark) {
-    rejecting_ = true;
+uint64_t AdmissionController::parked() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t total = 0;
+  for (const auto& [tenant, queue] : queues_) {
+    total += queue->size();
+  }
+  return total;
+}
+
+void AdmissionController::UpdateStateLocked(uint64_t free) {
+  const bool rejecting = rejecting_.load(std::memory_order_relaxed);
+  if (!rejecting && free < config_.low_watermark) {
+    rejecting_.store(true, std::memory_order_relaxed);
     ++stats_.admission_trips;
-  } else if (rejecting_ && free >= config_.clear_watermark) {
-    rejecting_ = false;
+  } else if (rejecting && free >= config_.clear_watermark) {
+    rejecting_.store(false, std::memory_order_relaxed);
   }
 }
 
 AdmissionController::Decision AdmissionController::Evaluate() {
   UF_DCHECK(config_.enabled);
+  std::lock_guard<std::mutex> lk(mu_);
   const uint64_t free = frames_.free_frames();
-  UpdateState(free);
-  if (!rejecting_) {
+  UpdateStateLocked(free);
+  if (!rejecting_.load(std::memory_order_relaxed)) {
     return Decision::kAdmit;
   }
-  if (free >= config_.critical_watermark && queue_.size() < config_.max_parked) {
+  uint64_t total_parked = 0;
+  for (const auto& [tenant, queue] : queues_) {
+    total_parked += queue->size();
+  }
+  if (free >= config_.critical_watermark && total_parked < config_.max_parked) {
     return Decision::kPark;
   }
   ++stats_.admission_rejected;
   return Decision::kReject;
 }
 
-SimTask<void> AdmissionController::ParkUntilDrained() {
+WaitQueue& AdmissionController::QueueForLocked(TenantId tenant) {
+  auto it = queues_.find(tenant);
+  if (it == queues_.end()) {
+    it = queues_.emplace(tenant, std::make_unique<WaitQueue>(sched_)).first;
+  }
+  return *it->second;
+}
+
+SimTask<void> AdmissionController::ParkUntilDrained(TenantId tenant) {
   ++stats_.admission_parked;
-  co_await queue_.Wait();
+  const Cycles parked_at = sched_.Now();
+  WaitQueue* queue;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue = &QueueForLocked(tenant);
+  }
+  co_await queue->Wait();
   ++stats_.admission_resumed;
+  // Measured frame-locally: a parked forker that is killed never resumes, never updates the
+  // max, and never leaves a dangling reference behind.
+  stats_.parked_wait_cycles_max.UpdateMax(sched_.Now() - parked_at);
+}
+
+WaitQueue* AdmissionController::NextNonEmptyLocked() {
+  if (queues_.empty()) {
+    return nullptr;
+  }
+  auto it = queues_.lower_bound(rr_cursor_);
+  for (size_t i = 0; i <= queues_.size(); ++i) {
+    if (it == queues_.end()) {
+      it = queues_.begin();
+    }
+    if (!it->second->empty()) {
+      auto next = std::next(it);
+      rr_cursor_ = next == queues_.end() ? 0 : next->first;
+      return it->second.get();
+    }
+    ++it;
+  }
+  return nullptr;
+}
+
+void AdmissionController::DrainLocked() {
+  // Aging drain: oldest-parked-first within a tenant (each queue is FIFO), one waiter per
+  // tenant per round-robin pass across tenants. Every parked forker is woken — the policy
+  // decides *order*, and order is what re-contention fairness hangs on: woken forkers
+  // re-Evaluate() in wake order, so under a pool that only partially recovered the RR
+  // interleave gives every tenant a shot before any tenant's second waiter.
+  for (WaitQueue* queue = NextNonEmptyLocked(); queue != nullptr;
+       queue = NextNonEmptyLocked()) {
+    queue->Wake(1);
+  }
 }
 
 void AdmissionController::OnFramesFreed() {
-  if (!rejecting_ || queue_.empty()) {
+  if (!rejecting_.load(std::memory_order_relaxed)) {
     return;
   }
-  UpdateState(frames_.free_frames());
-  if (!rejecting_) {
-    // Past the clear watermark: drain every parked forker. Each re-Evaluates on resume, so a
-    // thundering herd that dips the pool again simply re-parks (or rejects) in FIFO order.
-    queue_.WakeAll();
+  std::lock_guard<std::mutex> lk(mu_);
+  bool any_parked = false;
+  for (const auto& [tenant, queue] : queues_) {
+    if (!queue->empty()) {
+      any_parked = true;
+      break;
+    }
+  }
+  if (!any_parked) {
+    return;
+  }
+  UpdateStateLocked(frames_.free_frames());
+  if (!rejecting_.load(std::memory_order_relaxed)) {
+    DrainLocked();
   }
 }
 

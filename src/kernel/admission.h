@@ -14,18 +14,31 @@
 // The state machine is hysteretic: admission flips to REJECTING when the free count drops
 // below the low watermark and recovers only once it climbs back above the clear watermark
 // (clear >= low), so a fork/exit churn right at the threshold cannot make admission flap.
-// While REJECTING, would-be forkers either park on a FIFO wait queue (backpressure, bounded
-// by max_parked) that is drained as frames free, or — below the critical watermark, or when
-// the queue is full, or with parking disabled — fail immediately with EAGAIN.
+// While REJECTING, would-be forkers either park on a bounded backpressure queue (max_parked)
+// that is drained as frames free, or — below the critical watermark, or when the queue is
+// full, or with parking disabled — fail immediately with EAGAIN.
 //
-// Everything is virtual-time deterministic, and the whole subsystem is golden-pinned OFF by
-// default: with OverloadConfig::enabled == false, Evaluate() is never consulted and no
-// release hook is installed, leaving every virtual cycle bit-identical to the historical
-// kernel.
+// Drain policy (aging, replaces the original single-FIFO drain): parked forkers queue
+// per-tenant, FIFO within a tenant, and a recovery drains them oldest-parked-first *within*
+// each tenant while round-robining *across* tenants — a tenant that parks a thundering herd
+// can no longer starve a single parked forker from another tenant, because each RR pass
+// releases at most one waiter per tenant. The round-robin cursor persists across drains, so
+// fairness is long-run, not just per-recovery. KernelStats::parked_wait_cycles_max records
+// the worst park-to-resume latency in virtual cycles (aging observability).
+//
+// Everything is virtual-time deterministic at one host shard, and the whole subsystem is
+// golden-pinned OFF by default: with OverloadConfig::enabled == false, Evaluate() is never
+// consulted and no release hook is installed, leaving every virtual cycle bit-identical to
+// the historical kernel. All controller state is guarded by an internal host mutex: in
+// sharded-host mode (DESIGN.md §4.11) Evaluate/OnFramesFreed race from shard workers.
 #ifndef UFORK_SRC_KERNEL_ADMISSION_H_
 #define UFORK_SRC_KERNEL_ADMISSION_H_
 
+#include <atomic>
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 
 #include "src/base/status.h"
 #include "src/base/units.h"
@@ -44,7 +57,7 @@ struct OverloadConfig {
   uint64_t low_watermark = 0;     // free < low: stop admitting new μprocesses
   uint64_t critical_watermark = 0;  // free < critical: reject immediately, never park
   uint64_t clear_watermark = 0;   // admission recovers only at free >= clear (hysteresis)
-  uint64_t max_parked = 0;        // backpressure queue bound; 0 = pure-EAGAIN mode
+  uint64_t max_parked = 0;        // backpressure queue bound (total, all tenants); 0 = EAGAIN
 };
 
 class AdmissionController {
@@ -58,8 +71,8 @@ class AdmissionController {
   AdmissionController& operator=(const AdmissionController&) = delete;
 
   bool enabled() const { return config_.enabled; }
-  bool rejecting() const { return rejecting_; }
-  uint64_t parked() const { return queue_.size(); }
+  bool rejecting() const { return rejecting_.load(std::memory_order_relaxed); }
+  uint64_t parked() const;
   const OverloadConfig& config() const { return config_; }
 
   // Re-arms the watermarks at runtime (tests and benches size them against the measured
@@ -70,24 +83,35 @@ class AdmissionController {
   // one new μprocess creation. kReject is already counted in stats; the caller returns EAGAIN.
   Decision Evaluate();
 
-  // Backpressure: parks the calling thread on the drain queue until frames free up and
-  // admission recovers. The caller must NOT hold a kernel lock (SyscallScope::Leave first)
-  // and must re-Evaluate() after resuming — a woken forker re-contends like everyone else.
-  SimTask<void> ParkUntilDrained();
+  // Backpressure: parks the calling thread on its tenant's drain queue until frames free up
+  // and admission recovers. The caller must NOT hold a kernel lock (SyscallScope::Leave
+  // first) and must re-Evaluate() after resuming — a woken forker re-contends like everyone
+  // else. Parked threads that are killed never resume; their TCBs stay inspectable (the
+  // scheduler skips kDone waiters), so the queue needs no external cleanup.
+  SimTask<void> ParkUntilDrained(TenantId tenant);
 
   // Frame-release hook (wired by KernelCore when enabled): re-evaluates the watermarks and
-  // drains the park queue once the free count clears the hysteresis threshold.
+  // drains the park queues once the free count clears the hysteresis threshold.
   void OnFramesFreed();
 
  private:
-  void UpdateState(uint64_t free);
+  void UpdateStateLocked(uint64_t free);
+  WaitQueue& QueueForLocked(TenantId tenant);
+  // The next non-empty tenant queue at or after the RR cursor, advancing the cursor past the
+  // chosen tenant. Null when every queue is drained.
+  WaitQueue* NextNonEmptyLocked();
+  void DrainLocked();
 
   Scheduler& sched_;
   FrameAllocator& frames_;
   KernelStats& stats_;
   OverloadConfig config_;
-  WaitQueue queue_;          // parked would-be forkers, FIFO
-  bool rejecting_ = false;   // hysteresis state: true between low-crossing and clear-crossing
+  mutable std::mutex mu_;  // guards queues_, rr_cursor_, rejecting_ transitions, config_ swap
+  // Per-tenant park queues, FIFO within each (unique_ptr: WaitQueue owns a mutex and cannot
+  // move). Entries are never erased, so queue addresses stay stable across suspensions.
+  std::map<TenantId, std::unique_ptr<WaitQueue>> queues_;
+  TenantId rr_cursor_ = 0;  // drain resumes the round-robin at this tenant
+  std::atomic<bool> rejecting_{false};  // hysteresis state; atomic for lock-free observers
 };
 
 }  // namespace ufork

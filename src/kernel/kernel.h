@@ -57,6 +57,9 @@ class Kernel : public KernelCore {
     files_.vfs().set_fault_injector(&fault_injector_);
     set_kernel_frame_refs_provider(
         [this](const std::function<void(FrameId)>& fn) { ipc_.ForEachShmFrame(fn); });
+    // Sharded-host mode: SIGKILLs that cross shards are queued by ProcService::Kill and
+    // replayed here, on the epoch coordinator at the next barrier (DESIGN.md §4.11).
+    set_cross_shard_kill_handler([this](Pid pid) { procs_.KillCrossShard(pid); });
   }
 
   // --- services -------------------------------------------------------------------------------

@@ -10,11 +10,14 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "src/base/fault_injection.h"
+#include "src/base/stat_counter.h"
 #include "src/base/status.h"
 #include "src/cheri/capability.h"
 #include "src/kernel/admission.h"
@@ -27,6 +30,7 @@
 #include "src/mem/address_space.h"
 #include "src/mem/layout.h"
 #include "src/sched/scheduler.h"
+#include "src/sched/shard.h"
 #include "src/sched/sync.h"
 
 namespace ufork {
@@ -65,6 +69,12 @@ struct KernelConfig {
   // default: the golden-cycle pins cover the disabled configuration.
   OverloadConfig overload;
   CostModel costs;
+  // Sharded-host execution (DESIGN.md §4.11): partition the simulated cores across this many
+  // host worker threads. 1 (default) runs the historical single-threaded loop bit-identically.
+  // Requires cores % host_shards == 0 and a real lock mode (kUncontended has no mutual
+  // exclusion and is rejected at shards > 1).
+  int host_shards = 1;
+  Cycles shard_epoch_quantum = 50'000;  // virtual-time window per epoch barrier
 };
 
 struct WaitResult {
@@ -72,36 +82,39 @@ struct WaitResult {
   int status = 0;
 };
 
-// Aggregated kernel counters surfaced by benchmarks and tests.
+// Aggregated kernel counters surfaced by benchmarks and tests. Fields are StatCounters
+// (relaxed atomics reading/writing like plain uint64s) because shard workers increment them
+// concurrently in sharded-host mode; reads are taken at quiescent points.
 struct KernelStats {
-  uint64_t forks = 0;
-  uint64_t exits = 0;
-  uint64_t syscalls = 0;
-  uint64_t pages_copied_on_fault = 0;
-  uint64_t caps_relocated_on_fault = 0;
-  uint64_t caps_stripped = 0;  // out-of-region capabilities invalidated during relocation
-  uint64_t tocttou_copies = 0;
+  StatCounter forks;
+  StatCounter exits;
+  StatCounter syscalls;
+  StatCounter pages_copied_on_fault;
+  StatCounter caps_relocated_on_fault;
+  StatCounter caps_stripped;  // out-of-region capabilities invalidated during relocation
+  StatCounter tocttou_copies;
   // Fault-around accounting (DESIGN.md §4.8). Page-accounting invariant across backends:
   //   faults_taken + pages_resolved_by_faultaround == pages_copied_on_fault +
   //   pages_reclaimed_in_place.
-  uint64_t faults_taken = 0;                  // resolvable traps actually serviced
-  uint64_t pages_resolved_by_faultaround = 0; // extra pages resolved beyond the faulting one
-  uint64_t pages_reclaimed_in_place = 0;      // last-sharer pages reclaimed without a copy
-  uint64_t speculative_pages_wasted = 0;      // fault-around pages never touched afterwards
-  Cycles fault_cycles = 0;                    // virtual cycles spent in resolvable-fault
-                                              // handling (incl. the page_fault trap cost)
-  uint64_t regions_tombstoned = 0;  // regions kept reserved at exit (shared frames remain)
+  StatCounter faults_taken;                  // resolvable traps actually serviced
+  StatCounter pages_resolved_by_faultaround; // extra pages resolved beyond the faulting one
+  StatCounter pages_reclaimed_in_place;      // last-sharer pages reclaimed without a copy
+  StatCounter speculative_pages_wasted;      // fault-around pages never touched afterwards
+  StatCounter fault_cycles;                  // virtual cycles spent in resolvable-fault
+                                             // handling (incl. the page_fault trap cost)
+  StatCounter regions_tombstoned;  // regions kept reserved at exit (shared frames remain)
   // Overload control (DESIGN.md §4.10). All zero unless OverloadConfig::enabled.
-  uint64_t admission_trips = 0;     // ADMITTING -> REJECTING transitions (low watermark hit)
-  uint64_t admission_rejected = 0;  // fork/spawn refused with EAGAIN
-  uint64_t admission_parked = 0;    // would-be forkers parked on the backpressure queue
-  uint64_t admission_resumed = 0;   // parked forkers woken as frames freed
+  StatCounter admission_trips;     // ADMITTING -> REJECTING transitions (low watermark hit)
+  StatCounter admission_rejected;  // fork/spawn refused with EAGAIN
+  StatCounter admission_parked;    // would-be forkers parked on the backpressure queue
+  StatCounter admission_resumed;   // parked forkers woken as frames freed
+  StatCounter parked_wait_cycles_max;  // longest park (virtual cycles) any forker endured
   // Kernel entries per syscall id, indexed by Sys and incremented by SyscallScope::Enter.
   // Σ per_syscall == syscalls (delivery points such as check_signals enter no kernel section
   // and count in neither).
-  std::array<uint64_t, kNumSyscalls> per_syscall{};
+  std::array<StatCounter, kNumSyscalls> per_syscall{};
 
-  uint64_t& Count(Sys id) { return per_syscall[static_cast<size_t>(id)]; }
+  StatCounter& Count(Sys id) { return per_syscall[static_cast<size_t>(id)]; }
   uint64_t Count(Sys id) const { return per_syscall[static_cast<size_t>(id)]; }
 };
 
@@ -154,9 +167,26 @@ class KernelCore {
   Result<void> CheckFrameAccounting() const;
   void CheckFrameAccountingOrDie() const;
 
-  // The lock guarding `domain` under the configured mode (nullptr: lock-free kernel).
-  VirtualLock* DomainLock(LockDomain domain) { return locks_.Get(domain); }
+  // The VIRTUAL lock guarding `domain` under the configured mode (nullptr: lock-free kernel,
+  // or sharded-host mode — there kernel sections serialize on real host mutexes instead, and
+  // virtual-time lock contention is not modeled).
+  VirtualLock* DomainLock(LockDomain domain) {
+    return host_locks_ != nullptr ? nullptr : locks_.Get(domain);
+  }
   LockMode lock_mode() const { return locks_.mode(); }
+  // Host mutexes for kernel sections; non-null exactly when config.host_shards > 1.
+  HostLockDomainSet* host_locks() { return host_locks_.get(); }
+
+  // --- cross-shard process teardown (DESIGN.md §4.11) -----------------------------------------
+  //
+  // SIGKILL aimed at a μprocess pinned to another shard cannot destroy that μprocess's thread
+  // mid-epoch (its coroutine frame may be live on the other worker's stack). The sender queues
+  // the kill here; the scheduler's epoch-barrier hook delivers the queued kills while all
+  // workers are parked, via the handler Kernel installs (ProcService::KillUproc).
+  void QueueCrossShardKill(Pid pid);
+  void set_cross_shard_kill_handler(std::function<void(Pid)> handler) {
+    cross_shard_kill_ = std::move(handler);
+  }
 
   // Wakeup latency for threads blocked on IPC objects: on SMP this is a cross-core IPI plus
   // remote scheduler entry; on a single core it is just a run-queue insertion.
@@ -200,7 +230,7 @@ class KernelCore {
   void DestroyUprocShell(Uproc& uproc);
 
   // Drops a reaped (kDead) μprocess from the process table (ProcService::ReapZombie).
-  void EraseUproc(Pid pid) { uprocs_.erase(pid); }
+  void EraseUproc(Pid pid);
 
   // --- user-memory access ---------------------------------------------------------------------
 
@@ -234,6 +264,10 @@ class KernelCore {
   KernelCore(const KernelConfig& config, std::unique_ptr<ForkBackend> backend);
   ~KernelCore();
 
+  Uproc* FindUprocLocked(Pid pid);  // caller holds table_mu_
+  Pid NextPid();                    // caller holds table_mu_ exclusive
+  void DrainCrossShardKills();      // epoch-barrier hook (all workers parked)
+
   // The concrete Kernel layered on this core (KernelCore is only ever a Kernel base). Used to
   // hand the full syscall surface to μprocess entry functions.
   Kernel& AsKernel();
@@ -248,9 +282,25 @@ class KernelCore {
   LockDomainSet locks_;
   std::unique_ptr<ForkBackend> backend_;
 
+  // Process-table state. Shard workers create/look up/erase μprocesses concurrently, so the
+  // maps are guarded by table_mu_ (shared for the hot lookup paths, exclusive for mutation).
+  mutable std::shared_mutex table_mu_;
   std::map<Pid, std::unique_ptr<Uproc>> uprocs_;
   std::map<const PageTable*, Pid> pt_owners_;
-  Pid next_pid_ = 1;
+  // SAS region-base -> pid index: makes UprocByAddress one map probe instead of a process-table
+  // scan (it runs on every fault-side tenant lookup and relocation probe).
+  std::map<uint64_t, Pid> region_by_base_;
+  Pid next_pid_ = 1;  // 1-shard mode: sequential pids, bit-identical to the historical kernel
+  // Sharded mode: shard s draws pids s+1, s+1+N, s+1+2N, ... — globally unique and dependent
+  // only on that shard's deterministic execution order, never on host interleaving.
+  std::vector<Pid> shard_next_pid_;
+  std::unique_ptr<HostLockDomainSet> host_locks_;  // non-null when host_shards > 1
+  // Held while sharded so StatCounter updates are real RMWs; single-shard kernels leave
+  // counters on the plain load/store fast path.
+  std::unique_ptr<StatCounter::ConcurrentModeHolder> stat_concurrency_;
+  std::mutex kill_mu_;
+  std::vector<Pid> pending_cross_shard_kills_;
+  std::function<void(Pid)> cross_shard_kill_;
   KernelStats stats_;
   FaultInjector fault_injector_;
   AdmissionController admission_;

@@ -22,9 +22,13 @@ PipeEnd::PipeEnd(std::shared_ptr<Pipe> pipe, bool is_writer)
   }
 }
 
-void PipeEnd::OnDup() { ++refs_; }
+void PipeEnd::OnDup() {
+  std::lock_guard<std::mutex> lk(pipe_->state_mu_);
+  ++refs_;
+}
 
 void PipeEnd::OnClose() {
+  std::lock_guard<std::mutex> lk(pipe_->state_mu_);
   UF_CHECK(refs_ > 0);
   if (--refs_ > 0) {
     return;
@@ -40,6 +44,10 @@ void PipeEnd::OnClose() {
   }
 }
 
+// Both transfer loops follow the condvar protocol: check-and-mutate the ring under state_mu_;
+// when the transfer must block, register in the wait queue BEFORE dropping the lock (so the
+// peer that changes the state afterwards cannot miss the registration), then suspend unlocked
+// — a host mutex must never be held across a coroutine suspension.
 SimTask<Result<int64_t>> PipeEnd::Read(std::span<std::byte> out) {
   if (is_writer_) {
     co_return Error{Code::kErrBadFd, "read on pipe write end"};
@@ -48,20 +56,25 @@ SimTask<Result<int64_t>> PipeEnd::Read(std::span<std::byte> out) {
     co_return 0;
   }
   Pipe& p = *pipe_;
-  while (p.Available() == 0) {
+  for (;;) {
+    std::unique_lock<std::mutex> lk(p.state_mu_);
+    if (p.Available() > 0) {
+      const uint64_t n = std::min<uint64_t>(out.size(), p.Available());
+      for (uint64_t i = 0; i < n; ++i) {
+        out[i] = p.buffer_[(p.head_ + i) % p.buffer_.size()];
+      }
+      p.head_ = (p.head_ + n) % p.buffer_.size();
+      p.fill_ -= n;
+      p.writers_wq_.WakeAll();
+      co_return static_cast<int64_t>(n);
+    }
     if (p.writer_refs_ == 0) {
       co_return 0;  // EOF
     }
-    co_await p.readers_wq_.Wait();
+    auto wait = p.readers_wq_.PrepareWait();
+    lk.unlock();
+    co_await wait;
   }
-  const uint64_t n = std::min<uint64_t>(out.size(), p.Available());
-  for (uint64_t i = 0; i < n; ++i) {
-    out[i] = p.buffer_[(p.head_ + i) % p.buffer_.size()];
-  }
-  p.head_ = (p.head_ + n) % p.buffer_.size();
-  p.fill_ -= n;
-  p.writers_wq_.WakeAll();
-  co_return static_cast<int64_t>(n);
 }
 
 SimTask<Result<int64_t>> PipeEnd::Write(std::span<const std::byte> in) {
@@ -71,11 +84,14 @@ SimTask<Result<int64_t>> PipeEnd::Write(std::span<const std::byte> in) {
   Pipe& p = *pipe_;
   uint64_t written = 0;
   while (written < in.size()) {
+    std::unique_lock<std::mutex> lk(p.state_mu_);
     if (p.reader_refs_ == 0) {
       co_return Error{Code::kErrPipe, "write on pipe with no readers"};
     }
     if (p.Space() == 0) {
-      co_await p.writers_wq_.Wait();
+      auto wait = p.writers_wq_.PrepareWait();
+      lk.unlock();
+      co_await wait;
       continue;
     }
     if (p.injector_ != nullptr && p.injector_->ShouldFail(FaultSite::kPipeGrow)) {

@@ -34,6 +34,12 @@ SimTask<Result<void>> SyscallScope::Enter() {
   lock_ = core_.DomainLock(desc_.domain);
   if (lock_ != nullptr) {
     co_await lock_->Acquire();
+  } else if ((host_locks_ = core_.host_locks()) != nullptr) {
+    // Sharded host: kernel sections serialize on a real mutex, keyed to the executing
+    // simulated thread so the release below can assert same-thread ownership. Blocking on a
+    // host mutex parks the WORKER, not the coroutine — legal because kernel sections never
+    // suspend while holding (blocking syscalls Leave() first).
+    host_locks_->Lock(desc_.domain, core_.sched().Current().tid());
   }
   // Frame grants made inside this kernel section bill to the caller's tenant (§4.10). Pure
   // host-side bookkeeping: no charge, no virtual-time effect.
@@ -55,6 +61,8 @@ SimTask<void> SyscallScope::Reacquire() {
   UF_CHECK_MSG(entered_ && !open_, "Reacquire without a preceding Leave");
   if (lock_ != nullptr) {
     co_await lock_->Acquire();
+  } else if (host_locks_ != nullptr) {
+    host_locks_->Lock(desc_.domain, core_.sched().Current().tid());
   }
   open_ = true;
 }
@@ -65,6 +73,10 @@ void SyscallScope::ChargeExitAndRelease() {
   core_.machine().Charge(core_.costs().SyscallEntry(core_.backend().syscall_kind()) / 2);
   if (lock_ != nullptr) {
     lock_->Release();  // owner-checked: catches a scope leaked to a foreign thread
+  } else if (host_locks_ != nullptr) {
+    // Owner-checked against the executing simulated thread: a scope destroyed from a foreign
+    // thread (leaked coroutine frame) dies here rather than silently unlocking.
+    host_locks_->Unlock(desc_.domain, core_.sched().Current().tid());
   }
   open_ = false;
   if (core_.config().check_frame_invariants) [[unlikely]] {

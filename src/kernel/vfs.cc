@@ -17,6 +17,7 @@ Result<std::shared_ptr<OpenFile>> RamFs::Open(const std::string& path, uint32_t 
     it = inodes_.emplace(path, std::make_shared<Inode>()).first;
   }
   if ((flags & kOpenTrunc) != 0 && (flags & kOpenWrite) != 0) {
+    std::lock_guard<std::mutex> lk(it->second->mu);
     it->second->data.clear();
   }
   return std::static_pointer_cast<OpenFile>(
@@ -45,6 +46,7 @@ Result<uint64_t> RamFs::FileSize(const std::string& path) const {
   if (it == inodes_.end()) {
     return Error{Code::kErrNoEnt, "stat: no such file"};
   }
+  std::lock_guard<std::mutex> lk(it->second->mu);
   return it->second->data.size();
 }
 
@@ -60,6 +62,7 @@ std::vector<std::string> RamFs::List() const {
 uint64_t RamFs::TotalBytes() const {
   uint64_t total = 0;
   for (const auto& [name, inode] : inodes_) {
+    std::lock_guard<std::mutex> lk(inode->mu);
     total += inode->data.size();
   }
   return total;
@@ -69,6 +72,7 @@ SimTask<Result<int64_t>> RamFileHandle::Read(std::span<std::byte> out) {
   if ((flags_ & kOpenRead) == 0) {
     co_return Error{Code::kErrBadFd, "read on write-only file"};
   }
+  std::lock_guard<std::mutex> lk(inode_->mu);
   const uint64_t size = inode_->data.size();
   if (offset_ >= size) {
     co_return 0;  // EOF
@@ -83,6 +87,7 @@ SimTask<Result<int64_t>> RamFileHandle::Write(std::span<const std::byte> in) {
   if ((flags_ & kOpenWrite) == 0) {
     co_return Error{Code::kErrBadFd, "write on read-only file"};
   }
+  std::lock_guard<std::mutex> lk(inode_->mu);
   if ((flags_ & kOpenAppend) != 0) {
     offset_ = inode_->data.size();
   }
@@ -105,6 +110,7 @@ SimTask<Result<int64_t>> RamFileHandle::Write(std::span<const std::byte> in) {
 }
 
 Result<int64_t> RamFileHandle::Seek(int64_t offset, int whence) {
+  std::lock_guard<std::mutex> lk(inode_->mu);
   int64_t base = 0;
   switch (whence) {
     case kSeekSet:

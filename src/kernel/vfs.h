@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,10 @@ inline constexpr uint64_t kVfsBlockSize = 4096;
 class RamFs {
  public:
   struct Inode {
+    // Guards data: handles to the same inode can live on different shard workers, and the
+    // transfer runs outside the kFile domain lock (FileService leaves the kernel section
+    // before an operation that may block). Host-only — no virtual-time effect.
+    mutable std::mutex mu;
     std::vector<std::byte> data;
     uint64_t link_count = 1;
   };

@@ -38,9 +38,9 @@ Result<Pte> Machine::TranslateForAccess(PageTable& pt, uint64_t page_va, uint64_
     info.page_table = &pt;
     Charge(costs_.page_fault);
     if (!perm_ok && (pte->flags & kPteCow) != 0) {
-      ++cow_faults_;
+      cow_faults_.fetch_add(1, std::memory_order_relaxed);
     } else {
-      ++cap_load_faults_;
+      cap_load_faults_.fetch_add(1, std::memory_order_relaxed);
     }
     UF_RETURN_IF_ERROR(fault_resolver_(info));
     // Retry with the updated mapping.
@@ -107,8 +107,10 @@ Result<void> Machine::Fill(PageTable& pt, const Capability& auth, uint64_t va, u
 
 Result<void> Machine::Copy(PageTable& pt, const Capability& dst_auth, uint64_t dst,
                            const Capability& src_auth, uint64_t src, uint64_t size) {
-  // Chunked through the per-machine bounce buffer; real guests use memcpy which the bulk cost
-  // models. The buffer grows to the high-water chunk size once and is reused ever after.
+  // Chunked through a per-host-thread bounce buffer; real guests use memcpy which the bulk
+  // cost models. The buffer grows to the high-water chunk size once per worker and is reused
+  // ever after — thread_local because shard workers copy concurrently through one machine.
+  static thread_local std::vector<std::byte> copy_scratch_;
   const uint64_t chunk_cap = std::min<uint64_t>(size, 64 * kKiB);
   if (copy_scratch_.size() < chunk_cap) {
     copy_scratch_.resize(chunk_cap);

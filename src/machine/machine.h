@@ -13,6 +13,7 @@
 #ifndef UFORK_SRC_MACHINE_MACHINE_H_
 #define UFORK_SRC_MACHINE_MACHINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <span>
@@ -110,9 +111,12 @@ class Machine {
   void KernelStoreCap(PageTable& pt, uint64_t va, const Capability& value);
   Result<Capability> KernelLoadCap(PageTable& pt, uint64_t va);
 
-  // Accounting: total resolvable faults serviced, by kind.
-  uint64_t cow_faults() const { return cow_faults_; }
-  uint64_t cap_load_faults() const { return cap_load_faults_; }
+  // Accounting: total resolvable faults serviced, by kind. Atomic: shard workers fault
+  // concurrently through the one shared machine (DESIGN.md §4.11).
+  uint64_t cow_faults() const { return cow_faults_.load(std::memory_order_relaxed); }
+  uint64_t cap_load_faults() const {
+    return cap_load_faults_.load(std::memory_order_relaxed);
+  }
 
  private:
   // Translates, checks page permissions, and resolves CoW/CoPA faults. Returns the PTE.
@@ -124,12 +128,8 @@ class Machine {
   CostModel costs_;
   std::function<void(Cycles)> cycle_sink_;
   FaultResolver fault_resolver_;
-  uint64_t cow_faults_ = 0;
-  uint64_t cap_load_faults_ = 0;
-  // Bounce buffer for Copy(): guest-to-guest copies run chunk-by-chunk through here. A member
-  // (rather than a per-call vector) so redis-save style loops do not allocate 64 KiB per call.
-  // Safe to reuse: Copy never suspends, and the machine services one access at a time.
-  std::vector<std::byte> copy_scratch_;
+  std::atomic<uint64_t> cow_faults_{0};
+  std::atomic<uint64_t> cap_load_faults_{0};
 };
 
 }  // namespace ufork

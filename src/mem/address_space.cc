@@ -12,7 +12,10 @@ AddressSpace::AddressSpace(uint64_t lo, uint64_t hi) : lo_(lo), hi_(hi) {
   free_.emplace(lo, hi - lo);
 }
 
-void AddressSpace::EnableAslr(uint64_t seed) { aslr_rng_.emplace(seed); }
+void AddressSpace::EnableAslr(uint64_t seed) {
+  auto lk = WriteLock();
+  aslr_rng_.emplace(seed);
+}
 
 Result<uint64_t> AddressSpace::AllocateRegion(uint64_t size, uint64_t align) {
   UF_CHECK(IsPowerOfTwo(align) && align >= kPageSize);
@@ -24,6 +27,7 @@ Result<uint64_t> AddressSpace::AllocateRegion(uint64_t size, uint64_t align) {
     // POSIX reports address-space exhaustion on fork/spawn/mmap as ENOMEM.
     return Error{Code::kErrNoMem, "address space exhausted (injected)"};
   }
+  auto lk = WriteLock();
   for (auto it = free_.begin(); it != free_.end(); ++it) {
     const uint64_t block_base = it->first;
     const uint64_t block_size = it->second;
@@ -59,6 +63,7 @@ Result<uint64_t> AddressSpace::AllocateRegionAt(uint64_t base, uint64_t size) {
   if (injector_ != nullptr && injector_->ShouldFail(FaultSite::kCompactTarget)) {
     return Error{Code::kErrNoSpc, "target range not free (injected)"};
   }
+  auto lk = WriteLock();
   // Find the free block containing [base, base+size).
   auto it = free_.upper_bound(base);
   if (it == free_.begin()) {
@@ -83,6 +88,7 @@ Result<uint64_t> AddressSpace::AllocateRegionAt(uint64_t base, uint64_t size) {
 
 std::optional<uint64_t> AddressSpace::FirstFitBase(uint64_t size, uint64_t align) const {
   size = AlignUp(size, kPageSize);
+  auto lk = ReadLock();
   for (const auto& [block_base, block_size] : free_) {
     const uint64_t aligned = AlignUp(block_base, align);
     if (aligned + size <= block_base + block_size && aligned + size >= aligned) {
@@ -93,6 +99,7 @@ std::optional<uint64_t> AddressSpace::FirstFitBase(uint64_t size, uint64_t align
 }
 
 void AddressSpace::FreeRegion(uint64_t base) {
+  auto lk = WriteLock();
   auto it = allocated_.find(base);
   UF_CHECK_MSG(it != allocated_.end(), "freeing an unallocated region");
   const uint64_t size = it->second;
@@ -119,6 +126,7 @@ void AddressSpace::InsertFree(uint64_t base, uint64_t size) {
 }
 
 std::optional<uint64_t> AddressSpace::RegionContaining(uint64_t addr) const {
+  auto lk = ReadLock();
   auto it = allocated_.upper_bound(addr);
   if (it == allocated_.begin()) {
     return std::nullopt;
@@ -132,6 +140,7 @@ std::optional<uint64_t> AddressSpace::RegionContaining(uint64_t addr) const {
 
 std::optional<std::pair<uint64_t, uint64_t>> AddressSpace::RegionContainingWithSize(
     uint64_t addr) const {
+  auto lk = ReadLock();
   auto it = allocated_.upper_bound(addr);
   if (it == allocated_.begin()) {
     return std::nullopt;
@@ -144,6 +153,7 @@ std::optional<std::pair<uint64_t, uint64_t>> AddressSpace::RegionContainingWithS
 }
 
 std::optional<uint64_t> AddressSpace::RegionSize(uint64_t base) const {
+  auto lk = ReadLock();
   auto it = allocated_.find(base);
   if (it == allocated_.end()) {
     return std::nullopt;
@@ -153,6 +163,7 @@ std::optional<uint64_t> AddressSpace::RegionSize(uint64_t base) const {
 
 AddressSpaceStats AddressSpace::Stats() const {
   AddressSpaceStats stats;
+  auto lk = ReadLock();
   stats.total_bytes = hi_ - lo_;
   stats.region_count = allocated_.size();
   for (const auto& [base, size] : free_) {

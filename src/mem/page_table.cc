@@ -6,10 +6,23 @@
 
 namespace ufork {
 
+// Node pointers are atomics so shard workers can walk and extend the shared radix tree
+// concurrently (DESIGN.md §4.11): missing nodes are installed with compare-exchange (the
+// loser frees its node and adopts the winner's), and readers load with acquire so a published
+// node's storage is visible. Individual Pte slots need no atomics — each guest page belongs
+// to one μprocess, and μprocesses are pinned to shards, so two host threads never race on
+// the same PTE; only interior-node creation is cross-shard.
 struct PageTable::Table {
   // Interior levels use children; the leaf level uses ptes. Allocated lazily.
-  std::array<std::unique_ptr<Table>, kFanout> children;
-  std::unique_ptr<std::array<Pte, kFanout>> ptes;
+  std::array<std::atomic<Table*>, kFanout> children{};
+  std::atomic<std::array<Pte, kFanout>*> ptes{nullptr};
+
+  ~Table() {
+    for (auto& child : children) {
+      delete child.load(std::memory_order_relaxed);
+    }
+    delete ptes.load(std::memory_order_relaxed);
+  }
 };
 
 PageTable::PageTable() : root_(std::make_unique<Table>()), node_count_(1) {}
@@ -19,40 +32,55 @@ Pte* PageTable::Walk(uint64_t va, bool create) {
   UF_DCHECK(va < kVaTop);
   Table* t = root_.get();
   for (int level = 0; level < kLevels - 1; ++level) {
-    auto& child = t->children[IndexAt(va, level)];
+    auto& slot = t->children[IndexAt(va, level)];
+    Table* child = slot.load(std::memory_order_acquire);
     if (child == nullptr) {
       if (!create) {
         return nullptr;
       }
-      child = std::make_unique<Table>();
-      ++node_count_;
+      Table* fresh = new Table();
+      if (slot.compare_exchange_strong(child, fresh, std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+        child = fresh;
+        ++node_count_;
+      } else {
+        delete fresh;  // another shard installed the node first
+      }
     }
-    t = child.get();
+    t = child;
   }
-  if (t->ptes == nullptr) {
+  auto* ptes = t->ptes.load(std::memory_order_acquire);
+  if (ptes == nullptr) {
     if (!create) {
       return nullptr;
     }
-    t->ptes = std::make_unique<std::array<Pte, kFanout>>();
-    ++node_count_;
+    auto* fresh = new std::array<Pte, kFanout>();
+    if (t->ptes.compare_exchange_strong(ptes, fresh, std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+      ptes = fresh;
+      ++node_count_;
+    } else {
+      delete fresh;
+    }
   }
-  return &(*t->ptes)[IndexAt(va, kLevels - 1)];
+  return &(*ptes)[IndexAt(va, kLevels - 1)];
 }
 
 const Pte* PageTable::WalkConst(uint64_t va) const {
   UF_DCHECK(va < kVaTop);
   const Table* t = root_.get();
   for (int level = 0; level < kLevels - 1; ++level) {
-    const auto& child = t->children[IndexAt(va, level)];
+    const Table* child = t->children[IndexAt(va, level)].load(std::memory_order_acquire);
     if (child == nullptr) {
       return nullptr;
     }
-    t = child.get();
+    t = child;
   }
-  if (t->ptes == nullptr) {
+  const auto* ptes = t->ptes.load(std::memory_order_acquire);
+  if (ptes == nullptr) {
     return nullptr;
   }
-  return &(*t->ptes)[IndexAt(va, kLevels - 1)];
+  return &(*ptes)[IndexAt(va, kLevels - 1)];
 }
 
 void PageTable::Map(uint64_t va, FrameId frame, uint32_t flags) {
@@ -70,7 +98,7 @@ FrameId PageTable::Unmap(uint64_t va) {
   const FrameId frame = pte->frame;
   pte->frame = kInvalidFrame;
   pte->flags = 0;
-  --mapped_pages_;
+  mapped_pages_ -= 1;
   return frame;
 }
 
@@ -128,7 +156,7 @@ void PageTable::ForEachMapped(uint64_t lo, uint64_t hi,
     for (int level = 0; level < kLevels - 1; ++level) {
       const int shift = 12 + kBitsPerLevel * (kLevels - 1 - level);
       skip = 1ULL << shift;
-      Table* child = t->children[IndexAt(va, level)].get();
+      Table* child = t->children[IndexAt(va, level)].load(std::memory_order_acquire);
       if (child == nullptr) {
         missing = true;
         break;
@@ -139,14 +167,15 @@ void PageTable::ForEachMapped(uint64_t lo, uint64_t hi,
       va = AlignDown(va, skip) + skip;
       continue;
     }
-    if (t->ptes == nullptr) {
+    auto* ptes = t->ptes.load(std::memory_order_acquire);
+    if (ptes == nullptr) {
       va = AlignDown(va, kPageSize * kFanout) + kPageSize * kFanout;
       continue;
     }
     // Scan the leaf table from the current index to its end.
     uint64_t idx = IndexAt(va, kLevels - 1);
     for (; idx < kFanout && va < hi; ++idx, va += kPageSize) {
-      Pte& pte = (*t->ptes)[idx];
+      Pte& pte = (*ptes)[idx];
       if (pte.frame != kInvalidFrame) {
         fn(va, pte);
       }

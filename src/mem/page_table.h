@@ -14,12 +14,14 @@
 #define UFORK_SRC_MEM_PAGE_TABLE_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <span>
 
+#include "src/base/stat_counter.h"
 #include "src/base/status.h"
 #include "src/mem/frame_allocator.h"
 
@@ -84,9 +86,9 @@ class PageTable {
 
   uint64_t CountMapped(uint64_t lo, uint64_t hi) const;
 
-  uint64_t mapped_pages() const { return mapped_pages_; }
+  uint64_t mapped_pages() const { return mapped_pages_.value(); }
   // Number of radix nodes allocated — the "page table memory" a real kernel would spend.
-  uint64_t node_count() const { return node_count_; }
+  uint64_t node_count() const { return node_count_.value(); }
 
  private:
   static constexpr int kLevels = 4;
@@ -104,8 +106,9 @@ class PageTable {
   const Pte* WalkConst(uint64_t va) const;
 
   std::unique_ptr<Table> root_;
-  uint64_t mapped_pages_ = 0;
-  uint64_t node_count_ = 0;
+  // StatCounters: locked RMWs only while a sharded host is live (hot on fork map/unmap).
+  StatCounter mapped_pages_{0};
+  StatCounter node_count_{0};
 };
 
 }  // namespace ufork

@@ -1,0 +1,44 @@
+// Shard configuration and the deterministic μprocess placement policy (DESIGN.md §4.11).
+//
+// A sharded scheduler splits its simulated cores into N disjoint shards, each driven by one
+// host worker thread. Placement of a new μprocess thread onto a shard must be a pure function
+// of guest-visible state — never of host timing — or two runs of the same seed would put the
+// same pid on different shards and diverge. The policy here hashes the pid (itself allocated
+// from per-shard strides, so pids are deterministic too) through SplitMix64.
+#ifndef UFORK_SRC_SCHED_SHARD_H_
+#define UFORK_SRC_SCHED_SHARD_H_
+
+#include <cstdint>
+
+#include "src/base/units.h"
+
+namespace ufork {
+
+struct ShardConfig {
+  int shards = 1;  // 1: the historical single-host-thread scheduler, bit-identical
+  // Epoch length added on top of the earliest pending slice start when computing the next
+  // horizon. Larger quanta amortize barrier crossings; smaller quanta tighten cross-shard
+  // event latency (events are delivered only at epoch boundaries).
+  Cycles epoch_quantum = 50'000;
+};
+
+// SplitMix64 finalizer: cheap, well-mixed, deterministic across platforms.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d4ecb9aebcb5abULL;
+  return x ^ (x >> 31);
+}
+
+// Deterministic shard placement for a μprocess keyed on its pid.
+inline int ShardOfPid(int64_t pid, int shards) {
+  if (shards <= 1) {
+    return 0;
+  }
+  return static_cast<int>(SplitMix64(static_cast<uint64_t>(pid)) %
+                          static_cast<uint64_t>(shards));
+}
+
+}  // namespace ufork
+
+#endif  // UFORK_SRC_SCHED_SHARD_H_

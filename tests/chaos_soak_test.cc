@@ -35,6 +35,20 @@ constexpr int kIterations = 3;
 constexpr int kWorkerFailedExit = 42;  // a worker saw an injected errno and bailed out
 constexpr double kFailureProbability = 0.02;
 
+// Sharded-host soak (DESIGN.md §4.11, the CI TSan job): UFORK_SOAK_SHARDS=N runs the same
+// storm on N concurrent shard workers. Fault-site hit order then follows host timing, so the
+// per-seed replay equality below is shards=1-only; the sharded soak proves containment and
+// leak-freedom under real host concurrency instead.
+int SoakShards() {
+  if (const char* s = std::getenv("UFORK_SOAK_SHARDS"); s != nullptr) {
+    const int shards = std::atoi(s);
+    if (shards > 1) {
+      return shards;
+    }
+  }
+  return 1;
+}
+
 KernelConfig SoakConfig() {
   KernelConfig config;
   config.layout.text_size = 32 * kKiB;
@@ -45,7 +59,10 @@ KernelConfig SoakConfig() {
   config.layout.stack_size = 32 * kKiB;
   config.layout.tls_size = 4 * kKiB;
   config.layout.mmap_size = 64 * kKiB;
-  config.check_frame_invariants = true;
+  config.host_shards = SoakShards();
+  // The per-syscall-exit frame-accounting walk is race-free only with one shard; the
+  // post-run check in RunSoak (all shards quiescent) still runs either way.
+  config.check_frame_invariants = config.host_shards == 1;
   return config;
 }
 
@@ -229,11 +246,16 @@ void SoakSystem(const char* name, KernelFactory make) {
   for (const uint64_t seed : seeds) {
     SCOPED_TRACE("seed " + std::to_string(seed));
     const SoakRun first = RunSoak(make, seed);
-    const SoakRun replay = RunSoak(make, seed);
-    EXPECT_EQ(first.completion, replay.completion)
-        << "chaos run is not a pure function of the seed";
-    EXPECT_EQ(first.failures_injected, replay.failures_injected);
-    ExpectStatsEq(first.stats, replay.stats, seed);
+    if (SoakShards() == 1) {
+      // Replay bit-identity is a single-shard property: with concurrent shard workers the
+      // injector's hit order — and therefore which μprocess a probabilistic policy strikes —
+      // follows host timing. RunSoak's containment and leak checks hold at any shard count.
+      const SoakRun replay = RunSoak(make, seed);
+      EXPECT_EQ(first.completion, replay.completion)
+          << "chaos run is not a pure function of the seed";
+      EXPECT_EQ(first.failures_injected, replay.failures_injected);
+      ExpectStatsEq(first.stats, replay.stats, seed);
+    }
     total_failures += first.failures_injected;
     total_forks += first.stats.forks;
     total_syscalls += first.stats.syscalls;

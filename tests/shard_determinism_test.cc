@@ -1,0 +1,315 @@
+// Shard-determinism matrix (DESIGN.md §4.11).
+//
+// The sharded host's contract: for a fixed workload, every *guest-visible* outcome — exit
+// codes, pipe and message-queue payloads, syscall counts — is identical whether the machine
+// runs on 1, 2 or 4 host shards, across all three systems (μFork, MAS, VM-clone). Virtual
+// cycle totals are NOT compared at shards > 1: CoW copy-vs-claim refcount races legitimately
+// move a bounded amount of copy work between processes (the golden-cycle pins stay
+// shards=1-only). PIDs are also excluded — pid allocation strides per shard, so the same
+// logical child draws different pids at different shard counts.
+//
+// The stress tests drive the cross-shard machinery hard: pipe ping-pong between parents and
+// children that placement scatters across shards, a many-producer message-queue fan-in, and
+// barrier-deferred cross-shard SIGKILL followed by wait/reap. These run under the CI
+// ThreadSanitizer job (UFORK_SANITIZE=thread) at shards=4.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/baseline/system.h"
+#include "src/guest/guest.h"
+#include "src/kernel/syscall_table.h"
+#include "tests/guest_test_util.h"
+
+namespace ufork {
+namespace {
+
+constexpr int kRoots = 4;
+constexpr int kChildrenPerRoot = 3;
+constexpr uint64_t kPayloadBytes = 32;
+
+KernelConfig DetConfig(int shards) {
+  KernelConfig config;
+  config.cores = 4;  // divisible by every shard count in the matrix
+  config.host_shards = shards;
+  config.layout.heap_size = 1 * kMiB;
+  return config;
+}
+
+// Everything guest-visible one run produces. Multisets: arrival order across shards follows
+// host timing; contents may not.
+struct RunOutcome {
+  std::multiset<int> exit_codes;
+  std::multiset<std::string> pipe_payloads;
+  std::multiset<std::string> mq_payloads;
+  uint64_t forks = 0;
+  uint64_t exits = 0;
+  uint64_t syscalls = 0;
+  std::array<uint64_t, kNumSyscalls> per_syscall{};
+};
+
+// Host-side collector shared by every root's coroutine; guest code runs on concurrent shard
+// workers, so insertions are mutex-guarded.
+struct Collector {
+  std::mutex mu;
+  RunOutcome out;
+
+  void RecordExit(int code) {
+    std::lock_guard<std::mutex> lk(mu);
+    out.exit_codes.insert(code);
+  }
+  void RecordPipe(std::string payload) {
+    std::lock_guard<std::mutex> lk(mu);
+    out.pipe_payloads.insert(std::move(payload));
+  }
+  void RecordMq(std::string payload) {
+    std::lock_guard<std::mutex> lk(mu);
+    out.mq_payloads.insert(std::move(payload));
+  }
+};
+
+std::string PaddedPayload(const std::string& prefix, int slot) {
+  std::string s = prefix + std::to_string(slot);
+  s.resize(kPayloadBytes, '.');
+  return s;
+}
+
+// One root μprocess: forks kChildrenPerRoot children. Each child writes a 32-byte payload
+// into its private pipe and sends one mqueue message; the root reads the pipe, reaps every
+// child, and root 0 finally drains all kRoots*kChildrenPerRoot messages from the queue.
+GuestFn RootFn(int root, Collector* collect) {
+  return [root, collect](Guest& g) -> SimTask<void> {
+    auto mq = co_await g.MqOpen("/mq/det", /*create=*/true);
+    CO_ASSERT_OK(mq);
+    for (int c = 0; c < kChildrenPerRoot; ++c) {
+      const int slot = root * kChildrenPerRoot + c;
+      auto pipe_fds = co_await g.Pipe();
+      CO_ASSERT_OK(pipe_fds);
+      const auto [rfd, wfd] = *pipe_fds;
+      auto child =
+          co_await g.Fork([rfd = rfd, wfd = wfd, mq = *mq, slot](Guest& cg) -> SimTask<void> {
+            (void)co_await cg.Close(rfd);
+            auto payload = cg.PlaceString(PaddedPayload("pipe-", slot));
+            CO_ASSERT_OK(payload);
+            auto written = co_await cg.Write(wfd, *payload, kPayloadBytes);
+            CO_ASSERT_OK(written);
+            CO_ASSERT_EQ(static_cast<uint64_t>(*written), kPayloadBytes);
+            auto msg = cg.PlaceString(PaddedPayload("mq-", slot));
+            CO_ASSERT_OK(msg);
+            CO_ASSERT_OK(co_await cg.Write(mq, *msg, kPayloadBytes));
+            co_await cg.Exit(40 + slot);
+          });
+      CO_ASSERT_OK(child);
+      CO_ASSERT_OK(co_await g.Close(wfd));
+      auto buf = g.Malloc(kPayloadBytes);
+      CO_ASSERT_OK(buf);
+      auto n = co_await g.Read(rfd, *buf, kPayloadBytes);
+      CO_ASSERT_OK(n);
+      CO_ASSERT_EQ(static_cast<uint64_t>(*n), kPayloadBytes);
+      auto bytes = g.FetchBytes(*buf, kPayloadBytes);
+      CO_ASSERT_OK(bytes);
+      collect->RecordPipe(
+          std::string(reinterpret_cast<const char*>(bytes->data()), bytes->size()));
+      CO_ASSERT_OK(co_await g.Close(rfd));
+    }
+    for (int c = 0; c < kChildrenPerRoot; ++c) {
+      auto waited = co_await g.Wait();
+      CO_ASSERT_OK(waited);
+      collect->RecordExit(waited->status);
+    }
+    if (root == 0) {
+      auto buf = g.Malloc(kPayloadBytes);
+      CO_ASSERT_OK(buf);
+      for (int m = 0; m < kRoots * kChildrenPerRoot; ++m) {
+        auto n = co_await g.Read(*mq, *buf, kPayloadBytes);
+        CO_ASSERT_OK(n);
+        auto bytes = g.FetchBytes(*buf, static_cast<uint64_t>(*n));
+        CO_ASSERT_OK(bytes);
+        collect->RecordMq(
+            std::string(reinterpret_cast<const char*>(bytes->data()), bytes->size()));
+      }
+    }
+  };
+}
+
+template <typename MakeKernel>
+RunOutcome RunWorkload(int shards, MakeKernel make_kernel) {
+  auto kernel = make_kernel(DetConfig(shards));
+  Collector collect;
+  for (int root = 0; root < kRoots; ++root) {
+    auto pid = kernel->Spawn(MakeGuestEntry(RootFn(root, &collect)),
+                             "det-root" + std::to_string(root));
+    UF_CHECK(pid.ok());
+  }
+  kernel->Run();
+  RunOutcome out = std::move(collect.out);
+  const KernelStats& stats = kernel->stats();
+  out.forks = stats.forks;
+  out.exits = stats.exits;
+  out.syscalls = stats.syscalls;
+  for (size_t i = 0; i < kNumSyscalls; ++i) {
+    out.per_syscall[i] = stats.per_syscall[i];
+  }
+  return out;
+}
+
+void ExpectSameOutcome(const RunOutcome& a, const RunOutcome& b, const std::string& label) {
+  EXPECT_EQ(a.exit_codes, b.exit_codes) << label;
+  EXPECT_EQ(a.pipe_payloads, b.pipe_payloads) << label;
+  EXPECT_EQ(a.mq_payloads, b.mq_payloads) << label;
+  EXPECT_EQ(a.forks, b.forks) << label;
+  EXPECT_EQ(a.exits, b.exits) << label;
+  EXPECT_EQ(a.syscalls, b.syscalls) << label;
+  for (size_t i = 0; i < kNumSyscalls; ++i) {
+    EXPECT_EQ(a.per_syscall[i], b.per_syscall[i])
+        << label << " per_syscall[" << SyscallTable()[i].name << "]";
+  }
+}
+
+template <typename MakeKernel>
+void RunMatrix(MakeKernel make_kernel, const std::string& system) {
+  const RunOutcome one = RunWorkload(1, make_kernel);
+  // Sanity on the baseline itself before comparing shard counts against it.
+  EXPECT_EQ(one.exit_codes.size(), static_cast<size_t>(kRoots * kChildrenPerRoot)) << system;
+  EXPECT_EQ(one.pipe_payloads.size(), static_cast<size_t>(kRoots * kChildrenPerRoot))
+      << system;
+  EXPECT_EQ(one.mq_payloads.size(), static_cast<size_t>(kRoots * kChildrenPerRoot)) << system;
+  for (const int shards : {2, 4}) {
+    const RunOutcome sharded = RunWorkload(shards, make_kernel);
+    ExpectSameOutcome(one, sharded, system + " @shards=" + std::to_string(shards));
+  }
+}
+
+TEST(ShardDeterminism, UforkMatrix) {
+  RunMatrix([](KernelConfig c) { return MakeUforkKernel(c); }, "ufork");
+}
+
+TEST(ShardDeterminism, MasMatrix) {
+  RunMatrix([](KernelConfig c) { return MakeMasKernel(c); }, "mas");
+}
+
+TEST(ShardDeterminism, VmCloneMatrix) {
+  RunMatrix([](KernelConfig c) { return MakeVmCloneKernel(c); }, "vmclone");
+}
+
+// Repeated same-shard-count runs must be bit-identical in everything RunOutcome captures —
+// seed-stability, the property the TSan job soaks.
+TEST(ShardDeterminism, RepeatedRunsAreStable) {
+  auto make = [](KernelConfig c) { return MakeUforkKernel(c); };
+  for (const int shards : {2, 4}) {
+    const RunOutcome first = RunWorkload(shards, make);
+    const RunOutcome second = RunWorkload(shards, make);
+    ExpectSameOutcome(first, second, "repeat @shards=" + std::to_string(shards));
+  }
+}
+
+// --- cross-shard stress ------------------------------------------------------------------------
+
+// Pipe ping-pong: each root forks one partner child and exchanges kRounds tokens over a pair
+// of pipes. Placement scatters partners across shards, so most round trips cross the mailbox
+// path twice per round.
+constexpr int kPairs = 8;
+constexpr int kRounds = 16;
+constexpr uint64_t kTokenBytes = 8;
+
+TEST(ShardStress, PipePingPongAcrossShards) {
+  auto kernel = MakeUforkKernel(DetConfig(4));
+  std::mutex mu;
+  std::multiset<int> statuses;
+  for (int pair = 0; pair < kPairs; ++pair) {
+    GuestFn root = [&mu, &statuses](Guest& g) -> SimTask<void> {
+      auto down = co_await g.Pipe();  // parent -> child
+      CO_ASSERT_OK(down);
+      auto up = co_await g.Pipe();  // child -> parent
+      CO_ASSERT_OK(up);
+      const auto [drfd, dwfd] = *down;
+      const auto [urfd, uwfd] = *up;
+      auto child = co_await g.Fork(
+          [drfd = drfd, dwfd = dwfd, urfd = urfd, uwfd = uwfd](Guest& cg) -> SimTask<void> {
+            (void)co_await cg.Close(dwfd);
+            (void)co_await cg.Close(urfd);
+            auto buf = cg.Malloc(kTokenBytes);
+            CO_ASSERT_OK(buf);
+            for (int round = 0; round < kRounds; ++round) {
+              auto n = co_await cg.Read(drfd, *buf, kTokenBytes);
+              CO_ASSERT_OK(n);
+              CO_ASSERT_EQ(static_cast<uint64_t>(*n), kTokenBytes);
+              CO_ASSERT_OK(co_await cg.Write(uwfd, *buf, kTokenBytes));
+            }
+            co_await cg.Exit(7);
+          });
+      CO_ASSERT_OK(child);
+      CO_ASSERT_OK(co_await g.Close(drfd));
+      CO_ASSERT_OK(co_await g.Close(uwfd));
+      auto token = g.Malloc(kTokenBytes);
+      CO_ASSERT_OK(token);
+      for (int round = 0; round < kRounds; ++round) {
+        CO_ASSERT_OK(co_await g.Write(dwfd, *token, kTokenBytes));
+        auto n = co_await g.Read(urfd, *token, kTokenBytes);
+        CO_ASSERT_OK(n);
+        CO_ASSERT_EQ(static_cast<uint64_t>(*n), kTokenBytes);
+      }
+      CO_ASSERT_OK(co_await g.Close(dwfd));
+      auto waited = co_await g.Wait();
+      CO_ASSERT_OK(waited);
+      std::lock_guard<std::mutex> lk(mu);
+      statuses.insert(waited->status);
+    };
+    auto pid = kernel->Spawn(MakeGuestEntry(std::move(root)), "pp" + std::to_string(pair));
+    ASSERT_TRUE(pid.ok());
+  }
+  kernel->Run();
+  EXPECT_EQ(statuses.size(), static_cast<size_t>(kPairs));
+  EXPECT_EQ(*statuses.begin(), 7);
+  EXPECT_EQ(*statuses.rbegin(), 7);
+}
+
+// Cross-shard SIGKILL: children park in a long nanosleep; their parents kill and reap them.
+// Kills whose victim lives on another shard defer to the epoch barrier
+// (KernelCore::QueueCrossShardKill); every reaped status must still be -SIGKILL.
+TEST(ShardStress, CrossShardKillAndReap) {
+  constexpr int kKillRoots = 4;
+  constexpr int kVictimsPerRoot = 3;
+  auto kernel = MakeUforkKernel(DetConfig(4));
+  std::mutex mu;
+  std::multiset<int> statuses;
+  for (int root = 0; root < kKillRoots; ++root) {
+    GuestFn fn = [&mu, &statuses](Guest& g) -> SimTask<void> {
+      std::vector<Pid> victims;
+      for (int v = 0; v < kVictimsPerRoot; ++v) {
+        auto child = co_await g.Fork([](Guest& cg) -> SimTask<void> {
+          // Far beyond the test's lifetime: the victim must still be asleep when killed.
+          CO_ASSERT_OK(co_await cg.Nanosleep(1'000'000'000));
+          co_await cg.Exit(0);  // unreachable
+        });
+        CO_ASSERT_OK(child);
+        victims.push_back(*child);
+      }
+      for (const Pid victim : victims) {
+        CO_ASSERT_OK(co_await g.Kill(victim, kSigKill));
+      }
+      for (int v = 0; v < kVictimsPerRoot; ++v) {
+        auto waited = co_await g.Wait();
+        CO_ASSERT_OK(waited);
+        std::lock_guard<std::mutex> lk(mu);
+        statuses.insert(waited->status);
+      }
+    };
+    auto pid = kernel->Spawn(MakeGuestEntry(std::move(fn)), "killer" + std::to_string(root));
+    ASSERT_TRUE(pid.ok());
+  }
+  kernel->Run();
+  EXPECT_EQ(statuses.size(), static_cast<size_t>(kKillRoots * kVictimsPerRoot));
+  for (const int status : statuses) {
+    EXPECT_EQ(status, -9);
+  }
+}
+
+}  // namespace
+}  // namespace ufork
