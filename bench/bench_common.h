@@ -100,6 +100,7 @@ struct SystemConfig {
   double mas_allocator_dirty_fraction = 0.0;
   FaultAroundConfig fault_around;  // default: disabled (window=1), as in the calibrated figures
   int host_shards = 1;  // >1: sharded multi-threaded host (DESIGN.md §4.11)
+  bool demand_paging = false;  // fault-driven population + reservations (DESIGN.md §4.12)
 };
 
 inline std::unique_ptr<Kernel> MakeSystem(const SystemConfig& sc) {
@@ -111,6 +112,7 @@ inline std::unique_ptr<Kernel> MakeSystem(const SystemConfig& sc) {
   config.phys_mem_bytes = sc.phys_mem_bytes;
   config.fault_around = sc.fault_around;
   config.host_shards = sc.host_shards;
+  config.demand_paging = sc.demand_paging;
   switch (sc.system) {
     case System::kUfork:
       return MakeUforkKernel(config);

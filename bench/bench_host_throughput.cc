@@ -155,6 +155,73 @@ void ForkFleetThroughput(::benchmark::State& state) {
 
 BENCHMARK(ForkFleetThroughput)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
+// --- HttpdFleetFootprint ------------------------------------------------------------------------
+
+constexpr int kHttpdWorkers = 256;
+
+// Memory footprint of a 256-worker httpd-style fleet (DESIGN.md §4.12): every worker is
+// posix_spawned from the same image and mmaps the same config file through the unified page
+// cache. Arg 0 = eager population, Arg 1 = demand paging. The figure of merit is the
+// `resident_frames` counter sampled while the whole fleet is live — check_regression.py's
+// footprint-gate pins demand ≤ 0.5× eager. `reserved_mb` records the VA the demand fleet
+// holds as frame-less reservations instead.
+void HttpdFleetFootprint(::benchmark::State& state) {
+  const bool demand = state.range(0) != 0;
+  SystemConfig sc;
+  sc.system = System::kUfork;
+  sc.layout = HttpdLayout();
+  sc.demand_paging = demand;
+  uint64_t resident = 0;
+  uint64_t reserved_bytes = 0;
+  for (auto _ : state) {
+    auto kernel = MakeSystem(sc);
+    kernel->RegisterProgram(
+        "httpd-worker", MakeGuestEntry([](Guest& g) -> SimTask<void> {
+          // A worker's steady state: read the shared config through the page cache, touch a
+          // little private heap, then serve (sleep) until the sampler has seen the fleet.
+          auto conf = co_await g.MmapFile("/etc/httpd.conf", 2 * kPageSize);
+          UF_CHECK(conf.ok());
+          auto word = g.Load<uint64_t>(*conf, conf->base());
+          UF_CHECK(word.ok());
+          auto scratch = g.Malloc(8 * kKiB);
+          UF_CHECK(scratch.ok());
+          UF_CHECK(g.Store<uint64_t>(*scratch, scratch->base(), *word).ok());
+          UF_CHECK((co_await g.Nanosleep(Cycles{1'000'000'000})).ok());
+        }));
+    auto pid = kernel->Spawn(
+        MakeGuestEntry([&resident, &reserved_bytes](Guest& g) -> SimTask<void> {
+          auto buf = g.Malloc(kPageSize);
+          UF_CHECK(buf.ok());
+          auto fd = co_await g.Open("/etc/httpd.conf", kOpenWrite | kOpenCreate);
+          UF_CHECK(fd.ok());
+          UF_CHECK((co_await g.Write(*fd, *buf, kPageSize)).ok());
+          UF_CHECK((co_await g.Close(*fd)).ok());
+          for (int i = 0; i < kHttpdWorkers; ++i) {
+            auto worker = co_await g.SpawnProgram("httpd-worker");
+            UF_CHECK(worker.ok());
+          }
+          // Every worker's image exists (spawn maps it) and none has woken: sample the
+          // fleet's footprint at its plateau.
+          resident = g.kernel().ResidentFrames();
+          reserved_bytes = g.kernel().ReservedBytes();
+          for (int i = 0; i < kHttpdWorkers; ++i) {
+            auto waited = co_await g.Wait();
+            UF_CHECK(waited.ok());
+          }
+        }),
+        "httpd-init");
+    UF_CHECK(pid.ok());
+    kernel->Run();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kHttpdWorkers);
+  state.counters["demand"] = demand ? 1.0 : 0.0;
+  state.counters["resident_frames"] = static_cast<double>(resident);
+  state.counters["reserved_mb"] =
+      static_cast<double>(reserved_bytes) / static_cast<double>(kMiB);
+}
+
+BENCHMARK(HttpdFleetFootprint)->Arg(0)->Arg(1)->Unit(::benchmark::kMillisecond);
+
 // --- CopaFaultResolution ------------------------------------------------------------------------
 
 constexpr uint64_t kCopaBlocks = 256;    // tagged chain spread over ~128 heap pages

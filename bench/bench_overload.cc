@@ -366,11 +366,13 @@ struct FleetResult {
   uint64_t admission_rejected = 0;
   uint64_t tenant_cap_rejections = 0;
   uint64_t forks = 0;
+  uint64_t peak_resident_frames = 0;  // allocator high-water mark over the whole run
 
   bool operator==(const FleetResult& o) const {
     return faas == o.faas && httpd == o.httpd && redis == o.redis && elapsed == o.elapsed &&
            admission_trips == o.admission_trips && admission_rejected == o.admission_rejected &&
-           tenant_cap_rejections == o.tenant_cap_rejections && forks == o.forks;
+           tenant_cap_rejections == o.tenant_cap_rejections && forks == o.forks &&
+           peak_resident_frames == o.peak_resident_frames;
   }
 };
 
@@ -495,6 +497,7 @@ FleetResult RunFleet(System system, const FleetOptions& opt) {
     result.admission_rejected = k.stats().admission_rejected;
     result.tenant_cap_rejections = frames.tenant_cap_rejections();
     result.forks = k.stats().forks;
+    result.peak_resident_frames = frames.peak_frames();
   });
   UF_CHECK_MSG(kernel->LivePids().empty(), "fleet left zombie uprocs behind");
   UF_CHECK_MSG(kernel->CheckFrameAccounting().ok(), "fleet leaked frames");
@@ -565,6 +568,7 @@ void OverloadFleet(::benchmark::State& state, System system, bool admission) {
     state.counters["tenant_cap_rejections"] = static_cast<double>(r.tenant_cap_rejections);
     state.counters["forks"] = static_cast<double>(r.forks);
     state.counters["shards"] = static_cast<double>(opt.host_shards);
+    state.counters["resident_frames"] = static_cast<double>(r.peak_resident_frames);
   }
 }
 

@@ -40,6 +40,13 @@ Subcommands:
       counter by at least the --speedup factor. Wall-clock scaling only exists with real
       cores: when the recording host's context.num_cpus is below --min-cpus the gate
       SKIPS loudly (exit 0) instead of failing, so single-core CI containers stay green.
+
+  footprint-gate HOST.json [--max-ratio 0.5] [--benchmark HttpdFleetFootprint]
+              [--counter resident_frames] [--eager-arg 0] [--demand-arg 1]
+      Checks the demand-paging acceptance criterion (DESIGN.md §4.12) on bench_host_throughput
+      output: the demand row (arg 1) of the 256-worker httpd fleet must hold at most
+      --max-ratio times the eager row's (arg 0) resident frames. The counter is a simulator
+      frame count sampled at the fleet's plateau — deterministic on any host.
 """
 
 import argparse
@@ -236,6 +243,37 @@ def cmd_shard_gate(args):
     return 0
 
 
+def find_arg_row(entries, benchmark, arg, counter):
+    """Representative counter value for the `<benchmark>/<arg>` row (exact-arg match, so
+    arg 1 never swallows arg 16; aggregates preferred as in find_rate)."""
+    name = f"{benchmark}/{arg}"
+    groups = {}
+    for entry in entries:
+        run_name = entry.get("run_name", entry.get("name", ""))
+        if (run_name == name or run_name.startswith(name + "/")) and counter in entry:
+            groups.setdefault(entry.get("aggregate_name", "iteration"), []).append(
+                float(entry[counter]))
+    for kind in ("median", "mean", "iteration"):
+        if kind in groups:
+            return sum(groups[kind]) / len(groups[kind])
+    raise SystemExit(f"error: no entry matching '{name}' with counter '{counter}'")
+
+
+def cmd_footprint_gate(args):
+    entries = load_benchmarks(args.host)
+    eager = find_arg_row(entries, args.benchmark, args.eager_arg, args.counter)
+    demand = find_arg_row(entries, args.benchmark, args.demand_arg, args.counter)
+    ratio = demand / eager if eager > 0 else 1.0
+    print(f"  {args.benchmark} {args.counter}: eager {eager:.0f}, demand {demand:.0f} "
+          f"({ratio:.2f}x)")
+    if ratio > args.max_ratio:
+        print(f"FAIL: the demand-paging fleet must hold <= {args.max_ratio:.2f}x the eager "
+              f"fleet's {args.counter}")
+        return 1
+    print(f"footprint gate OK (demand/eager = {ratio:.2f}, limit {args.max_ratio:.2f})")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -272,6 +310,15 @@ def main():
     shard.add_argument("--counter", default="forks_per_hsec")
     shard.add_argument("--shards", default="4")
     shard.set_defaults(fn=cmd_shard_gate)
+
+    footprint = sub.add_parser("footprint-gate")
+    footprint.add_argument("host")
+    footprint.add_argument("--max-ratio", type=float, default=0.5)
+    footprint.add_argument("--benchmark", default="HttpdFleetFootprint")
+    footprint.add_argument("--counter", default="resident_frames")
+    footprint.add_argument("--eager-arg", default="0")
+    footprint.add_argument("--demand-arg", default="1")
+    footprint.set_defaults(fn=cmd_footprint_gate)
 
     args = parser.parse_args()
     return args.fn(args)

@@ -81,6 +81,12 @@ if [ -n "${python3_bin}" ]; then
   # >= 2.5x the 1-shard rate. Skips loudly (exit 0) when the host has < 4 CPUs.
   echo "shard-scaling gate:"
   "${python3_bin}" "${repo_root}/bench/check_regression.py" shard-gate "${host_new}"
+
+  # Demand-paging footprint gate (DESIGN.md §4.12): the 256-worker httpd fleet under demand
+  # paging must hold <= 0.5x the eager fleet's resident frames. The counter is simulator
+  # frame counts, so the gate is deterministic on any host.
+  echo "footprint gate:"
+  "${python3_bin}" "${repo_root}/bench/check_regression.py" footprint-gate "${host_new}"
 fi
 
 if [ "${smoke}" = 1 ]; then

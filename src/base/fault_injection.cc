@@ -26,6 +26,10 @@ const char* FaultSiteName(FaultSite site) {
       return "mq-grow";
     case FaultSite::kVfsGrow:
       return "vfs-grow";
+    case FaultSite::kPageCacheFill:
+      return "page-cache-fill";
+    case FaultSite::kLazyFillAlloc:
+      return "lazy-fill-alloc";
     case FaultSite::kNumSites:
       break;
   }

@@ -45,6 +45,8 @@ enum class FaultSite : uint32_t {
   kMqReserve,        // mq_open queue creation
   kMqGrow,           // per-chunk mqueue message-buffer growth inside send
   kVfsGrow,          // per-block ramdisk inode growth inside write
+  kPageCacheFill,    // PageCache::GetFrame read-through fill (frame for a file page)
+  kLazyFillAlloc,    // demand-fill frame allocation at fault time (zero-fill window entry)
   kNumSites,
 };
 

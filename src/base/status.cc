@@ -24,6 +24,8 @@ const char* CodeName(Code code) {
       return "FAULT_PAGE_PROT";
     case Code::kFaultCapLoadPage:
       return "FAULT_CAP_LOAD_PAGE";
+    case Code::kFaultNotPresent:
+      return "FAULT_NOT_PRESENT";
     case Code::kErrInval:
       return "EINVAL";
     case Code::kErrNoMem:

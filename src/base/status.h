@@ -35,6 +35,7 @@ enum class Code : int32_t {
   kFaultNotMapped,    // no PTE for the page
   kFaultPageProt,     // PTE permission violation (e.g. write to read-only, CoW candidate)
   kFaultCapLoadPage,  // capability load through a PTE with the load-cap-fault attribute (CoPA)
+  kFaultNotPresent,   // reserved-but-unpopulated PTE (demand paging); resolvable by a fill
 
   // POSIX-style syscall errors.
   kErrInval,

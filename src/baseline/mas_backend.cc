@@ -34,6 +34,13 @@ Result<Pid> MasBackend::Fork(KernelCore& kernel, Uproc& parent, UprocEntry entry
     // hierarchy plus vm_map/pv bookkeeping is what makes the MAS fork per-page cost higher
     // than μFork's batched PTE copy within one table.
     machine.Charge(costs.pte_dup + costs.mas_page_extra);
+    if (!PtePopulated(pte)) {
+      // Demand reservation: the child inherits the lazy state verbatim — there is no frame
+      // to share, copy, or CoW-protect; each side fills privately on first touch.
+      child_pt.Map(va, kInvalidFrame, pte.flags);
+      ++stats.pages_reserved;
+      continue;
+    }
     machine.frames().AddRef(pte.frame);
     if ((pte.flags & kPteShared) != 0) {
       child_pt.Map(va, pte.frame, pte.flags);  // MAP_SHARED: no CoW
@@ -63,8 +70,6 @@ Result<Pid> MasBackend::Fork(KernelCore& kernel, Uproc& parent, UprocEntry entry
 }
 
 Result<void> MasBackend::ResolveFault(KernelCore& kernel, const PageFaultInfo& info) {
-  Machine& machine = kernel.machine();
-  const CostModel& costs = kernel.costs();
   Uproc* uproc = kernel.UprocByPageTable(info.page_table);
   if (uproc == nullptr) {
     return Error{Code::kFaultNotMapped, "fault against an unowned page table"};
@@ -75,49 +80,13 @@ Result<void> MasBackend::ResolveFault(KernelCore& kernel, const PageFaultInfo& i
     // Guest-reachable: delivered to the faulting μprocess, never a host abort.
     return Error{Code::kFaultNotMapped, "fault on unmapped page"};
   }
+  if ((pte->flags & kPteNotPresent) != 0) {
+    return ResolveDemandFault(kernel, *uproc, pt, info, *pte);
+  }
   if ((pte->flags & kPteCow) == 0 || !info.is_write) {
     return Error{Code::kFaultPageProt, "unresolvable page fault"};
   }
-
-  const uint32_t limit = FaultAroundBegin(kernel, *uproc, info);
-  FaultWindow window = FaultAroundScan(kernel, *uproc, pt, info, *pte, limit);
-
-  Cycles resolved_cycles = costs.page_fault;  // trap cost, charged by the access engine
-  auto charge = [&](Cycles cycles) {
-    machine.Charge(cycles);
-    resolved_cycles += cycles;
-  };
-
-  KernelStats& stats = kernel.stats();
-  if (window.shared) {
-    std::array<FrameId, kMaxFaultAroundWindow> fresh;
-    if (!machine.frames().AllocateForCopy(std::span(fresh.data(), window.pages)).ok()) {
-      window.pages = 1;
-      UF_RETURN_IF_ERROR(machine.frames().AllocateForCopy(std::span(fresh.data(), 1)));
-    }
-    std::array<FrameId, kMaxFaultAroundWindow> old;
-    for (uint64_t i = 0; i < window.pages; ++i) {
-      Pte* page = pt.LookupMutable(info.va + i * kPageSize);
-      charge(costs.frame_alloc + costs.page_copy);
-      machine.frames().frame(fresh[i]).CopyFrom(machine.frames().frame(page->frame));
-      old[i] = page->frame;
-    }
-    charge(window.pages == 1 ? costs.pte_update : costs.pte_update_batched);
-    pt.RemapRange(info.va, std::span<const FrameId>(fresh.data(), window.pages),
-                  window.seg_flags, /*extra_flags_after_first=*/kPteFaultAround);
-    for (uint64_t i = 0; i < window.pages; ++i) {
-      machine.frames().Release(old[i]);
-    }
-    stats.pages_copied_on_fault += window.pages;
-  } else {
-    charge(window.pages == 1 ? costs.pte_update : costs.pte_update_batched);
-    pt.SetFlagsRange(info.va, window.pages, window.seg_flags,
-                     /*extra_flags_after_first=*/kPteFaultAround);
-    stats.pages_reclaimed_in_place += window.pages;
-  }
-  stats.fault_cycles += resolved_cycles;
-  FaultAroundCommit(kernel, *uproc, window);
-  return OkResult();
+  return ResolveCowWriteWindow(kernel, *uproc, pt, info, *pte);
 }
 
 void MasBackend::OnExit(KernelCore& kernel, Uproc& uproc) {
@@ -132,7 +101,7 @@ uint64_t MasBackend::ExtraResidencyBytes(const KernelCore& kernel, const Uproc& 
     // (layout documented in tinyalloc.h).
     const uint64_t heap_root = uproc.base + kernel.layout().heap_off();
     const std::optional<Pte> pte = uproc.page_table->Lookup(heap_root);
-    if (pte.has_value()) {
+    if (pte.has_value() && PtePopulated(*pte)) {
       uint64_t in_use = 0;
       kernel.machine().frames().frame(pte->frame).Read(
           tinyalloc::kRootBytesInUseOffset,

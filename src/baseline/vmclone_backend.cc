@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "src/kernel/fault_around.h"
+
 namespace ufork {
 
 Result<Pid> VmCloneBackend::Fork(KernelCore& kernel, Uproc& parent, UprocEntry entry) {
@@ -26,6 +28,15 @@ Result<Pid> VmCloneBackend::Fork(KernelCore& kernel, Uproc& parent, UprocEntry e
                             parent_pages.emplace_back(va, pte);
                           });
   for (const auto& [va, pte] : parent_pages) {
+    if (!PtePopulated(pte)) {
+      // Demand reservation: nothing to copy yet — the clone inherits the lazy state and
+      // fills its own frame on first touch.
+      machine.Charge(costs.pte_dup);
+      child_pt.Map(va, kInvalidFrame, pte.flags);
+      ++stats.pages_mapped;
+      ++stats.pages_reserved;
+      continue;
+    }
     // Full synchronous copy of the guest image — no sharing across domains.
     auto frame = machine.frames().AllocateForCopy();
     if (!frame.ok()) {
@@ -55,6 +66,32 @@ Result<Pid> VmCloneBackend::Fork(KernelCore& kernel, Uproc& parent, UprocEntry e
   child.child_affinity = parent.child_affinity;
   kernel.StartUprocThread(child, std::move(entry), parent.child_affinity);
   return child.pid();
+}
+
+Result<void> VmCloneBackend::ResolveFault(KernelCore& kernel, const PageFaultInfo& info) {
+  Uproc* uproc = kernel.UprocByPageTable(info.page_table);
+  if (uproc == nullptr) {
+    return Error{Code::kFaultNotMapped, "fault against an unowned page table"};
+  }
+  PageTable& pt = *info.page_table;
+  Pte* pte = pt.LookupMutable(info.va);
+  if (pte == nullptr) {
+    return Error{Code::kFaultNotMapped, "fault on unmapped page"};
+  }
+  if ((pte->flags & kPteNotPresent) != 0) {
+    return ResolveDemandFault(kernel, *uproc, pt, info, *pte);
+  }
+  if ((pte->flags & kPteCow) != 0 && info.is_write) {
+    // The only CoW in a clone's table comes from SysMmapFile cache pages (fork copies
+    // everything eagerly); break it with the classic copy-out.
+    return ResolveCowWriteWindow(kernel, *uproc, pt, info, *pte);
+  }
+  // Clones never share memory across domains: any other resolvable-looking fault is a bug.
+  return Error{Code::kFaultPageProt, "VM clones share no memory"};
+}
+
+void VmCloneBackend::OnExit(KernelCore& kernel, Uproc& uproc) {
+  FaultAroundAccountExitWaste(kernel, uproc);
 }
 
 }  // namespace ufork

@@ -39,11 +39,11 @@ class VmCloneBackend : public ForkBackend {
 
   Result<Pid> Fork(KernelCore& kernel, Uproc& parent, UprocEntry entry) override;
 
-  Result<void> ResolveFault(KernelCore& kernel, const PageFaultInfo& info) override {
-    (void)kernel, (void)info;
-    // Clones never share memory: any resolvable-looking fault is a bug.
-    return Error{Code::kFaultPageProt, "VM clones share no memory"};
-  }
+  // Clones never share memory across domains, so the only resolvable faults are demand fills
+  // and CoW breaks against the host's page cache (SysMmapFile); anything else is a bug.
+  Result<void> ResolveFault(KernelCore& kernel, const PageFaultInfo& info) override;
+
+  void OnExit(KernelCore& kernel, Uproc& uproc) override;
 
   uint64_t ExtraResidencyBytes(const KernelCore& kernel, const Uproc& uproc) const override {
     (void)kernel, (void)uproc;

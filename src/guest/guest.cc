@@ -12,7 +12,13 @@ UprocEntry MakeGuestEntry(GuestFn fn) {
       Guest guest(kernel, uproc);
       if (!uproc.forked_child) {
         const Result<void> init = guest.InitRuntime();
-        UF_CHECK_MSG(init.ok(), "guest runtime initialization failed");
+        if (!init.ok()) {
+          // Exhaustion (real or injected) during crt init — under demand paging even the
+          // first heap touch can fail. A real runtime would crash the process, not the
+          // machine: contain to this μprocess via the trap vector (default SIGSEGV).
+          co_await guest.RaiseFault(init.error());
+          co_return;
+        }
       }
       co_await guest_fn(guest);
     }

@@ -153,6 +153,10 @@ class Guest {
   SimTask<Result<Capability>> MmapAnon(uint64_t length) {
     return kernel_.SysMmapAnon(uproc_, length);
   }
+  SimTask<Result<uint64_t>> Sbrk(int64_t delta) { return kernel_.SysSbrk(uproc_, delta); }
+  SimTask<Result<Capability>> MmapFile(std::string path, uint64_t length) {
+    return kernel_.SysMmapFile(uproc_, std::move(path), length);
+  }
   SimTask<Result<void>> Kill(Pid target, int signal = kSigKill) {
     return kernel_.SysKill(uproc_, target, signal);
   }

@@ -56,6 +56,21 @@ void FaultAroundCommit(KernelCore& kernel, Uproc& uproc, const FaultWindow& wind
 // waste too; count them before the region is released (called from backend OnExit).
 void FaultAroundAccountExitWaste(KernelCore& kernel, Uproc& uproc);
 
+// Demand-fill resolution (DESIGN.md §4.12), shared by all three backends: populates a window
+// of adjacent reservations (kPteNotPresent) in one trap — zeroed frames for kPteZeroFill
+// pages, page-cache frames for kPteFileBacked pages (write faults break the share with a
+// private copy immediately). All-or-nothing at the faulting page: a failed fill returns
+// ENOMEM with every PTE still reserved; a failed speculative tail degrades the window.
+Result<void> ResolveDemandFault(KernelCore& kernel, Uproc& uproc, PageTable& pt,
+                                const PageFaultInfo& info, const Pte& fault_pte);
+
+// Classic CoW write-break over a window (frames shared at fork time or through the page
+// cache): copy-out when shared, reclaim-in-place when last sharer. Shared by the MAS and
+// VM-clone backends; μFork keeps its own copy loop because it interleaves capability
+// relocation with the data movement.
+Result<void> ResolveCowWriteWindow(KernelCore& kernel, Uproc& uproc, PageTable& pt,
+                                   const PageFaultInfo& info, const Pte& fault_pte);
+
 }  // namespace ufork
 
 #endif  // UFORK_SRC_KERNEL_FAULT_AROUND_H_

@@ -1,8 +1,11 @@
 #include "src/kernel/file_service.h"
 
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
+
+#include "src/kernel/page_cache.h"
 
 #include "src/kernel/kernel.h"
 #include "src/kernel/syscall_scope.h"
@@ -152,6 +155,63 @@ SimTask<Result<void>> FileService::Rename(Uproc& caller, std::string from, std::
   }
   kernel_.machine().Charge(kernel_.costs().vfs_op);
   co_return vfs_.Rename(from, to);
+}
+
+SimTask<Result<Capability>> FileService::MmapFile(Uproc& caller, std::string path,
+                                                  uint64_t length) {
+  SyscallScope scope(kernel_, caller, Sys::kMmapFile);
+  {
+    auto entered = co_await scope.Enter();
+    if (!entered.ok()) {
+      co_return entered.error();
+    }
+  }
+  Machine& machine = kernel_.machine();
+  if (length == 0 || length % kPageSize != 0) {
+    co_return Error{Code::kErrInval, "mmap length must be a non-zero page multiple"};
+  }
+  kernel_.machine().Charge(kernel_.costs().vfs_op);  // path lookup
+  std::shared_ptr<RamFs::Inode> inode = vfs_.InodeOf(path);
+  if (inode == nullptr) {
+    co_return Error{Code::kErrNoEnt, "mmap of a nonexistent file"};
+  }
+  const uint64_t pages = length / kPageSize;
+  const UprocLayout& layout = kernel_.layout();
+  const uint64_t zone_end = caller.base + layout.mmap_off() + layout.mmap_size();
+  // Free-VA scan instead of the anon bump cursor: file windows may interleave with anon
+  // allocations, and a fresh scan can never collide with either.
+  const std::optional<uint64_t> run =
+      caller.page_table->FindUnmappedRun(caller.mmap_cursor, zone_end, pages);
+  if (!run.has_value()) {
+    co_return Error{Code::kErrNoMem, "mmap zone exhausted"};
+  }
+  const uint64_t addr = *run;
+  // MAP_PRIVATE read view: write permission arrives only through the CoW break (the cache's
+  // own reference keeps every clean page's refcount above one).
+  const uint32_t clean_flags = (kPteRw & ~kPteWrite) | kPteCow;
+  if (kernel_.config().demand_paging) {
+    for (uint64_t off = 0; off < pages; ++off) {
+      machine.Charge(kernel_.costs().pte_dup);
+      caller.page_table->Map(addr + off * kPageSize, kInvalidFrame,
+                             kPteNotPresent | kPteFileBacked);
+    }
+  } else {
+    for (uint64_t off = 0; off < pages; ++off) {
+      auto frame = kernel_.page_cache().GetFrame(inode, off);
+      if (!frame.ok()) {
+        // All-or-nothing: drop the pages (and cache references) this call already mapped.
+        for (uint64_t undo = 0; undo < off; ++undo) {
+          machine.frames().Release(caller.page_table->Unmap(addr + undo * kPageSize));
+        }
+        co_return frame.error();
+      }
+      machine.Charge(kernel_.costs().pte_update);
+      caller.page_table->Map(addr + off * kPageSize, *frame, clean_flags);
+    }
+  }
+  caller.mmap_cursor = addr + length;
+  caller.file_mappings.push_back(Uproc::FileMapping{addr, pages, /*start_page=*/0, inode});
+  co_return caller.regs.ddc.WithBounds(addr, length);
 }
 
 SimTask<Result<uint64_t>> FileService::FileSize(Uproc& caller, std::string path) {

@@ -40,6 +40,11 @@ class FileService {
   SimTask<Result<void>> Rename(Uproc& caller, std::string from, std::string to);
   SimTask<Result<uint64_t>> FileSize(Uproc& caller, std::string path);
 
+  // mmap(MAP_PRIVATE) of a ramdisk file: clean pages come from the unified page cache and are
+  // shared read-only by every mapper; the first write breaks the share with a private copy.
+  // Under demand paging the window is reserve-only and fills fault by fault.
+  SimTask<Result<Capability>> MmapFile(Uproc& caller, std::string path, uint64_t length);
+
  private:
   Kernel& kernel_;
   RamFs vfs_;

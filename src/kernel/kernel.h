@@ -35,6 +35,7 @@
 #include "src/kernel/isolation.h"
 #include "src/kernel/kernel_core.h"
 #include "src/kernel/mqueue.h"
+#include "src/kernel/page_cache.h"
 #include "src/kernel/pipe.h"
 #include "src/kernel/proc_service.h"
 #include "src/kernel/uproc.h"
@@ -55,6 +56,9 @@ class Kernel : public KernelCore {
     // growth) and the shm contribution to the frame-accounting invariant are wired here,
     // where the services exist.
     files_.vfs().set_fault_injector(&fault_injector_);
+    // VFS writes, truncation, unlink and rename-over must drop stale page-cache pages —
+    // the cache is keyed by inode identity and fills read-through from the inode's bytes.
+    files_.vfs().set_invalidate_hook([this](const void* key) { page_cache().EvictInode(key); });
     set_kernel_frame_refs_provider(
         [this](const std::function<void(FrameId)>& fn) { ipc_.ForEachShmFrame(fn); });
     // Sharded-host mode: SIGKILLs that cross shards are queued by ProcService::Kill and
@@ -129,6 +133,19 @@ class Kernel : public KernelCore {
   // to the calling μprocess virtual memory area").
   SimTask<Result<Capability>> SysMmapAnon(Uproc& caller, uint64_t length) {
     return procs_.MmapAnon(caller, length);
+  }
+
+  // sbrk(2): moves the heap break inside the build-time static heap (§4.2) and returns the
+  // previous break. Growth past the heap top is ENOMEM; under demand paging regrown pages
+  // are zero-fill reservations populated on first touch.
+  SimTask<Result<uint64_t>> SysSbrk(Uproc& caller, int64_t delta) {
+    return procs_.Sbrk(caller, delta);
+  }
+
+  // mmap(MAP_PRIVATE) of a ramdisk file through the unified page cache: clean pages are one
+  // frame shared by every mapper; the first write takes a CoW break to a private copy.
+  SimTask<Result<Capability>> SysMmapFile(Uproc& caller, std::string path, uint64_t length) {
+    return files_.MmapFile(caller, std::move(path), length);
   }
 
   // kill(2): SIGKILL terminates the target immediately; other signals are queued on its

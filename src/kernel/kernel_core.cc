@@ -4,6 +4,7 @@
 
 #include "src/base/log.h"
 #include "src/kernel/kernel.h"
+#include "src/kernel/page_cache.h"
 
 namespace ufork {
 namespace {
@@ -98,6 +99,8 @@ KernelCore::KernelCore(const KernelConfig& config, std::unique_ptr<ForkBackend> 
   }
   machine_.frames().set_fault_injector(&fault_injector_);
   address_space_.set_fault_injector(&fault_injector_);
+  page_cache_ = std::make_unique<PageCache>(machine_);
+  page_cache_->set_fault_injector(&fault_injector_);
   // Backpressure drain: every last-reference frame release re-evaluates the watermarks and
   // wakes parked forkers once the pool clears. Installed unconditionally — tests and benches
   // arm the controller at runtime via admission().Configure() — and free when idle: the hook
@@ -270,6 +273,11 @@ Result<void> KernelCore::AllocateUprocMemory(Uproc& uproc, bool private_page_tab
     UF_ASSIGN_OR_RETURN(uproc.base,
                         address_space_.AllocateRegion(uproc.size, kRegionAlign));
     uproc.page_table = &shared_pt_;
+    if (config_.demand_paging) {
+      // The region's VA is granted now; frames arrive on first touch (§4.12). Pure
+      // address-space accounting — population state lives in the page table.
+      address_space_.MarkReserveOnly(uproc.base);
+    }
     std::unique_lock lk(table_mu_);
     region_by_base_[uproc.base] = uproc.pid();
   }
@@ -278,13 +286,38 @@ Result<void> KernelCore::AllocateUprocMemory(Uproc& uproc, bool private_page_tab
 }
 
 Result<void> KernelCore::MapFreshImage(Uproc& uproc) {
-  // All segments except the on-demand mmap zone are mapped eagerly with zero frames — a static
-  // unikernel-style image with the build-time-configured static heap (§4.2).
   const uint64_t image_bytes = layout_.mmap_off();
-  for (uint64_t off = 0; off < image_bytes; off += kPageSize) {
+  // sbrk's ceiling is the build-time static heap (§4.2); the break starts at the top in both
+  // modes — the whole heap is backed (eagerly or by reservation) until the guest shrinks it.
+  uproc.heap_break = uproc.base + layout_.heap_off() + layout_.heap_size();
+  if (!config_.demand_paging) {
+    // All segments except the on-demand mmap zone are mapped eagerly with zero frames — a
+    // static unikernel-style image with the build-time-configured static heap (§4.2).
+    for (uint64_t off = 0; off < image_bytes; off += kPageSize) {
+      UF_ASSIGN_OR_RETURN(const FrameId frame, machine_.frames().Allocate());
+      machine_.Charge(costs().frame_alloc + costs().pte_dup);
+      uproc.page_table->Map(uproc.base + off, frame, SegmentFlagsAt(off));
+    }
+    return OkResult();
+  }
+  // Demand paging (§4.12): text/rodata/GOT/data stay eager — the loader writes them before
+  // the first instruction runs — while heap, stack and TLS become frame-less kPteNotPresent
+  // reservations zero-filled on first touch. The lowest stack page(s) are left entirely
+  // unmapped: the guard gap, where a touch has nothing to fill and contains as SIGSEGV.
+  const uint64_t eager_bytes = layout_.heap_off();
+  for (uint64_t off = 0; off < eager_bytes; off += kPageSize) {
     UF_ASSIGN_OR_RETURN(const FrameId frame, machine_.frames().Allocate());
     machine_.Charge(costs().frame_alloc + costs().pte_dup);
     uproc.page_table->Map(uproc.base + off, frame, SegmentFlagsAt(off));
+  }
+  const uint64_t guard_lo = layout_.stack_off();
+  const uint64_t guard_hi = guard_lo + kStackGuardPages * kPageSize;
+  for (uint64_t off = eager_bytes; off < image_bytes; off += kPageSize) {
+    if (off >= guard_lo && off < guard_hi) {
+      continue;  // stack guard gap
+    }
+    machine_.Charge(costs().pte_dup);
+    uproc.page_table->Map(uproc.base + off, kInvalidFrame, kPteNotPresent | kPteZeroFill);
   }
   return OkResult();
 }
@@ -363,9 +396,13 @@ void KernelCore::ReleaseUprocMemory(Uproc& uproc) {
   bool frames_still_shared = false;
   for (uint64_t va : pages) {
     const FrameId frame = uproc.page_table->Unmap(va);
+    if (frame == kInvalidFrame) {
+      continue;  // not-present reservation: no frame ever existed
+    }
     machine_.frames().Release(frame);
     frames_still_shared |= machine_.frames().IsLive(frame);
   }
+  uproc.file_mappings.clear();
   if (uproc.owned_pt != nullptr) {
     std::unique_lock lk(table_mu_);
     pt_owners_.erase(uproc.owned_pt.get());
@@ -400,8 +437,11 @@ Result<void> KernelCore::CheckFrameAccounting() const {
   constexpr uint64_t kVaTop = 1ULL << 48;
   std::map<FrameId, uint32_t> expected;
   const auto count_pt = [&expected](const PageTable& pt) {
-    pt.ForEachMapped(0, kVaTop,
-                     [&expected](uint64_t, const Pte& pte) { ++expected[pte.frame]; });
+    pt.ForEachMapped(0, kVaTop, [&expected](uint64_t, const Pte& pte) {
+      if (PtePopulated(pte)) {  // not-present reservations hold no frame
+        ++expected[pte.frame];
+      }
+    });
   };
   count_pt(shared_pt_);
   {
@@ -415,6 +455,7 @@ Result<void> KernelCore::CheckFrameAccounting() const {
   if (kernel_frame_refs_) {
     kernel_frame_refs_([&expected](FrameId frame) { ++expected[frame]; });
   }
+  page_cache_->ForEachFrame([&expected](FrameId frame) { ++expected[frame]; });
 
   const FrameAllocator& frames = machine_.frames();
   Result<void> verdict = OkResult();
@@ -501,6 +542,17 @@ SimTask<Result<void>> KernelCore::CopyToUser(Uproc& caller, const Capability& ca
 
 // --- metrics --------------------------------------------------------------------------------
 
+uint64_t KernelCore::ReservedBytes() const {
+  uint64_t pages = shared_pt_.not_present_pages();
+  std::shared_lock lk(table_mu_);
+  for (const auto& [pid, uproc] : uprocs_) {
+    if (uproc->owned_pt != nullptr) {
+      pages += uproc->owned_pt->not_present_pages();
+    }
+  }
+  return pages * kPageSize;
+}
+
 uint64_t KernelCore::UprocPssBytes(const Uproc& uproc) const {
   if (uproc.page_table == nullptr) {
     return 0;
@@ -509,7 +561,9 @@ uint64_t KernelCore::UprocPssBytes(const Uproc& uproc) const {
   const FrameAllocator& frames = machine_.frames();
   uproc.page_table->ForEachMapped(
       uproc.base, uproc.base + uproc.size, [&](uint64_t, const Pte& pte) {
-        pss += kPageSize / frames.RefCount(pte.frame);
+        if (PtePopulated(pte)) {
+          pss += kPageSize / frames.RefCount(pte.frame);
+        }
       });
   return pss;
 }
@@ -522,7 +576,7 @@ uint64_t KernelCore::UprocUssBytes(const Uproc& uproc) const {
   const FrameAllocator& frames = machine_.frames();
   uproc.page_table->ForEachMapped(
       uproc.base, uproc.base + uproc.size, [&](uint64_t, const Pte& pte) {
-        if (frames.RefCount(pte.frame) == 1) {
+        if (PtePopulated(pte) && frames.RefCount(pte.frame) == 1) {
           uss += kPageSize;
         }
       });

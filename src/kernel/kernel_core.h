@@ -36,6 +36,7 @@
 namespace ufork {
 
 class Kernel;
+class PageCache;
 
 // Fault-around: batched CoW/CoPA fault resolution (DESIGN.md §4.8). One trap resolves a
 // window of adjacent pages in the same pending state; `pte_update_batched` replaces the
@@ -49,6 +50,11 @@ struct FaultAroundConfig {
 };
 
 inline constexpr uint32_t kMaxFaultAroundWindow = 16;
+
+// Demand paging: pages left entirely unmapped at the bottom of the stack segment. A touch
+// there has no PTE to fill — unresolvable fault → SIGSEGV — containing runaway stack growth
+// exactly at the segment's floor (DESIGN.md §4.12).
+inline constexpr uint64_t kStackGuardPages = 1;
 
 struct KernelConfig {
   int cores = 4;  // Morello SDP has 4 ARMv8.2-A cores
@@ -68,6 +74,14 @@ struct KernelConfig {
   // Frame-pool watermarks / admission control / backpressure (DESIGN.md §4.10). Disabled by
   // default: the golden-cycle pins cover the disabled configuration.
   OverloadConfig overload;
+  // Demand paging + unified page cache (DESIGN.md §4.12). When on, heap/stack/TLS are
+  // reserved as frame-less kPteNotPresent PTEs populated on first touch (zero-fill or
+  // page-cache read-through), the lowest stack page becomes an unmapped guard gap, fork
+  // duplicates reservations without frames, and mmap placement uses the free-VA scan.
+  // Admission watermarks, tenant caps and check_frame_invariants all bill at population
+  // time automatically — frames simply don't exist earlier. Default off: eager population,
+  // golden-cycle bit-identical.
+  bool demand_paging = false;
   CostModel costs;
   // Sharded-host execution (DESIGN.md §4.11): partition the simulated cores across this many
   // host worker threads. 1 (default) runs the historical single-threaded loop bit-identically.
@@ -103,6 +117,9 @@ struct KernelStats {
   StatCounter fault_cycles;                  // virtual cycles spent in resolvable-fault
                                              // handling (incl. the page_fault trap cost)
   StatCounter regions_tombstoned;  // regions kept reserved at exit (shared frames remain)
+  // Demand paging (DESIGN.md §4.12). Zero unless KernelConfig::demand_paging (or SysMmapFile
+  // / SysSbrk, which exercise the page cache and lazy zones in any configuration).
+  StatCounter pages_demand_filled;  // reservations populated by the fault path
   // Overload control (DESIGN.md §4.10). All zero unless OverloadConfig::enabled.
   StatCounter admission_trips;     // ADMITTING -> REJECTING transitions (low watermark hit)
   StatCounter admission_rejected;  // fork/spawn refused with EAGAIN
@@ -151,6 +168,16 @@ class KernelCore {
   // Overload control (DESIGN.md §4.10): watermark hysteresis, EAGAIN rejection and the
   // backpressure park queue consulted by ProcService::Fork/Spawn. Disabled by default.
   AdmissionController& admission() { return admission_; }
+
+  // VFS-unified page cache (DESIGN.md §4.12): refcounted frames keyed by (inode, page),
+  // read-through filled from ramdisk inodes, shared clean into SysMmapFile mappings.
+  PageCache& page_cache() { return *page_cache_; }
+  const PageCache& page_cache() const { return *page_cache_; }
+
+  // Demand-paging footprint metrics. Resident = frames actually allocated; reserved = VA
+  // mapped as frame-less kPteNotPresent reservations across every page table.
+  uint64_t ResidentFrames() const { return machine_.frames().frames_in_use(); }
+  uint64_t ReservedBytes() const;
 
   // --- frame-accounting invariant (DESIGN.md §4.9) --------------------------------------------
 
@@ -304,6 +331,7 @@ class KernelCore {
   KernelStats stats_;
   FaultInjector fault_injector_;
   AdmissionController admission_;
+  std::unique_ptr<PageCache> page_cache_;
   KernelFrameRefsProvider kernel_frame_refs_;
 };
 

@@ -3,6 +3,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "src/kernel/page_cache.h"
+
 namespace ufork {
 namespace {
 
@@ -24,6 +26,7 @@ struct PageStateCounts {
   uint64_t cow_shared = 0;
   uint64_t copa_armed = 0;  // load-cap-fault attribute still set
   uint64_t map_shared = 0;
+  uint64_t reserved = 0;  // demand reservations: mapped but frame-less
 };
 
 PageStateCounts CountPages(Kernel& kernel, const Uproc& uproc, uint64_t lo, uint64_t hi) {
@@ -34,7 +37,9 @@ PageStateCounts CountPages(Kernel& kernel, const Uproc& uproc, uint64_t lo, uint
   const FrameAllocator& frames = kernel.machine().frames();
   uproc.page_table->ForEachMapped(lo, hi, [&](uint64_t, const Pte& pte) {
     ++counts.total;
-    if ((pte.flags & kPteShared) != 0) {
+    if (!PtePopulated(pte)) {
+      ++counts.reserved;
+    } else if ((pte.flags & kPteShared) != 0) {
       ++counts.map_shared;
     } else if ((pte.flags & kPteCow) != 0 || frames.RefCount(pte.frame) > 1) {
       ++counts.cow_shared;
@@ -97,7 +102,7 @@ std::string MemoryMapReport(Kernel& kernel, Pid pid) {
   std::ostringstream os;
   os << "memory map of pid " << pid << " (" << uproc->name << "), region base 0x" << std::hex
      << uproc->base << std::dec << ":\n";
-  os << "  SEGMENT  PERM      PAGES   PRIVATE  COW-SHARED  COPA-ARMED  MAP-SHARED\n";
+  os << "  SEGMENT  PERM      PAGES   PRIVATE  COW-SHARED  COPA-ARMED  MAP-SHARED  RESERVED\n";
   for (const Segment& segment : segments) {
     const PageStateCounts counts = CountPages(
         kernel, *uproc, uproc->base + segment.off, uproc->base + segment.off + segment.size);
@@ -105,7 +110,7 @@ std::string MemoryMapReport(Kernel& kernel, Pid pid) {
        << segment.perms << "  " << std::setw(9) << counts.total << "  " << std::setw(8)
        << counts.private_pages << "  " << std::setw(10) << counts.cow_shared << "  "
        << std::setw(10) << counts.copa_armed << "  " << std::setw(10) << counts.map_shared
-       << "\n";
+       << "  " << std::setw(8) << counts.reserved << "\n";
   }
   return os.str();
 }
@@ -135,6 +140,13 @@ std::string KernelSummaryReport(Kernel& kernel) {
      << "  regions tombstoned=" << stats.regions_tombstoned
      << " frames in use=" << machine.frames().frames_in_use() << " (peak "
      << machine.frames().peak_frames() << ")\n"
+     << "  memory: resident frames=" << kernel.ResidentFrames()
+     << " reserved bytes=" << kernel.ReservedBytes()
+     << " demand faults=" << machine.demand_faults()
+     << " pages demand-filled=" << stats.pages_demand_filled << "\n"
+     << "  page cache: resident=" << kernel.page_cache().resident_pages()
+     << " hits=" << kernel.page_cache().hits() << " fills=" << kernel.page_cache().fills()
+     << " evictions=" << kernel.page_cache().evictions() << "\n"
      << "  address space: " << kernel.address_space().Stats().region_count << " regions, "
      << std::fixed << std::setprecision(3)
      << kernel.address_space().Stats().ExternalFragmentation() << " external fragmentation\n";

@@ -56,6 +56,15 @@ SimTask<Result<Pid>> ProcService::Fork(Uproc& caller, UprocEntry child_entry) {
     Uproc* child_proc = kernel_.FindUproc(*child);
     UF_CHECK(child_proc != nullptr);
     child_proc->fork_stats.latency = kernel_.sched().Now() - start;
+    // Demand-paging state is backend-agnostic, so it is inherited here rather than in each
+    // backend's sweep. SAS backends place the child at a different base; MAS/VM-clone keep
+    // the parent's layout (base delta zero).
+    const uint64_t delta = child_proc->base - caller.base;
+    child_proc->heap_break = caller.heap_break + delta;
+    child_proc->file_mappings = caller.file_mappings;
+    for (auto& mapping : child_proc->file_mappings) {
+      mapping.va += delta;
+    }
   }
   co_return child;
 }
@@ -504,29 +513,112 @@ SimTask<Result<Capability>> ProcService::MmapAnon(Uproc& caller, uint64_t length
   }
   Machine& machine = kernel_.machine();
   const UprocLayout& layout = kernel_.layout();
-  length = AlignUp(length, kPageSize);
+  // POSIX mmap rejects a zero or non-page-multiple length outright (EINVAL) — exhaustion of
+  // the zone is the only ENOMEM condition.
+  if (length == 0 || length % kPageSize != 0) {
+    co_return Error{Code::kErrInval, "mmap length must be a non-zero page multiple"};
+  }
   const uint64_t zone_end = caller.base + layout.mmap_off() + layout.mmap_size();
-  if (length == 0 || caller.mmap_cursor + length > zone_end) {
+  if (caller.mmap_cursor + length > zone_end) {
     co_return Error{Code::kErrNoMem, "mmap zone exhausted"};
   }
   const uint64_t addr = caller.mmap_cursor;
-  for (uint64_t off = 0; off < length; off += kPageSize) {
-    auto frame = machine.frames().Allocate();
-    if (!frame.ok()) {
-      // All-or-nothing: unmap and release the pages this call already mapped, or the next
-      // mmap over the same cursor would double-map them.
-      for (uint64_t undo = 0; undo < off; undo += kPageSize) {
-        machine.frames().Release(caller.page_table->Unmap(addr + undo));
-      }
-      co_return frame.error();
+  if (kernel_.config().demand_paging) {
+    // Reserve-only: frames arrive on first touch via the demand-fill resolver. A reservation
+    // cannot fail on physical exhaustion — ENOMEM moves to fault time (SIGSEGV containment
+    // if unresolvable there).
+    for (uint64_t off = 0; off < length; off += kPageSize) {
+      machine.Charge(kernel_.costs().pte_dup);
+      caller.page_table->Map(addr + off, kInvalidFrame, kPteNotPresent | kPteZeroFill);
     }
-    machine.Charge(kernel_.costs().frame_alloc + kernel_.costs().pte_update);
-    caller.page_table->Map(addr + off, *frame, kPteRw);
+  } else {
+    for (uint64_t off = 0; off < length; off += kPageSize) {
+      auto frame = machine.frames().Allocate();
+      if (!frame.ok()) {
+        // All-or-nothing: unmap and release the pages this call already mapped, or the next
+        // mmap over the same cursor would double-map them.
+        for (uint64_t undo = 0; undo < off; undo += kPageSize) {
+          machine.frames().Release(caller.page_table->Unmap(addr + undo));
+        }
+        co_return frame.error();
+      }
+      machine.Charge(kernel_.costs().frame_alloc + kernel_.costs().pte_update);
+      caller.page_table->Map(addr + off, *frame, kPteRw);
+    }
   }
   caller.mmap_cursor += length;
   // The returned capability is derived from the μprocess's own authority — it cannot exceed
   // the region (security invariant, §4.2).
   co_return caller.regs.ddc.WithBounds(addr, length);
+}
+
+// --- sbrk -----------------------------------------------------------------------------------
+
+SimTask<Result<uint64_t>> ProcService::Sbrk(Uproc& caller, int64_t delta) {
+  SyscallScope scope(kernel_, caller, Sys::kSbrk);
+  {
+    auto entered = co_await scope.Enter();
+    if (!entered.ok()) {
+      co_return entered.error();
+    }
+  }
+  Machine& machine = kernel_.machine();
+  const UprocLayout& layout = kernel_.layout();
+  const uint64_t heap_lo = caller.base + layout.heap_off();
+  const uint64_t heap_top = heap_lo + layout.heap_size();
+  const uint64_t old_break = caller.heap_break;
+  if (delta == 0) {
+    co_return old_break;
+  }
+  if (delta < 0) {
+    const uint64_t shrink = static_cast<uint64_t>(-delta);
+    // The floor preserves the first heap page: it holds the guest allocator's root record
+    // (tinyalloc.h) and every μprocess relies on it existing.
+    if (shrink > old_break || old_break - shrink < heap_lo + kPageSize) {
+      co_return Error{Code::kErrInval, "sbrk shrink below the heap floor"};
+    }
+    const uint64_t new_break = old_break - shrink;
+    // Whole pages above the new break are returned: frames released, reservations dropped.
+    for (uint64_t va = AlignUp(new_break, kPageSize); va < AlignUp(old_break, kPageSize);
+         va += kPageSize) {
+      machine.Charge(kernel_.costs().pte_update);
+      const FrameId frame = caller.page_table->Unmap(va);
+      if (frame != kInvalidFrame) {
+        machine.frames().Release(frame);
+      }
+    }
+    caller.heap_break = new_break;
+    co_return old_break;
+  }
+  const uint64_t new_break = old_break + static_cast<uint64_t>(delta);
+  if (new_break < old_break || new_break > heap_top) {
+    // The heap is statically sized at build time (§4.2): the break can never move past it.
+    co_return Error{Code::kErrNoMem, "sbrk beyond the static heap"};
+  }
+  const uint64_t map_lo = AlignUp(old_break, kPageSize);
+  const uint64_t map_hi = AlignUp(new_break, kPageSize);
+  if (kernel_.config().demand_paging) {
+    // Lazy zero-fill growth: reservations only; frames arrive on first touch.
+    for (uint64_t va = map_lo; va < map_hi; va += kPageSize) {
+      machine.Charge(kernel_.costs().pte_dup);
+      caller.page_table->Map(va, kInvalidFrame, kPteNotPresent | kPteZeroFill);
+    }
+  } else {
+    for (uint64_t va = map_lo; va < map_hi; va += kPageSize) {
+      auto frame = machine.frames().Allocate();
+      if (!frame.ok()) {
+        // All-or-nothing: a failed growth leaves the break (and every page) where it was.
+        for (uint64_t undo = map_lo; undo < va; undo += kPageSize) {
+          machine.frames().Release(caller.page_table->Unmap(undo));
+        }
+        co_return frame.error();
+      }
+      machine.Charge(kernel_.costs().frame_alloc + kernel_.costs().pte_update);
+      caller.page_table->Map(va, *frame, kPteRw);
+    }
+  }
+  caller.heap_break = new_break;
+  co_return old_break;
 }
 
 }  // namespace ufork

@@ -52,6 +52,10 @@ class ProcService {
 
   SimTask<Result<Capability>> MmapAnon(Uproc& caller, uint64_t length);
 
+  // sbrk(2) against the build-time static heap (§4.2): grow maps pages up to the heap top
+  // (lazily under demand paging), shrink returns whole pages; returns the previous break.
+  SimTask<Result<uint64_t>> Sbrk(Uproc& caller, int64_t delta);
+
   // Runs pending handlers / default actions for `uproc`. If a fatal default fires, tears the
   // μprocess down and never returns (exits the thread). Called by every delivery point,
   // including FileService::Read and Nanosleep.

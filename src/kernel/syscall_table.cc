@@ -43,6 +43,9 @@ constexpr std::array<SyscallDesc, kNumSyscalls> kTable = {{
     {Sys::kShmUnlink, "shm_unlink", kFast, LockDomain::kIpc},
     {Sys::kFutexWait, "futex_wait", kBlocking, LockDomain::kIpc},
     {Sys::kFutexWake, "futex_wake", kFast, LockDomain::kIpc},
+    // --- demand-paged memory (appended so the established row indices stay stable) ---
+    {Sys::kSbrk, "sbrk", kFast, LockDomain::kProc},
+    {Sys::kMmapFile, "mmap_file", kFast, LockDomain::kFile},
 }};
 
 // The table must be indexed by Sys: row i describes syscall i.

@@ -48,6 +48,8 @@ enum class Sys : uint16_t {
   kShmUnlink,
   kFutexWait,
   kFutexWake,
+  kSbrk,
+  kMmapFile,
   kCount,
 };
 

@@ -15,6 +15,7 @@
 #include "src/base/units.h"
 #include "src/kernel/fd.h"
 #include "src/kernel/signal.h"
+#include "src/kernel/vfs.h"
 #include "src/machine/register_file.h"
 #include "src/mem/frame_allocator.h"
 #include "src/mem/page_table.h"
@@ -44,6 +45,7 @@ struct ForkStats {
   uint64_t caps_relocated_eagerly = 0;
   uint64_t registers_relocated = 0;
   uint64_t bytes_copied_eagerly = 0;
+  uint64_t pages_reserved = 0;  // not-present reservations inherited lazily (demand paging)
 };
 
 class Uproc {
@@ -76,6 +78,29 @@ class Uproc {
   PageTable* page_table = nullptr;        // SAS: the kernel's shared table
   std::unique_ptr<PageTable> owned_pt;    // MAS/VM backends: private table
   uint64_t mmap_cursor = 0;               // bump pointer within the mmap segment
+
+  // --- demand paging (DESIGN.md §4.12) ---
+  // Absolute VA of the heap break: sbrk moves it within (heap_off, heap_off + heap_size];
+  // pages at/above the break are unmapped, pages below are populated or reserved.
+  uint64_t heap_break = 0;
+  // File-backed mmap windows (SysMmapFile): the PTE only says kPteFileBacked; this table
+  // names the inode and starting file page, so the demand-fill path knows what to read
+  // through the page cache. Rebased on fork (child region) and compaction moves.
+  struct FileMapping {
+    uint64_t va = 0;          // absolute, page aligned
+    uint64_t pages = 0;       // extent in pages
+    uint64_t start_page = 0;  // file page index mapped at `va`
+    std::shared_ptr<RamFs::Inode> inode;
+  };
+  std::vector<FileMapping> file_mappings;
+  const FileMapping* FileMappingAt(uint64_t va) const {
+    for (const auto& m : file_mappings) {
+      if (va >= m.va && va < m.va + m.pages * kPageSize) {
+        return &m;
+      }
+    }
+    return nullptr;
+  }
 
   // --- architectural state ---
   RegisterFile regs;

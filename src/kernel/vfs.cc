@@ -17,16 +17,27 @@ Result<std::shared_ptr<OpenFile>> RamFs::Open(const std::string& path, uint32_t 
     it = inodes_.emplace(path, std::make_shared<Inode>()).first;
   }
   if ((flags & kOpenTrunc) != 0 && (flags & kOpenWrite) != 0) {
-    std::lock_guard<std::mutex> lk(it->second->mu);
-    it->second->data.clear();
+    {
+      std::lock_guard<std::mutex> lk(it->second->mu);
+      it->second->data.clear();
+    }
+    if (on_invalidate_) {
+      on_invalidate_(it->second.get());
+    }
   }
   return std::static_pointer_cast<OpenFile>(
-      std::make_shared<RamFileHandle>(it->second, flags, injector_));
+      std::make_shared<RamFileHandle>(it->second, flags, injector_, on_invalidate_));
 }
 
 Result<void> RamFs::Unlink(const std::string& path) {
-  if (inodes_.erase(path) == 0) {
+  auto it = inodes_.find(path);
+  if (it == inodes_.end()) {
     return Error{Code::kErrNoEnt, "unlink: no such file"};
+  }
+  const void* key = it->second.get();
+  inodes_.erase(it);
+  if (on_invalidate_) {
+    on_invalidate_(key);
   }
   return OkResult();
 }
@@ -36,9 +47,21 @@ Result<void> RamFs::Rename(const std::string& from, const std::string& to) {
   if (it == inodes_.end()) {
     return Error{Code::kErrNoEnt, "rename: no such file"};
   }
+  const auto replaced = inodes_.find(to);
+  const void* replaced_key =
+      (replaced != inodes_.end() && replaced->second != it->second) ? replaced->second.get()
+                                                                    : nullptr;
   inodes_[to] = it->second;
-  inodes_.erase(it);
+  inodes_.erase(from);
+  if (replaced_key != nullptr && on_invalidate_) {
+    on_invalidate_(replaced_key);  // rename-over: the overwritten inode's pages are stale
+  }
   return OkResult();
+}
+
+std::shared_ptr<RamFs::Inode> RamFs::InodeOf(const std::string& path) const {
+  auto it = inodes_.find(path);
+  return it == inodes_.end() ? nullptr : it->second;
 }
 
 Result<uint64_t> RamFs::FileSize(const std::string& path) const {
@@ -87,25 +110,30 @@ SimTask<Result<int64_t>> RamFileHandle::Write(std::span<const std::byte> in) {
   if ((flags_ & kOpenWrite) == 0) {
     co_return Error{Code::kErrBadFd, "write on read-only file"};
   }
-  std::lock_guard<std::mutex> lk(inode_->mu);
-  if ((flags_ & kOpenAppend) != 0) {
-    offset_ = inode_->data.size();
-  }
-  if (offset_ + in.size() > inode_->data.size()) {
-    if (injector_ != nullptr) {
-      // One probe per 4 KiB growth block, all checked before the resize: a failed write
-      // leaves both the file contents and its size untouched (ENOSPC, disk full).
-      const uint64_t growth = offset_ + in.size() - inode_->data.size();
-      for (uint64_t charged = 0; charged < growth; charged += kVfsBlockSize) {
-        if (injector_->ShouldFail(FaultSite::kVfsGrow)) {
-          co_return Error{Code::kErrNoSpc, "ramdisk block allocation failed (injected)"};
+  {
+    std::lock_guard<std::mutex> lk(inode_->mu);
+    if ((flags_ & kOpenAppend) != 0) {
+      offset_ = inode_->data.size();
+    }
+    if (offset_ + in.size() > inode_->data.size()) {
+      if (injector_ != nullptr) {
+        // One probe per 4 KiB growth block, all checked before the resize: a failed write
+        // leaves both the file contents and its size untouched (ENOSPC, disk full).
+        const uint64_t growth = offset_ + in.size() - inode_->data.size();
+        for (uint64_t charged = 0; charged < growth; charged += kVfsBlockSize) {
+          if (injector_->ShouldFail(FaultSite::kVfsGrow)) {
+            co_return Error{Code::kErrNoSpc, "ramdisk block allocation failed (injected)"};
+          }
         }
       }
+      inode_->data.resize(offset_ + in.size());
     }
-    inode_->data.resize(offset_ + in.size());
+    std::memcpy(inode_->data.data() + offset_, in.data(), in.size());
+    offset_ += in.size();
   }
-  std::memcpy(inode_->data.data() + offset_, in.data(), in.size());
-  offset_ += in.size();
+  if (invalidate_) {
+    invalidate_(inode_.get());  // bytes changed: stale cached pages must not serve fills
+  }
   co_return static_cast<int64_t>(in.size());
 }
 

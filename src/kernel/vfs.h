@@ -8,10 +8,12 @@
 #define UFORK_SRC_KERNEL_VFS_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/base/fault_injection.h"
@@ -36,6 +38,11 @@ inline constexpr uint64_t kVfsBlockSize = 4096;
 
 class RamFs {
  public:
+  // Invoked with the Inode pointer whenever an inode's bytes change or the inode leaves the
+  // namespace (write, truncate-on-open, unlink, rename-overwrite): the unified page cache
+  // keys on inode identity and must drop stale pages.
+  using InvalidateFn = std::function<void(const void* inode_key)>;
+
   struct Inode {
     // Guards data: handles to the same inode can live on different shard workers, and the
     // transfer runs outside the kFile domain lock (FileService leaves the kernel section
@@ -49,6 +56,9 @@ class RamFs {
   Result<void> Unlink(const std::string& path);
   Result<void> Rename(const std::string& from, const std::string& to);
   Result<uint64_t> FileSize(const std::string& path) const;
+  // The inode backing `path`, or null if absent. SysMmapFile names page-cache pages by inode
+  // identity, which (like a POSIX mmap) survives a later rename of the path.
+  std::shared_ptr<Inode> InodeOf(const std::string& path) const;
   bool Exists(const std::string& path) const { return inodes_.count(path) != 0; }
   std::vector<std::string> List() const;
 
@@ -58,8 +68,13 @@ class RamFs {
   // would grow a file (disk full, ENOSPC). Null: disabled.
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
+  // Null: no cache to keep coherent. Fired outside inode->mu (the cache fill path takes its
+  // own lock before the inode's).
+  void set_invalidate_hook(InvalidateFn fn) { on_invalidate_ = std::move(fn); }
+
  private:
   FaultInjector* injector_ = nullptr;
+  InvalidateFn on_invalidate_;
   std::map<std::string, std::shared_ptr<Inode>> inodes_;
 };
 
@@ -67,8 +82,11 @@ class RamFs {
 class RamFileHandle : public OpenFile {
  public:
   RamFileHandle(std::shared_ptr<RamFs::Inode> inode, uint32_t flags,
-                FaultInjector* injector = nullptr)
-      : inode_(std::move(inode)), flags_(flags), injector_(injector) {}
+                FaultInjector* injector = nullptr, RamFs::InvalidateFn invalidate = nullptr)
+      : inode_(std::move(inode)),
+        flags_(flags),
+        injector_(injector),
+        invalidate_(std::move(invalidate)) {}
 
   SimTask<Result<int64_t>> Read(std::span<std::byte> out) override;
   SimTask<Result<int64_t>> Write(std::span<const std::byte> in) override;
@@ -79,6 +97,7 @@ class RamFileHandle : public OpenFile {
   std::shared_ptr<RamFs::Inode> inode_;
   uint32_t flags_;
   FaultInjector* injector_ = nullptr;
+  RamFs::InvalidateFn invalidate_;
   uint64_t offset_ = 0;
 };
 

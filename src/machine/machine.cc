@@ -14,6 +14,24 @@ Result<Pte> Machine::TranslateForAccess(PageTable& pt, uint64_t page_va, uint64_
     if (pte == nullptr) {
       return Error{Code::kFaultNotMapped, "access to unmapped page"};
     }
+    if ((pte->flags & kPteNotPresent) != 0) {
+      // Demand-paging reservation: the VA is mapped but holds no frame yet. The kernel's
+      // demand-fill path populates it (zero-fill or page-cache read-through); a failed fill
+      // surfaces as an unresolvable fault the kernel turns into SIGSEGV.
+      if (!fault_resolver_ || attempt == 1) {
+        return Error{Code::kFaultNotPresent, "access to unpopulated page"};
+      }
+      PageFaultInfo info;
+      info.kind = Code::kFaultNotPresent;
+      info.va = page_va;
+      info.access_end = std::max(access_end, page_va + 1);
+      info.is_write = is_write;
+      info.page_table = &pt;
+      Charge(costs_.page_fault);
+      demand_faults_.fetch_add(1, std::memory_order_relaxed);
+      UF_RETURN_IF_ERROR(fault_resolver_(info));
+      continue;  // retry with the populated mapping
+    }
     // First touch of a speculatively-resolved page: consume the fault-around marker so the
     // adaptive controller knows the speculative copy paid off (host-side bookkeeping only).
     pte->flags &= ~kPteFaultAround;
@@ -169,7 +187,7 @@ void Machine::KernelWrite(PageTable& pt, uint64_t va, std::span<const std::byte>
     const uint64_t offset = addr - page_va;
     const uint64_t chunk = std::min<uint64_t>(in.size() - done, kPageSize - offset);
     const std::optional<Pte> pte = pt.Lookup(page_va);
-    UF_CHECK_MSG(pte.has_value(), "kernel write to unmapped page");
+    UF_CHECK_MSG(pte.has_value() && PtePopulated(*pte), "kernel write to unmapped page");
     frames_.frame(pte->frame).Write(offset, in.subspan(done, chunk));
     done += chunk;
   }
@@ -183,7 +201,7 @@ void Machine::KernelRead(PageTable& pt, uint64_t va, std::span<std::byte> out) {
     const uint64_t offset = addr - page_va;
     const uint64_t chunk = std::min<uint64_t>(out.size() - done, kPageSize - offset);
     const std::optional<Pte> pte = pt.Lookup(page_va);
-    UF_CHECK_MSG(pte.has_value(), "kernel read from unmapped page");
+    UF_CHECK_MSG(pte.has_value() && PtePopulated(*pte), "kernel read from unmapped page");
     frames_.frame(pte->frame).Read(offset, out.subspan(done, chunk));
     done += chunk;
   }
@@ -192,14 +210,14 @@ void Machine::KernelRead(PageTable& pt, uint64_t va, std::span<std::byte> out) {
 void Machine::KernelStoreCap(PageTable& pt, uint64_t va, const Capability& value) {
   const uint64_t page_va = AlignDown(va, kPageSize);
   const std::optional<Pte> pte = pt.Lookup(page_va);
-  UF_CHECK_MSG(pte.has_value(), "kernel cap store to unmapped page");
+  UF_CHECK_MSG(pte.has_value() && PtePopulated(*pte), "kernel cap store to unmapped page");
   frames_.frame(pte->frame).StoreCap(va - page_va, value);
 }
 
 Result<Capability> Machine::KernelLoadCap(PageTable& pt, uint64_t va) {
   const uint64_t page_va = AlignDown(va, kPageSize);
   const std::optional<Pte> pte = pt.Lookup(page_va);
-  if (!pte.has_value()) {
+  if (!pte.has_value() || !PtePopulated(*pte)) {
     return Error{Code::kFaultNotMapped, "kernel cap load from unmapped page"};
   }
   return frames_.frame(pte->frame).LoadCap(va - page_va);

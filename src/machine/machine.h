@@ -28,7 +28,9 @@
 namespace ufork {
 
 struct PageFaultInfo {
-  Code kind = Code::kOk;  // kFaultPageProt (CoW write) or kFaultCapLoadPage (CoPA)
+  // kFaultPageProt (CoW write), kFaultCapLoadPage (CoPA), or kFaultNotPresent (demand fill
+  // of a reserved-but-unpopulated page, DESIGN.md §4.12).
+  Code kind = Code::kOk;
   uint64_t va = 0;        // page-aligned faulting address
   // Exclusive end of the guest access that faulted. A bulk Load/Store that spans pages beyond
   // `va` announces its full extent here, letting the fault-around resolver size its window to
@@ -117,6 +119,7 @@ class Machine {
   uint64_t cap_load_faults() const {
     return cap_load_faults_.load(std::memory_order_relaxed);
   }
+  uint64_t demand_faults() const { return demand_faults_.load(std::memory_order_relaxed); }
 
  private:
   // Translates, checks page permissions, and resolves CoW/CoPA faults. Returns the PTE.
@@ -130,6 +133,7 @@ class Machine {
   FaultResolver fault_resolver_;
   std::atomic<uint64_t> cow_faults_{0};
   std::atomic<uint64_t> cap_load_faults_{0};
+  std::atomic<uint64_t> demand_faults_{0};
 };
 
 }  // namespace ufork

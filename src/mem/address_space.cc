@@ -104,7 +104,19 @@ void AddressSpace::FreeRegion(uint64_t base) {
   UF_CHECK_MSG(it != allocated_.end(), "freeing an unallocated region");
   const uint64_t size = it->second;
   allocated_.erase(it);
+  reserve_only_.erase(base);
   InsertFree(base, size);
+}
+
+void AddressSpace::MarkReserveOnly(uint64_t base) {
+  auto lk = WriteLock();
+  UF_CHECK_MSG(allocated_.count(base) != 0, "reserve-only tag on an unallocated region");
+  reserve_only_.insert(base);
+}
+
+bool AddressSpace::IsReserveOnly(uint64_t base) const {
+  auto lk = ReadLock();
+  return reserve_only_.count(base) != 0;
 }
 
 void AddressSpace::InsertFree(uint64_t base, uint64_t size) {
@@ -169,6 +181,12 @@ AddressSpaceStats AddressSpace::Stats() const {
   for (const auto& [base, size] : free_) {
     stats.free_bytes += size;
     stats.largest_free_block = std::max(stats.largest_free_block, size);
+  }
+  for (const uint64_t base : reserve_only_) {
+    auto it = allocated_.find(base);
+    if (it != allocated_.end()) {
+      stats.reserved_bytes += it->second;
+    }
   }
   return stats;
 }

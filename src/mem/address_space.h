@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <shared_mutex>
 #include <utility>
 
@@ -26,6 +27,9 @@ struct AddressSpaceStats {
   uint64_t free_bytes = 0;
   uint64_t largest_free_block = 0;
   uint64_t region_count = 0;
+  // Bytes granted reserve-only (demand paging): VA handed out, frames deferred to first
+  // touch. Disjoint accounting from free_bytes — these regions ARE allocated.
+  uint64_t reserved_bytes = 0;
   // External fragmentation in [0,1]: 1 - largest_free_block / free_bytes.
   double ExternalFragmentation() const {
     if (free_bytes == 0) {
@@ -53,6 +57,13 @@ class AddressSpace {
   // Lowest base at which a first-fit allocation of (size, align) would land, without
   // allocating. Ignores ASLR (the compactor packs deterministically).
   std::optional<uint64_t> FirstFitBase(uint64_t size, uint64_t align) const;
+
+  // Demand paging (DESIGN.md §4.12): tags an allocated region as reserve-only — VA granted
+  // now, frames deferred to first touch. Pure accounting (AddressSpaceStats::reserved_bytes);
+  // the page table owns actual population state. FreeRegion clears the tag; the compactor
+  // re-tags the destination when it moves a tagged region.
+  void MarkReserveOnly(uint64_t base);
+  bool IsReserveOnly(uint64_t base) const;
 
   // Returns the base of the allocated region containing `addr`, if any. The fork relocation
   // scanner uses this to find which μprocess a stale capability points into (chained forks:
@@ -112,6 +123,7 @@ class AddressSpace {
   mutable std::shared_mutex mu_;
   std::map<uint64_t, uint64_t> free_;       // base -> size, coalesced
   std::map<uint64_t, uint64_t> allocated_;  // base -> size
+  std::set<uint64_t> reserve_only_;         // bases of demand-reserved regions
   std::optional<Rng> aslr_rng_;
 };
 

@@ -85,33 +85,51 @@ const Pte* PageTable::WalkConst(uint64_t va) const {
 
 void PageTable::Map(uint64_t va, FrameId frame, uint32_t flags) {
   Pte* pte = Walk(va, /*create=*/true);
-  UF_CHECK_MSG(pte->frame == kInvalidFrame, "mapping an already mapped page");
-  UF_CHECK(frame != kInvalidFrame);
+  UF_CHECK_MSG(!PteInUse(*pte), "mapping an already mapped page");
+  UF_CHECK_MSG(frame != kInvalidFrame || (flags & kPteNotPresent) != 0,
+               "frame-less mapping without kPteNotPresent");
   pte->frame = frame;
   pte->flags = flags;
   ++mapped_pages_;
+  if (frame == kInvalidFrame) {
+    ++not_present_pages_;
+  }
 }
 
 FrameId PageTable::Unmap(uint64_t va) {
   Pte* pte = Walk(va, /*create=*/false);
-  UF_CHECK_MSG(pte != nullptr && pte->frame != kInvalidFrame, "unmapping an unmapped page");
+  UF_CHECK_MSG(pte != nullptr && PteInUse(*pte), "unmapping an unmapped page");
   const FrameId frame = pte->frame;
   pte->frame = kInvalidFrame;
   pte->flags = 0;
   mapped_pages_ -= 1;
+  if (frame == kInvalidFrame) {
+    not_present_pages_ -= 1;
+  }
   return frame;
 }
 
 void PageTable::Remap(uint64_t va, FrameId frame, uint32_t flags) {
   Pte* pte = Walk(va, /*create=*/false);
-  UF_CHECK_MSG(pte != nullptr && pte->frame != kInvalidFrame, "remapping an unmapped page");
+  UF_CHECK_MSG(pte != nullptr && PteInUse(*pte), "remapping an unmapped page");
+  UF_CHECK_MSG(frame != kInvalidFrame || (flags & kPteNotPresent) != 0,
+               "frame-less remap without kPteNotPresent");
+  const bool was_reserved = pte->frame == kInvalidFrame;
+  const bool now_reserved = frame == kInvalidFrame;
   pte->frame = frame;
   pte->flags = flags;
+  if (was_reserved && !now_reserved) {
+    not_present_pages_ -= 1;
+  } else if (!was_reserved && now_reserved) {
+    ++not_present_pages_;
+  }
 }
 
 void PageTable::SetFlags(uint64_t va, uint32_t flags) {
   Pte* pte = Walk(va, /*create=*/false);
-  UF_CHECK_MSG(pte != nullptr && pte->frame != kInvalidFrame, "protecting an unmapped page");
+  UF_CHECK_MSG(pte != nullptr && PteInUse(*pte), "protecting an unmapped page");
+  UF_CHECK_MSG(pte->frame != kInvalidFrame || (flags & kPteNotPresent) != 0,
+               "flags change would strand a frame-less reservation");
   pte->flags = flags;
 }
 
@@ -131,7 +149,7 @@ void PageTable::SetFlagsRange(uint64_t va, uint64_t pages, uint32_t flags,
 
 std::optional<Pte> PageTable::Lookup(uint64_t va) const {
   const Pte* pte = WalkConst(va);
-  if (pte == nullptr || pte->frame == kInvalidFrame) {
+  if (pte == nullptr || !PteInUse(*pte)) {
     return std::nullopt;
   }
   return *pte;
@@ -139,7 +157,7 @@ std::optional<Pte> PageTable::Lookup(uint64_t va) const {
 
 Pte* PageTable::LookupMutable(uint64_t va) {
   Pte* pte = Walk(va, /*create=*/false);
-  if (pte == nullptr || pte->frame == kInvalidFrame) {
+  if (pte == nullptr || !PteInUse(*pte)) {
     return nullptr;
   }
   return pte;
@@ -176,7 +194,7 @@ void PageTable::ForEachMapped(uint64_t lo, uint64_t hi,
     uint64_t idx = IndexAt(va, kLevels - 1);
     for (; idx < kFanout && va < hi; ++idx, va += kPageSize) {
       Pte& pte = (*ptes)[idx];
-      if (pte.frame != kInvalidFrame) {
+      if (PteInUse(pte)) {
         fn(va, pte);
       }
     }
@@ -193,6 +211,27 @@ uint64_t PageTable::CountMapped(uint64_t lo, uint64_t hi) const {
   uint64_t n = 0;
   ForEachMapped(lo, hi, [&n](uint64_t, const Pte&) { ++n; });
   return n;
+}
+
+std::optional<uint64_t> PageTable::FindUnmappedRun(uint64_t lo, uint64_t hi,
+                                                  uint64_t pages) const {
+  if (pages == 0) {
+    return std::nullopt;
+  }
+  uint64_t run_start = AlignUp(lo, kPageSize);
+  uint64_t run_len = 0;
+  for (uint64_t va = run_start; va + kPageSize <= hi; va += kPageSize) {
+    const Pte* pte = WalkConst(va);
+    if (pte != nullptr && PteInUse(*pte)) {
+      run_start = va + kPageSize;
+      run_len = 0;
+      continue;
+    }
+    if (++run_len == pages) {
+      return run_start;
+    }
+  }
+  return std::nullopt;
 }
 
 }  // namespace ufork

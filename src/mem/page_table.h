@@ -36,6 +36,11 @@ enum PteFlags : uint32_t {
   kPteShared = 1u << 5,        // MAP_SHARED memory: exempt from fork-time CoW
   kPteFaultAround = 1u << 6,   // resolved speculatively by fault-around; cleared on first
                                // access — still set when rescanned means the copy was wasted
+  kPteNotPresent = 1u << 7,    // reserved VA, no frame yet: first touch raises a resolvable
+                               // demand fault (DESIGN.md §4.12); frame must be kInvalidFrame
+  kPteZeroFill = 1u << 8,      // with kPteNotPresent: populate with a zeroed frame on touch
+  kPteFileBacked = 1u << 9,    // with kPteNotPresent: populate from the VFS page cache
+                               // (the owning μprocess's file-mapping table names the inode)
 
   kPteRw = kPteRead | kPteWrite,
   kPteRx = kPteRead | kPteExec,
@@ -45,6 +50,14 @@ struct Pte {
   FrameId frame = kInvalidFrame;
   uint32_t flags = 0;
 };
+
+// A PTE slot is *in use* if it holds a frame or a demand-paging reservation; only in-use
+// slots are returned by Lookup and visited by ForEachMapped. A slot with kInvalidFrame and
+// no kPteNotPresent bit is free (the historical "unmapped" sentinel).
+inline bool PteInUse(const Pte& pte) {
+  return pte.frame != kInvalidFrame || (pte.flags & kPteNotPresent) != 0;
+}
+inline bool PtePopulated(const Pte& pte) { return pte.frame != kInvalidFrame; }
 
 class PageTable {
  public:
@@ -56,9 +69,11 @@ class PageTable {
 
   // Maps the page containing `va` to `frame` with `flags`. The page must not be mapped.
   // Frame refcounting is the caller's responsibility (the VM layer owns that policy).
+  // A kInvalidFrame frame is legal iff `flags` carries kPteNotPresent (a reservation).
   void Map(uint64_t va, FrameId frame, uint32_t flags);
 
-  // Unmaps the page containing `va`, returning its frame. The page must be mapped.
+  // Unmaps the page containing `va`, returning its frame. The page must be in use; a
+  // not-present reservation unmaps to kInvalidFrame (there is no frame to release).
   FrameId Unmap(uint64_t va);
 
   // Replaces the frame and/or flags of an existing mapping.
@@ -86,7 +101,17 @@ class PageTable {
 
   uint64_t CountMapped(uint64_t lo, uint64_t hi) const;
 
+  // First page-aligned VA in [lo, hi) starting a run of `pages` free slots (neither populated
+  // nor reserved), or nullopt. The free-VA scan behind demand-mode mmap placement — the
+  // AdrOS vmm_find_free_area idea adapted to the radix table.
+  std::optional<uint64_t> FindUnmappedRun(uint64_t lo, uint64_t hi, uint64_t pages) const;
+
+  // In-use slots: populated frames plus not-present reservations.
   uint64_t mapped_pages() const { return mapped_pages_.value(); }
+  // Reservations awaiting their first touch (demand paging); mapped but frame-less.
+  uint64_t not_present_pages() const { return not_present_pages_.value(); }
+  // Slots actually holding a frame — the table's contribution to resident memory.
+  uint64_t resident_pages() const { return mapped_pages() - not_present_pages(); }
   // Number of radix nodes allocated — the "page table memory" a real kernel would spend.
   uint64_t node_count() const { return node_count_.value(); }
 
@@ -108,6 +133,7 @@ class PageTable {
   std::unique_ptr<Table> root_;
   // StatCounters: locked RMWs only while a sharded host is live (hot on fork map/unmap).
   StatCounter mapped_pages_{0};
+  StatCounter not_present_pages_{0};
   StatCounter node_count_{0};
 };
 

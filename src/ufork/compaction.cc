@@ -37,7 +37,7 @@ Result<CompactionStats> CompactAddressSpace(Kernel& kernel) {
     pt.ForEachMapped(uproc->base, uproc->base + uproc->size,
                      [&](uint64_t va, const Pte& pte) {
                        pages.emplace_back(va, pte);
-                       if ((pte.flags & kPteShared) == 0 &&
+                       if ((pte.flags & kPteShared) == 0 && PtePopulated(pte) &&
                            machine.frames().RefCount(pte.frame) > 1) {
                          entangled = true;
                        }
@@ -83,8 +83,8 @@ Result<CompactionStats> CompactAddressSpace(Kernel& kernel) {
     std::vector<FrameId> rewritten;
     bool aborted = false;
     for (const auto& [va, pte] : pages) {
-      if ((pte.flags & kPteShared) != 0) {
-        continue;  // tag-free shared windows
+      if ((pte.flags & kPteShared) != 0 || !PtePopulated(pte)) {
+        continue;  // tag-free shared windows; reservations have no frame to scan
       }
       if (injector.ShouldFail(FaultSite::kCompactRelocate)) {
         aborted = true;
@@ -122,6 +122,13 @@ Result<CompactionStats> CompactAddressSpace(Kernel& kernel) {
     caps_relocated += reg_reloc.relocated;
 
     uproc->mmap_cursor = new_base + (uproc->mmap_cursor - old_base);
+    uproc->heap_break = new_base + (uproc->heap_break - old_base);
+    for (auto& mapping : uproc->file_mappings) {
+      mapping.va = new_base + (mapping.va - old_base);
+    }
+    if (as.IsReserveOnly(old_base)) {
+      as.MarkReserveOnly(new_base);  // reserved-bytes accounting follows the region
+    }
     uproc->base = new_base;
     as.FreeRegion(old_base);
     stats.pages_remapped += pages_remapped;

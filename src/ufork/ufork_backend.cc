@@ -75,6 +75,13 @@ Result<Pid> UforkBackend::Fork(KernelCore& kernel, Uproc& parent, UprocEntry ent
     const uint32_t seg_flags = kernel.SegmentFlagsAt(offset);
     machine.Charge(costs.pte_dup);
 
+    if (!PtePopulated(parent_pte)) {
+      // Demand reservation: the child inherits the lazy state verbatim — no frame to share,
+      // relocate, or CoW-protect; each side fills privately on first touch.
+      pt.Map(child_va, kInvalidFrame, parent_pte.flags);
+      ++stats.pages_reserved;
+      continue;
+    }
     if ((parent_pte.flags & kPteShared) != 0) {
       // MAP_SHARED window: the child maps the same frames writable — POSIX keeps shared
       // mappings shared across fork; no CoW, no relocation (the window holds no tags).
@@ -174,6 +181,9 @@ Result<void> UforkBackend::ResolveFault(KernelCore& kernel, const PageFaultInfo&
     // Guest-reachable (an access through a stale capability can fault inside an owned region
     // on a page that was never mapped): delivered to the guest, never a host abort.
     return Error{Code::kFaultNotMapped, "fault on unmapped page"};
+  }
+  if ((pte->flags & kPteNotPresent) != 0) {
+    return ResolveDemandFault(kernel, *uproc, pt, info, *pte);
   }
   if ((pte->flags & (kPteCow | kPteLoadCapFault)) == 0) {
     return Error{Code::kFaultPageProt, "fault on a non-shared page"};

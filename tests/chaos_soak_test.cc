@@ -49,8 +49,9 @@ int SoakShards() {
   return 1;
 }
 
-KernelConfig SoakConfig() {
+KernelConfig SoakConfig(bool demand_paging) {
   KernelConfig config;
+  config.demand_paging = demand_paging;
   config.layout.text_size = 32 * kKiB;
   config.layout.rodata_size = 8 * kKiB;
   config.layout.got_size = 4 * kKiB;
@@ -172,8 +173,8 @@ struct SoakRun {
 
 using KernelFactory = std::unique_ptr<Kernel> (*)(KernelConfig config);
 
-SoakRun RunSoak(KernelFactory make, uint64_t seed) {
-  auto kernel = make(SoakConfig());
+SoakRun RunSoak(KernelFactory make, uint64_t seed, bool demand_paging) {
+  auto kernel = make(SoakConfig(demand_paging));
   auto pid = kernel->Spawn(MakeGuestEntry([](Guest& g) -> SimTask<void> {
                              co_await RunInit(g);
                            }),
@@ -212,6 +213,7 @@ void ExpectStatsEq(const KernelStats& a, const KernelStats& b, uint64_t seed) {
   EXPECT_EQ(a.pages_resolved_by_faultaround, b.pages_resolved_by_faultaround) << "seed " << seed;
   EXPECT_EQ(a.pages_reclaimed_in_place, b.pages_reclaimed_in_place) << "seed " << seed;
   EXPECT_EQ(a.speculative_pages_wasted, b.speculative_pages_wasted) << "seed " << seed;
+  EXPECT_EQ(a.pages_demand_filled, b.pages_demand_filled) << "seed " << seed;
   EXPECT_EQ(a.fault_cycles, b.fault_cycles) << "seed " << seed;
   EXPECT_EQ(a.regions_tombstoned, b.regions_tombstoned) << "seed " << seed;
   EXPECT_EQ(a.per_syscall, b.per_syscall) << "seed " << seed;
@@ -238,19 +240,19 @@ std::vector<uint64_t> SoakSeeds() {
   return seeds;
 }
 
-void SoakSystem(const char* name, KernelFactory make) {
+void SoakSystem(const char* name, KernelFactory make, bool demand_paging = false) {
   uint64_t total_failures = 0;
   uint64_t total_forks = 0;
   uint64_t total_syscalls = 0;
   const std::vector<uint64_t> seeds = SoakSeeds();
   for (const uint64_t seed : seeds) {
     SCOPED_TRACE("seed " + std::to_string(seed));
-    const SoakRun first = RunSoak(make, seed);
+    const SoakRun first = RunSoak(make, seed, demand_paging);
     if (SoakShards() == 1) {
       // Replay bit-identity is a single-shard property: with concurrent shard workers the
       // injector's hit order — and therefore which μprocess a probabilistic policy strikes —
       // follows host timing. RunSoak's containment and leak checks hold at any shard count.
-      const SoakRun replay = RunSoak(make, seed);
+      const SoakRun replay = RunSoak(make, seed, demand_paging);
       EXPECT_EQ(first.completion, replay.completion)
           << "chaos run is not a pure function of the seed";
       EXPECT_EQ(first.failures_injected, replay.failures_injected);
@@ -279,6 +281,25 @@ TEST(ChaosSoak, MasSurvivesSeededStorm) {
 
 TEST(ChaosSoak, VmCloneSurvivesSeededStorm) {
   SoakSystem("vmclone", [](KernelConfig c) { return MakeVmCloneKernel(c, VmCloneParams{}); });
+}
+
+// The same storm with demand paging on: every worker's anonymous window and heap touch now
+// runs through the lazy-fill fault path, so kLazyFillAlloc (and the rest of the armed sites)
+// strike mid-fill. Containment, leak-freedom and per-seed replay identity must all still hold.
+TEST(ChaosSoak, UforkSurvivesSeededStormWithDemandPaging) {
+  SoakSystem("ufork-demand", [](KernelConfig c) { return MakeUforkKernel(c); },
+             /*demand_paging=*/true);
+}
+
+TEST(ChaosSoak, MasSurvivesSeededStormWithDemandPaging) {
+  SoakSystem("mas-demand", [](KernelConfig c) { return MakeMasKernel(c, MasParams{}); },
+             /*demand_paging=*/true);
+}
+
+TEST(ChaosSoak, VmCloneSurvivesSeededStormWithDemandPaging) {
+  SoakSystem("vmclone-demand",
+             [](KernelConfig c) { return MakeVmCloneKernel(c, VmCloneParams{}); },
+             /*demand_paging=*/true);
 }
 
 }  // namespace

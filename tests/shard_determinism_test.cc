@@ -198,6 +198,36 @@ TEST(ShardDeterminism, VmCloneMatrix) {
   RunMatrix([](KernelConfig c) { return MakeVmCloneKernel(c); }, "vmclone");
 }
 
+// Demand paging must not perturb shard determinism: the same workload — now with frame-less
+// reservations and fault-driven zero-fill windows on every root and child — stays
+// guest-visible-identical at every shard count (the CI TSan matrix runs these rows too).
+TEST(ShardDeterminism, UforkDemandPagingMatrix) {
+  RunMatrix(
+      [](KernelConfig c) {
+        c.demand_paging = true;
+        return MakeUforkKernel(c);
+      },
+      "ufork-demand");
+}
+
+TEST(ShardDeterminism, MasDemandPagingMatrix) {
+  RunMatrix(
+      [](KernelConfig c) {
+        c.demand_paging = true;
+        return MakeMasKernel(c);
+      },
+      "mas-demand");
+}
+
+TEST(ShardDeterminism, VmCloneDemandPagingMatrix) {
+  RunMatrix(
+      [](KernelConfig c) {
+        c.demand_paging = true;
+        return MakeVmCloneKernel(c);
+      },
+      "vmclone-demand");
+}
+
 // Repeated same-shard-count runs must be bit-identical in everything RunOutcome captures —
 // seed-stability, the property the TSan job soaks.
 TEST(ShardDeterminism, RepeatedRunsAreStable) {

@@ -125,6 +125,49 @@ TEST(SyscallErrors, ShmAndMqErrorPaths) {
   });
 }
 
+TEST(SyscallErrors, MmapAnonZeroOrMisalignedLengthIsEinval) {
+  RunOnAllSystems([](Guest& g) -> SimTask<void> {
+    // POSIX: EINVAL for a zero or non-page-multiple length; ENOMEM is reserved for real
+    // exhaustion of the zone. Must hold identically on all three systems.
+    auto zero = co_await g.MmapAnon(0);
+    CO_ASSERT_EQ(zero.code(), Code::kErrInval);
+    auto crooked = co_await g.MmapAnon(kPageSize + 1);
+    CO_ASSERT_EQ(crooked.code(), Code::kErrInval);
+    auto sub_page = co_await g.MmapAnon(123);
+    CO_ASSERT_EQ(sub_page.code(), Code::kErrInval);
+    // The error returns left the lock discipline balanced: a well-formed request still works.
+    auto ok = co_await g.MmapAnon(kPageSize);
+    CO_ASSERT_OK(ok);
+  });
+}
+
+TEST(SyscallErrors, MmapFileErrorPaths) {
+  RunOnAllSystems([](Guest& g) -> SimTask<void> {
+    auto zero = co_await g.MmapFile("/mmap-err", 0);
+    CO_ASSERT_EQ(zero.code(), Code::kErrInval);
+    auto crooked = co_await g.MmapFile("/mmap-err", kPageSize - 1);
+    CO_ASSERT_EQ(crooked.code(), Code::kErrInval);
+    auto missing = co_await g.MmapFile("/no-such-file", kPageSize);
+    CO_ASSERT_EQ(missing.code(), Code::kErrNoEnt);
+  });
+}
+
+TEST(SyscallErrors, SbrkErrorPaths) {
+  RunOnAllSystems([](Guest& g) -> SimTask<void> {
+    auto brk = co_await g.Sbrk(0);
+    CO_ASSERT_OK(brk);
+    // The break starts at the static heap top: any growth is ENOMEM (§4.2).
+    auto grow = co_await g.Sbrk(kPageSize);
+    CO_ASSERT_EQ(grow.code(), Code::kErrNoMem);
+    // Shrinking below the allocator's root page is EINVAL.
+    auto too_far = co_await g.Sbrk(-static_cast<int64_t>(512 * kMiB));
+    CO_ASSERT_EQ(too_far.code(), Code::kErrInval);
+    auto unchanged = co_await g.Sbrk(0);
+    CO_ASSERT_OK(unchanged);
+    CO_ASSERT_EQ(*unchanged, *brk);
+  });
+}
+
 // --- fork exhaustion: the ghost-child regression ---------------------------------------------
 //
 // CreateUprocShell registers the child in the process table (and the parent's children list)
