@@ -41,6 +41,16 @@ Subcommands:
       cores: when the recording host's context.num_cpus is below --min-cpus the gate
       SKIPS loudly (exit 0) instead of failing, so single-core CI containers stay green.
 
+  frag-gate FRAG.json [--min-recovery 0.9] [--max-pause-ratio 0.1] [--arg 32]
+      Checks the incremental-compaction acceptance criteria (DESIGN.md §4.13) on
+      bench_fragmentation output, comparing the FragmentationCompactionIncremental row
+      against the stop-the-world FragmentationCompaction row at the same checkerboard size:
+        1. recovered contiguity (largest_free_after - largest_free_before) must reach at
+           least --min-recovery times the stop-the-world pass's recovery,
+        2. the longest mutator-excluding pause (pause_cycles_max, one budgeted quantum)
+           must stay at or below --max-pause-ratio times the stop-the-world pause.
+      All counters are simulator virtual time / simulator bytes — deterministic on any host.
+
   footprint-gate HOST.json [--max-ratio 0.5] [--benchmark HttpdFleetFootprint]
               [--counter resident_frames] [--eager-arg 0] [--demand-arg 1]
       Checks the demand-paging acceptance criterion (DESIGN.md §4.12) on bench_host_throughput
@@ -274,6 +284,45 @@ def cmd_footprint_gate(args):
     return 0
 
 
+def cmd_frag_gate(args):
+    entries = load_benchmarks(args.frag)
+    stw = "FragmentationCompaction"
+    inc = "FragmentationCompactionIncremental"
+    rows = {}
+    for name in (stw, inc):
+        rows[name] = {counter: find_arg_row(entries, name, args.arg, counter)
+                      for counter in ("largest_free_before", "largest_free_after",
+                                      "pause_cycles_max")}
+    stw_recovered = rows[stw]["largest_free_after"] - rows[stw]["largest_free_before"]
+    inc_recovered = rows[inc]["largest_free_after"] - rows[inc]["largest_free_before"]
+    failures = []
+    if stw_recovered <= 0:
+        failures.append("stop-the-world pass recovered no contiguity; the checkerboard "
+                        "workload is broken")
+    recovery = inc_recovered / stw_recovered if stw_recovered > 0 else 0.0
+    stw_pause = rows[stw]["pause_cycles_max"]
+    inc_pause = rows[inc]["pause_cycles_max"]
+    pause_ratio = inc_pause / stw_pause if stw_pause > 0 else 0.0
+    print(f"  {stw}/{args.arg}: recovered {stw_recovered / 1024.0 / 1024.0:.1f} MiB contiguity "
+          f"in one {stw_pause:.0f}-cycle pause")
+    print(f"  {inc}/{args.arg}: recovered {inc_recovered / 1024.0 / 1024.0:.1f} MiB "
+          f"({recovery:.2f}x), max quantum pause {inc_pause:.0f} cycles "
+          f"({pause_ratio:.3f}x the stop-the-world pause)")
+    if stw_recovered > 0 and recovery < args.min_recovery:
+        failures.append(f"incremental compaction recovered only {recovery:.2f}x the "
+                        f"stop-the-world contiguity (need >= {args.min_recovery:.2f}x)")
+    if pause_ratio > args.max_pause_ratio:
+        failures.append(f"incremental max pause is {pause_ratio:.3f}x the stop-the-world "
+                        f"pause (need <= {args.max_pause_ratio:.2f}x)")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(f"fragmentation gate OK (recovery {recovery:.2f}x >= {args.min_recovery:.2f}x, "
+          f"pause {pause_ratio:.3f}x <= {args.max_pause_ratio:.2f}x)")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -310,6 +359,13 @@ def main():
     shard.add_argument("--counter", default="forks_per_hsec")
     shard.add_argument("--shards", default="4")
     shard.set_defaults(fn=cmd_shard_gate)
+
+    frag = sub.add_parser("frag-gate")
+    frag.add_argument("frag")
+    frag.add_argument("--min-recovery", type=float, default=0.9)
+    frag.add_argument("--max-pause-ratio", type=float, default=0.1)
+    frag.add_argument("--arg", default="32")
+    frag.set_defaults(fn=cmd_frag_gate)
 
     footprint = sub.add_parser("footprint-gate")
     footprint.add_argument("host")

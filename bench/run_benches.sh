@@ -20,6 +20,11 @@
 #     acceptance criteria: goodput at 2x saturation >= 80% of saturation goodput, zero
 #     uncontained ENOMEM deaths, and goodput >= committed baseline - 10%.
 #
+#   BENCH_fragmentation.json — the compaction checkerboard (simulator virtual time, fully
+#     deterministic). Gated on the §4.13 acceptance criteria: the incremental background
+#     service must recover >= 0.9x the stop-the-world pass's contiguity with a max
+#     mutator-excluding pause <= 0.1x the stop-the-world pause.
+#
 # --smoke: single repetition written to temporary files — verifies every benchmark still runs
 # and applies both gates without touching the committed baselines (CI uses this).
 set -eu
@@ -42,7 +47,7 @@ if [ "${smoke}" = 1 ]; then
   repetitions=1
 fi
 
-for bench in bench_host_throughput bench_fault_storm bench_overload; do
+for bench in bench_host_throughput bench_fault_storm bench_overload bench_fragmentation; do
   if [ ! -x "${build_dir}/bench/${bench}" ]; then
     echo "error: ${build_dir}/bench/${bench} not built (cmake --build ${build_dir} --target ${bench})" >&2
     exit 1
@@ -113,6 +118,27 @@ if [ "${smoke}" = 1 ]; then
 else
   mv "${storm_new}" "${storm_json}"
   echo "wrote ${storm_json}"
+fi
+
+# --- fragmentation & incremental compaction (virtual time, deterministic) -----------------------
+
+frag_json="${repo_root}/BENCH_fragmentation.json"
+frag_new="$(mktemp -t bench_frag.XXXXXX.json)"
+"${build_dir}/bench/bench_fragmentation" \
+  --benchmark_filter='FragmentationCompaction' \
+  --benchmark_out="${frag_new}" \
+  --benchmark_out_format=json
+
+if [ -n "${python3_bin}" ]; then
+  echo "fragmentation gate:"
+  "${python3_bin}" "${repo_root}/bench/check_regression.py" frag-gate "${frag_new}"
+fi
+
+if [ "${smoke}" = 1 ]; then
+  rm -f "${frag_new}"
+else
+  mv "${frag_new}" "${frag_json}"
+  echo "wrote ${frag_json}"
 fi
 
 # --- overload fleet (virtual time, deterministic per seed) --------------------------------------

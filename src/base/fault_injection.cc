@@ -30,6 +30,10 @@ const char* FaultSiteName(FaultSite site) {
       return "page-cache-fill";
     case FaultSite::kLazyFillAlloc:
       return "lazy-fill-alloc";
+    case FaultSite::kCompactStep:
+      return "compact-step";
+    case FaultSite::kRevokeSweep:
+      return "revoke-sweep";
     case FaultSite::kNumSites:
       break;
   }

@@ -47,6 +47,8 @@ enum class FaultSite : uint32_t {
   kVfsGrow,          // per-block ramdisk inode growth inside write
   kPageCacheFill,    // PageCache::GetFrame read-through fill (frame for a file page)
   kLazyFillAlloc,    // demand-fill frame allocation at fault time (zero-fill window entry)
+  kCompactStep,      // CompactionService quantum entry — a hit cancels the in-flight move
+  kRevokeSweep,      // revocation sweep quantum — a hit defers the scan, quarantine intact
   kNumSites,
 };
 

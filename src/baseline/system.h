@@ -10,12 +10,17 @@
 #include "src/baseline/mas_backend.h"
 #include "src/baseline/vmclone_backend.h"
 #include "src/kernel/kernel.h"
+#include "src/ufork/compaction.h"
 #include "src/ufork/ufork_backend.h"
 
 namespace ufork {
 
 inline std::unique_ptr<Kernel> MakeUforkKernel(KernelConfig config = {}) {
-  return std::make_unique<Kernel>(config, std::make_unique<UforkBackend>());
+  auto kernel = std::make_unique<Kernel>(config, std::make_unique<UforkBackend>());
+  // Only μFork owns a relocation mechanism, so only μFork gets the incremental compaction
+  // backend; MAS and VM-clone kernels leave the service engine-less (it never runs).
+  kernel->compaction().InstallEngine(MakeUforkCompactionEngine(*kernel));
+  return kernel;
 }
 
 inline std::unique_ptr<Kernel> MakeMasKernel(KernelConfig config = {},

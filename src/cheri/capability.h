@@ -137,6 +137,10 @@ class Capability {
   // capability found in child memory still refers to the parent μprocess.
   bool EscapesRegion(uint64_t lo, uint64_t hi) const;
 
+  // True if this capability's bounds intersect [lo, hi). Used by the revocation sweep to find
+  // capabilities whose authority falls inside a quarantined (freed or moved-from) range.
+  bool OverlapsRange(uint64_t lo, uint64_t hi) const { return base_ < hi && top_ > lo; }
+
   // Rebases a capability found in a child page: cursor and bounds are shifted by
   // (new_lo - old_lo) and then clamped to [new_lo, new_hi). Monotonicity is preserved from the
   // perspective of the child's region root. Sealed capabilities are rebased preserving otype

@@ -106,6 +106,9 @@ KernelCore::KernelCore(const KernelConfig& config, std::unique_ptr<ForkBackend> 
   // arm the controller at runtime via admission().Configure() — and free when idle: the hook
   // charges nothing and OnFramesFreed early-outs unless forkers are actually parked.
   machine_.frames().set_release_hook([this] { admission_.OnFramesFreed(); });
+  // Last: the service's constructor installs the machine VA forwarder and validates the
+  // compaction configuration against host_shards.
+  compaction_ = std::make_unique<CompactionService>(*this);
 }
 
 KernelCore::~KernelCore() = default;
@@ -389,6 +392,9 @@ void KernelCore::ReleaseUprocMemory(Uproc& uproc) {
   if (uproc.page_table == nullptr) {
     return;
   }
+  // SIGKILL aimed at a mid-move region: roll the move back on this thread so teardown (and
+  // the barrier waiters behind it) never see the region split across two bases.
+  compaction_->CancelMoveFor(uproc);
   const bool sas_region = uproc.owned_pt == nullptr;
   std::vector<uint64_t> pages;
   uproc.page_table->ForEachMapped(uproc.base, uproc.base + uproc.size,
@@ -414,6 +420,13 @@ void KernelCore::ReleaseUprocMemory(Uproc& uproc) {
     // AddressSpace::RegionContaining. Keep the region reserved (tombstone) so relocation stays
     // well-defined; reclaiming such regions is the compaction future work of §6.
     ++stats_.regions_tombstoned;
+  } else if (config_.quarantine_freed_regions) {
+    // Cornucopia-style: the freed range is unavailable for reuse — and invisible to the
+    // relocation scanner — until the revocation sweep clears every capability bounded inside
+    // it (DESIGN.md §4.13). Tombstoned regions above are exempt: their capabilities are still
+    // live fork-partner state that relocation must keep resolving.
+    address_space_.QuarantineRegion(uproc.base);
+    stats_.quarantined_bytes += uproc.size;
   } else {
     address_space_.FreeRegion(uproc.base);
   }
@@ -426,6 +439,18 @@ void KernelCore::ReleaseUprocMemory(Uproc& uproc) {
   }
   uproc.page_table = nullptr;
   uproc.fault_around = {};  // speculative spans refer to unmapped pages now
+  // Region churn is the compaction trigger's sampling point, exactly as frame release is the
+  // admission controller's: every hole this teardown opened is visible here.
+  compaction_->OnRegionChurn();
+}
+
+void KernelCore::RebaseRegionIndex(uint64_t old_base, uint64_t new_base, Pid pid) {
+  std::unique_lock lk(table_mu_);
+  auto it = region_by_base_.find(old_base);
+  if (it != region_by_base_.end() && it->second == pid) {
+    region_by_base_.erase(it);
+  }
+  region_by_base_[new_base] = pid;
 }
 
 // --- frame-accounting invariant -------------------------------------------------------------

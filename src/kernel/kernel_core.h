@@ -21,6 +21,7 @@
 #include "src/base/status.h"
 #include "src/cheri/capability.h"
 #include "src/kernel/admission.h"
+#include "src/kernel/compaction_service.h"
 #include "src/kernel/fd.h"
 #include "src/kernel/fork_backend.h"
 #include "src/kernel/isolation.h"
@@ -82,6 +83,17 @@ struct KernelConfig {
   // time automatically — frames simply don't exist earlier. Default off: eager population,
   // golden-cycle bit-identical.
   bool demand_paging = false;
+  // Incremental concurrent compaction (DESIGN.md §4.13). 0 (default) disables the background
+  // service entirely — CompactAddressSpace remains the stop-the-world special case and every
+  // golden pin stays bit-identical. >0 bounds the pages relocated per service quantum and
+  // requires host_shards == 1.
+  uint64_t compact_budget_pages = 0;
+  Cycles compact_step_interval = 5'000;  // virtual gap between quanta (mutators run here)
+  // Park freed and moved-from regions in the AddressSpace quarantine until the revocation
+  // sweep has cleared every capability bounded inside them (Cornucopia-style). Off: freed
+  // ranges return to the free list immediately, as the historical kernel did.
+  bool quarantine_freed_regions = false;
+  CompactionTriggerConfig compact_trigger;
   CostModel costs;
   // Sharded-host execution (DESIGN.md §4.11): partition the simulated cores across this many
   // host worker threads. 1 (default) runs the historical single-threaded loop bit-identically.
@@ -126,6 +138,16 @@ struct KernelStats {
   StatCounter admission_parked;    // would-be forkers parked on the backpressure queue
   StatCounter admission_resumed;   // parked forkers woken as frames freed
   StatCounter parked_wait_cycles_max;  // longest park (virtual cycles) any forker endured
+  // Incremental compaction + revocation (DESIGN.md §4.13). Zero unless compact_budget_pages>0
+  // or a quarantine sweep ran. pause_cycles_max covers the stop-the-world path too, so the
+  // frag-gate can compare STW pause against the incremental per-quantum maximum.
+  StatCounter compact_steps;          // service quanta that moved pages or swept frames
+  StatCounter compact_regions_moved;  // moves committed by the background service
+  StatCounter compact_parked;         // syscalls parked on the mid-move barrier
+  StatCounter pause_cycles_max;       // longest mutator-excluding pause (one quantum, or the
+                                      // whole pass for stop-the-world compaction)
+  StatCounter quarantined_bytes;      // cumulative bytes that entered quarantine
+  StatCounter caps_revoked;           // capabilities untagged by the revocation sweep
   // Kernel entries per syscall id, indexed by Sys and incremented by SyscallScope::Enter.
   // Σ per_syscall == syscalls (delivery points such as check_signals enter no kernel section
   // and count in neither).
@@ -168,6 +190,11 @@ class KernelCore {
   // Overload control (DESIGN.md §4.10): watermark hysteresis, EAGAIN rejection and the
   // backpressure park queue consulted by ProcService::Fork/Spawn. Disabled by default.
   AdmissionController& admission() { return admission_; }
+
+  // Incremental background compaction + revocation sweeping (DESIGN.md §4.13). Inert unless
+  // a backend engine is installed and compact_budget_pages > 0.
+  CompactionService& compaction() { return *compaction_; }
+  const CompactionService& compaction() const { return *compaction_; }
 
   // VFS-unified page cache (DESIGN.md §4.12): refcounted frames keyed by (inode, page),
   // read-through filled from ramdisk inodes, shared clean into SysMmapFile mappings.
@@ -251,6 +278,11 @@ class KernelCore {
   // Releases all frames mapped in the μprocess region and the region itself.
   void ReleaseUprocMemory(Uproc& uproc);
 
+  // Re-keys the SAS region-base index after compaction moves a region. Without this the index
+  // entry stays keyed at the old base: UprocByAddress would resolve stale addresses to the
+  // moved μprocess and miss its new range until teardown.
+  void RebaseRegionIndex(uint64_t old_base, uint64_t new_base, Pid pid);
+
   // Undoes CreateUprocShell on a construction-failure path: removes the shell from the process
   // table and the parent's child list. Without this, a failed fork/spawn leaves a permanently
   // kRunning ghost child that makes the parent's wait() block forever instead of ECHILD.
@@ -332,6 +364,7 @@ class KernelCore {
   FaultInjector fault_injector_;
   AdmissionController admission_;
   std::unique_ptr<PageCache> page_cache_;
+  std::unique_ptr<CompactionService> compaction_;
   KernelFrameRefsProvider kernel_frame_refs_;
 };
 

@@ -150,6 +150,16 @@ std::string KernelSummaryReport(Kernel& kernel) {
      << "  address space: " << kernel.address_space().Stats().region_count << " regions, "
      << std::fixed << std::setprecision(3)
      << kernel.address_space().Stats().ExternalFragmentation() << " external fragmentation\n";
+  if (kernel.config().compact_budget_pages > 0 || stats.quarantined_bytes.value() > 0 ||
+      stats.caps_revoked.value() > 0) {
+    os << "  compaction: steps=" << stats.compact_steps
+       << " regions moved=" << stats.compact_regions_moved
+       << " parked at barrier=" << stats.compact_parked
+       << " pause max=" << stats.pause_cycles_max << " cycles\n"
+       << "  revocation: quarantined bytes=" << stats.quarantined_bytes
+       << " (now " << kernel.address_space().Stats().quarantined_bytes
+       << ") caps revoked=" << stats.caps_revoked << "\n";
+  }
   const AdmissionController& admission = kernel.admission();
   if (admission.enabled()) {
     const OverloadConfig& overload = admission.config();

@@ -18,6 +18,13 @@ SimTask<Result<void>> SyscallScope::Enter() {
   UF_CHECK_MSG(!entered_ && !open_, "SyscallScope::Enter called twice");
   UF_CHECK_MSG(desc_.klass != SyscallClass::kNoEntry,
                "delivery points must not enter the kernel");
+  // Incremental-compaction barrier (DESIGN.md §4.13): a syscall entered from the region that
+  // is mid-move parks until the move commits or cancels, then proceeds against the (possibly
+  // rebased) μprocess state. One load+compare when no move is in flight.
+  CompactionService& compaction = core_.compaction();
+  if (compaction.NeedsBarrier(caller_.base)) [[unlikely]] {
+    co_await compaction.BarrierOn(caller_);
+  }
   KernelStats& stats = core_.stats();
   ++stats.syscalls;
   ++stats.Count(desc_.id);
@@ -59,6 +66,13 @@ void SyscallScope::Leave() {
 
 SimTask<void> SyscallScope::Reacquire() {
   UF_CHECK_MSG(entered_ && !open_, "Reacquire without a preceding Leave");
+  // A blocked caller woken while its region is mid-move (e.g. an mq write landing on a parked
+  // reader) must not touch kernel or guest state split across two bases: park here until the
+  // move resolves, exactly as a fresh entry would.
+  CompactionService& compaction = core_.compaction();
+  if (compaction.NeedsBarrier(caller_.base)) [[unlikely]] {
+    co_await compaction.BarrierOn(caller_);
+  }
   if (lock_ != nullptr) {
     co_await lock_->Acquire();
   } else if (host_locks_ != nullptr) {

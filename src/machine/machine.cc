@@ -11,6 +11,13 @@ Result<Pte> Machine::TranslateForAccess(PageTable& pt, uint64_t page_va, uint64_
                                         bool is_write, bool is_tagged_cap_load) {
   for (int attempt = 0; attempt < 2; ++attempt) {
     Pte* pte = pt.LookupMutable(page_va);
+    if (pte == nullptr && va_forwarder_) {
+      // Mid-move forwarding: pages already relocated by the incremental compactor are mapped
+      // only at their destination; the service's window translates the stale source VA.
+      if (const std::optional<uint64_t> fwd = va_forwarder_(page_va); fwd.has_value()) {
+        pte = pt.LookupMutable(*fwd);
+      }
+    }
     if (pte == nullptr) {
       return Error{Code::kFaultNotMapped, "access to unmapped page"};
     }

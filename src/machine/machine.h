@@ -16,6 +16,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -63,6 +64,14 @@ class Machine {
 
   void set_cycle_sink(std::function<void(Cycles)> sink) { cycle_sink_ = std::move(sink); }
   void set_fault_resolver(FaultResolver resolver) { fault_resolver_ = std::move(resolver); }
+
+  // Compaction forwarding window (DESIGN.md §4.13): consulted only when translation finds no
+  // PTE at all. Returning an alternate page-aligned VA retries the lookup there, so the moved
+  // prefix of a mid-move region resolves against its new half. With no move in flight the hook
+  // returns nullopt and the unmapped access faults exactly as before; the extra walk charges
+  // no cycles (the forwarding table lookup is folded into the access cost).
+  using VaForwarder = std::function<std::optional<uint64_t>(uint64_t page_va)>;
+  void set_va_forwarder(VaForwarder forwarder) { va_forwarder_ = std::move(forwarder); }
 
   void Charge(Cycles cycles) {
     if (cycle_sink_) {
@@ -131,6 +140,7 @@ class Machine {
   CostModel costs_;
   std::function<void(Cycles)> cycle_sink_;
   FaultResolver fault_resolver_;
+  VaForwarder va_forwarder_;
   std::atomic<uint64_t> cow_faults_{0};
   std::atomic<uint64_t> cap_load_faults_{0};
   std::atomic<uint64_t> demand_faults_{0};

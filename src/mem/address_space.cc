@@ -108,6 +108,47 @@ void AddressSpace::FreeRegion(uint64_t base) {
   InsertFree(base, size);
 }
 
+void AddressSpace::QuarantineRegion(uint64_t base) {
+  auto lk = WriteLock();
+  auto it = allocated_.find(base);
+  UF_CHECK_MSG(it != allocated_.end(), "quarantining an unallocated region");
+  const uint64_t size = it->second;
+  allocated_.erase(it);
+  reserve_only_.erase(base);
+  quarantined_.emplace(base, QuarantinedRange{base, size, ++quarantine_gen_});
+}
+
+std::vector<QuarantinedRange> AddressSpace::QuarantinedRanges() const {
+  auto lk = ReadLock();
+  std::vector<QuarantinedRange> ranges;
+  ranges.reserve(quarantined_.size());
+  for (const auto& [base, range] : quarantined_) {
+    ranges.push_back(range);
+  }
+  std::sort(ranges.begin(), ranges.end(),
+            [](const QuarantinedRange& a, const QuarantinedRange& b) {
+              return a.generation < b.generation;
+            });
+  return ranges;
+}
+
+void AddressSpace::ReleaseQuarantinedUpTo(uint64_t generation) {
+  auto lk = WriteLock();
+  for (auto it = quarantined_.begin(); it != quarantined_.end();) {
+    if (it->second.generation <= generation) {
+      InsertFree(it->second.base, it->second.size);
+      it = quarantined_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+uint64_t AddressSpace::quarantine_generation() const {
+  auto lk = ReadLock();
+  return quarantine_gen_;
+}
+
 void AddressSpace::MarkReserveOnly(uint64_t base) {
   auto lk = WriteLock();
   UF_CHECK_MSG(allocated_.count(base) != 0, "reserve-only tag on an unallocated region");
@@ -173,6 +214,24 @@ std::optional<uint64_t> AddressSpace::RegionSize(uint64_t base) const {
   return it->second;
 }
 
+double AddressSpace::SlotFragmentation(uint64_t slot_bytes) const {
+  auto lk = ReadLock();
+  if (allocated_.empty() || slot_bytes == 0) {
+    return 0.0;
+  }
+  // Region grants are slot-aligned (kRegionAlign), so per-region slot spans never overlap
+  // and the occupied counts sum exactly.
+  uint64_t occupied = 0;
+  uint64_t hwm_slot = 0;
+  for (const auto& [base, size] : allocated_) {
+    const uint64_t first = (base - lo_) / slot_bytes;
+    const uint64_t last = (base + size - 1 - lo_) / slot_bytes;
+    occupied += last - first + 1;
+    hwm_slot = std::max(hwm_slot, last);
+  }
+  return 1.0 - static_cast<double>(occupied) / static_cast<double>(hwm_slot + 1);
+}
+
 AddressSpaceStats AddressSpace::Stats() const {
   AddressSpaceStats stats;
   auto lk = ReadLock();
@@ -187,6 +246,9 @@ AddressSpaceStats AddressSpace::Stats() const {
     if (it != allocated_.end()) {
       stats.reserved_bytes += it->second;
     }
+  }
+  for (const auto& [base, range] : quarantined_) {
+    stats.quarantined_bytes += range.size;
   }
   return stats;
 }

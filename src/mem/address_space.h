@@ -14,6 +14,7 @@
 #include <set>
 #include <shared_mutex>
 #include <utility>
+#include <vector>
 
 #include "src/base/fault_injection.h"
 #include "src/base/rng.h"
@@ -30,6 +31,9 @@ struct AddressSpaceStats {
   // Bytes granted reserve-only (demand paging): VA handed out, frames deferred to first
   // touch. Disjoint accounting from free_bytes — these regions ARE allocated.
   uint64_t reserved_bytes = 0;
+  // Bytes parked in quarantine awaiting the revocation sweep (DESIGN.md §4.13). Neither free
+  // nor allocated: unavailable for reallocation until swept.
+  uint64_t quarantined_bytes = 0;
   // External fragmentation in [0,1]: 1 - largest_free_block / free_bytes.
   double ExternalFragmentation() const {
     if (free_bytes == 0) {
@@ -37,6 +41,16 @@ struct AddressSpaceStats {
     }
     return 1.0 - static_cast<double>(largest_free_block) / static_cast<double>(free_bytes);
   }
+};
+
+// A freed-or-moved-from range parked until the revocation sweep clears every capability whose
+// bounds fall inside it (Cornucopia-style quarantine, DESIGN.md §4.13). Generation stamps give
+// the sweeper a cutoff: a pass revokes every range quarantined before the pass began, and
+// ranges arriving mid-pass wait for the next one.
+struct QuarantinedRange {
+  uint64_t base = 0;
+  uint64_t size = 0;
+  uint64_t generation = 0;
 };
 
 class AddressSpace {
@@ -49,6 +63,21 @@ class AddressSpace {
   Result<uint64_t> AllocateRegion(uint64_t size, uint64_t align);
 
   void FreeRegion(uint64_t base);
+
+  // Moves an allocated region onto the quarantine list instead of the free list. The range is
+  // invisible to RegionContaining (relocation scans strip capabilities pointing into it) and
+  // unavailable for reallocation until ReleaseQuarantinedUpTo returns it to the free list.
+  void QuarantineRegion(uint64_t base);
+
+  // Snapshot of the quarantine list in arrival (generation) order.
+  std::vector<QuarantinedRange> QuarantinedRanges() const;
+
+  // Returns every quarantined range with generation <= `generation` to the free list. Called
+  // only after a full revocation pass has cleared all capabilities bounded inside them.
+  void ReleaseQuarantinedUpTo(uint64_t generation);
+
+  // Generation stamp of the most recently quarantined range (0 if none ever).
+  uint64_t quarantine_generation() const;
 
   // Allocates exactly [base, base+size); fails if the range is not wholly free. Used by the
   // compactor to place regions deterministically.
@@ -81,6 +110,15 @@ class AddressSpace {
   // Arms mu_: until called, all lock acquisitions are skipped (single host thread). Call once,
   // before any shard worker starts, when the owning kernel runs with host_shards > 1.
   void EnableSharding() { sharded_ = true; }
+
+  // Fragmentation over the `slot_bytes`-sized allocation slots spanned by live regions: the
+  // fraction of slots at or below the highest allocated region's slot that cover no allocated
+  // byte. 0.0 when empty or packed against lo(); rises toward 1.0 as exits punch holes below
+  // the high-water region. The compaction trigger's pressure metric: unlike
+  // ExternalFragmentation (which the arena's vast untouched tail pins near zero), this only
+  // looks at the footprint compaction could actually shrink. Quarantined ranges count as free
+  // slots — they are exactly the holes the sweep is about to hand back.
+  double SlotFragmentation(uint64_t slot_bytes) const;
 
   // Deterministic fault injection (FaultSite::kRegionGrant / kCompactTarget). Null: disabled.
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
@@ -121,9 +159,11 @@ class AddressSpace {
   // run at shards>1 — the determinism contract covers guest-visible state, which must not be
   // derived from absolute addresses (counts, sizes, and contents all are address-free).
   mutable std::shared_mutex mu_;
-  std::map<uint64_t, uint64_t> free_;       // base -> size, coalesced
-  std::map<uint64_t, uint64_t> allocated_;  // base -> size
-  std::set<uint64_t> reserve_only_;         // bases of demand-reserved regions
+  std::map<uint64_t, uint64_t> free_;            // base -> size, coalesced
+  std::map<uint64_t, uint64_t> allocated_;       // base -> size
+  std::set<uint64_t> reserve_only_;              // bases of demand-reserved regions
+  std::map<uint64_t, QuarantinedRange> quarantined_;  // base -> range awaiting revocation
+  uint64_t quarantine_gen_ = 0;
   std::optional<Rng> aslr_rng_;
 };
 

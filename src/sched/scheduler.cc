@@ -390,6 +390,12 @@ bool Scheduler::IsAlive(ThreadId tid) const {
          threads_[tid]->state() != SimThread::State::kDone;
 }
 
+bool Scheduler::IsBlocked(ThreadId tid) const {
+  std::lock_guard<std::mutex> lk(spawn_mu_);
+  return tid < threads_.size() && threads_[tid] != nullptr &&
+         threads_[tid]->state() == SimThread::State::kBlocked;
+}
+
 void Scheduler::SetThreadContext(ThreadId tid, void* context) {
   SimThread* t = ThreadAt(tid);
   UF_CHECK(t != nullptr);

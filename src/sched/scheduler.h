@@ -226,6 +226,11 @@ class Scheduler {
 
   bool IsAlive(ThreadId tid) const;
 
+  // True if the thread exists and is parked on a WaitQueue (not ready, running, or done). The
+  // compaction planner uses this as its quiescence test: a μprocess whose every thread is
+  // blocked cannot observe its region mid-move except through the forwarding window.
+  bool IsBlocked(ThreadId tid) const;
+
   // Attaches an opaque context (owning kernel object) to a thread control block.
   void SetThreadContext(ThreadId tid, void* context);
 

@@ -84,12 +84,13 @@ const char* LockModeName(LockMode mode);
 // The coarse-grained subsystems kernel sections belong to. Each syscall declares its domain in
 // the syscall table; SyscallScope acquires the domain's lock.
 enum class LockDomain : uint8_t {
-  kProc = 0,  // process lifecycle: fork/wait/exit/signals/exec/threads
-  kFile = 1,  // VFS and descriptor table operations
-  kIpc = 2,   // pipes, message queues, shared memory, futexes
+  kProc = 0,     // process lifecycle: fork/wait/exit/signals/exec/threads
+  kFile = 1,     // VFS and descriptor table operations
+  kIpc = 2,      // pipes, message queues, shared memory, futexes
+  kCompact = 3,  // background compaction/revocation service quanta (DESIGN.md §4.13)
 };
 
-inline constexpr size_t kNumLockDomains = 3;
+inline constexpr size_t kNumLockDomains = 4;
 
 const char* LockDomainName(LockDomain domain);
 
@@ -210,6 +211,8 @@ inline const char* LockDomainName(LockDomain domain) {
       return "file";
     case LockDomain::kIpc:
       return "ipc";
+    case LockDomain::kCompact:
+      return "compact";
   }
   return "?";
 }

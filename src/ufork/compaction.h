@@ -2,18 +2,33 @@
 //
 // Long-running μFork systems can fragment the single address space: regions of exited
 // μprocesses leave holes (and tombstones, when shared frames outlive their owner). Because
-// μFork already owns a complete capability-relocation mechanism, a *stop-the-world* compactor
-// falls out naturally: slide live regions left, rewriting every tagged capability in the moved
-// region (and its register file) by the same offset translation fork uses.
+// μFork already owns a complete capability-relocation mechanism, a compactor falls out
+// naturally: slide live regions left, rewriting every tagged capability in the moved region
+// (and its register file) by the same offset translation fork uses.
 //
-// Safepoint contract (like a moving GC): compaction may only run while every movable μprocess
-// is parked at a quiescent point and will re-derive its working pointers from relocated state
-// (registers, GOT, heap) afterwards. Regions are skipped — not moved — when any frame is still
+// Two drivers share one planner/mover core:
+//
+//   CompactAddressSpace  the original *stop-the-world* pass: every movable region slides in
+//                        one call, between Run() phases. Pause grows with bytes moved.
+//   CompactionService    (src/kernel/compaction_service.h) drives the same mover a budgeted
+//                        chunk at a time from a low-priority simulated context, with mutators
+//                        running between quanta — bounded pauses for long-running fleets.
+//                        MakeUforkCompactionEngine below is the backend it drives.
+//
+// Safepoint contract (like a moving GC): the stop-the-world entry point may only run while
+// every movable μprocess is parked at a quiescent point and will re-derive its working
+// pointers from relocated state (registers, GOT, heap) afterwards — it refuses (kErrAgain) to
+// run from inside a simulated thread. The incremental engine instead enforces per-region
+// quiescence (every owner thread blocked) and relies on the service's syscall barrier and VA
+// forwarding for everyone else. Regions are skipped — not moved — when any frame is still
 // CoW/CoPA-shared with a fork partner (the partner's stale capabilities relocate through
 // AddressSpace::RegionContaining, which must keep naming the original region).
 #ifndef UFORK_SRC_UFORK_COMPACTION_H_
 #define UFORK_SRC_UFORK_COMPACTION_H_
 
+#include <memory>
+
+#include "src/kernel/compaction_service.h"
 #include "src/kernel/kernel.h"
 
 namespace ufork {
@@ -23,16 +38,24 @@ struct CompactionStats {
   uint64_t regions_moved = 0;
   uint64_t regions_skipped_shared = 0;  // still CoW/CoPA-entangled with a fork partner
   uint64_t regions_skipped_grant_failed = 0;  // target-region grant failed; layout kept as-is
+  uint64_t regions_skipped_busy = 0;  // owner not quiescent (incremental planner only)
   uint64_t regions_aborted = 0;  // relocation failed mid-region; region rolled back in place
   uint64_t pages_remapped = 0;
   uint64_t caps_relocated = 0;
   uint64_t bytes_reclaimed_contiguity = 0;  // growth of the largest free block
 };
 
-// Compacts the single address space of a μFork kernel. Must be called from outside any
-// simulated thread (between Run() phases) or from a designated compactor context while all
-// other μprocesses are parked. Only usable with the μFork (shared-page-table) backend.
+// Compacts the single address space of a μFork kernel in one stop-the-world pass. Must be
+// called from outside any simulated thread (between Run() phases) — calling it from a running
+// simulated context returns kErrAgain; use the incremental CompactionService there instead.
+// Only usable with the μFork (shared-page-table) backend.
 Result<CompactionStats> CompactAddressSpace(Kernel& kernel);
+
+// The incremental backend for the kernel's CompactionService: the same planner/mover as the
+// stop-the-world pass, plus the budgeted revocation sweep over quarantined ranges
+// (src/ufork/revocation.h). Installed by MakeUforkKernel; cumulative per-engine stats feed
+// KernelStats through the service.
+std::unique_ptr<CompactionEngine> MakeUforkCompactionEngine(Kernel& kernel);
 
 }  // namespace ufork
 

@@ -1,0 +1,67 @@
+// Budgeted capability revocation for quarantined address ranges (DESIGN.md §4.13).
+//
+// A single address space makes freed memory dangerous in a way a fork-per-process OS never
+// sees: a stale tagged capability into a freed-then-reused region is a cross-μprocess
+// use-after-free with full architectural authority (the CheriBSD/Morello analysis in
+// PAPERS.md). Cornucopia's answer, reproduced here: freed and moved-from ranges sit in the
+// AddressSpace quarantine, and the allocator may not reuse them until a sweep has walked
+// every live tagged frame and cleared each capability whose bounds fall inside a quarantined
+// range.
+//
+// The sweep is pass-based and budgeted so the compaction service can run it a slice at a
+// time: a pass snapshots the quarantined ranges and the live-frame set at its start, scans at
+// most `max_frames` tagged frames per Step (the PR 1 rank-select bitmaps skip untagged frames
+// at popcount speed, charging nothing), and releases the snapshot ranges only when the whole
+// pass completes. Ranges quarantined mid-pass carry a later generation stamp and wait for the
+// next pass. Frames created mid-pass are immune by construction: fork's relocation scan
+// strips capabilities pointing into quarantined ranges (they resolve to no allocated region)
+// as it copies.
+#ifndef UFORK_SRC_UFORK_REVOCATION_H_
+#define UFORK_SRC_UFORK_REVOCATION_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/kernel/kernel.h"
+
+namespace ufork {
+
+class RevocationSweeper {
+ public:
+  explicit RevocationSweeper(Kernel& kernel) : kernel_(kernel) {}
+
+  RevocationSweeper(const RevocationSweeper&) = delete;
+  RevocationSweeper& operator=(const RevocationSweeper&) = delete;
+
+  // True while any quarantined range awaits sweeping (including ranges arriving mid-pass).
+  bool pending() const;
+
+  // Advances the sweep by at most `max_frames` tagged frames (0 = unbounded). Returns true
+  // while work remains. A FaultSite::kRevokeSweep hit defers the slice fail-safe: nothing is
+  // scanned, nothing is released, and the quarantine stays parked for the next quantum.
+  bool Step(uint64_t max_frames);
+
+ private:
+  void BeginPass();
+
+  Kernel& kernel_;
+  bool in_pass_ = false;
+  uint64_t pass_generation_ = 0;  // quarantine-generation cutoff this pass revokes
+  std::vector<std::pair<uint64_t, uint64_t>> ranges_;  // [lo, hi) snapshot under revocation
+  std::vector<FrameId> frames_;                        // live-frame snapshot at pass start
+  size_t cursor_ = 0;                                  // next frames_ index to scan
+};
+
+// Drains the quarantine synchronously (tests, benches, end-of-soak validation).
+void SweepQuarantineToCompletion(Kernel& kernel);
+
+// The revocation invariant (ISSUE 9 acceptance): every tagged capability record in every live
+// frame whose bounds fall inside the user area lies wholly within a currently-allocated
+// region — never inside a quarantined or freed range. Returns the first violation.
+Result<void> CheckRevocationInvariant(Kernel& kernel);
+
+}  // namespace ufork
+
+#endif  // UFORK_SRC_UFORK_REVOCATION_H_

@@ -90,6 +90,24 @@ TEST(AddressSpace, RegionContainingFindsOwner) {
   EXPECT_EQ(as.RegionSize(*b), 2 * kMiB);
 }
 
+TEST(AddressSpace, SlotFragmentationTracksHolesBelowHighWater) {
+  AddressSpace as(kLo, kHi);
+  EXPECT_EQ(as.SlotFragmentation(2 * kMiB), 0.0);
+  uint64_t bases[4];
+  for (auto& base : bases) {
+    base = as.AllocateRegion(1 * kMiB, 2 * kMiB).value();
+  }
+  EXPECT_EQ(as.SlotFragmentation(2 * kMiB), 0.0) << "a packed floor has no pressure";
+  as.FreeRegion(bases[1]);
+  EXPECT_NEAR(as.SlotFragmentation(2 * kMiB), 0.25, 1e-9);
+  as.QuarantineRegion(bases[2]);
+  EXPECT_NEAR(as.SlotFragmentation(2 * kMiB), 0.5, 1e-9)
+      << "quarantined slots are holes the sweep is about to hand back";
+  as.FreeRegion(bases[3]);
+  EXPECT_EQ(as.SlotFragmentation(2 * kMiB), 0.0)
+      << "free space above the high-water region is tail, not fragmentation";
+}
+
 TEST(AddressSpace, AslrRandomizesPlacementDeterministically) {
   std::set<uint64_t> bases_seed1;
   for (int trial = 0; trial < 5; ++trial) {

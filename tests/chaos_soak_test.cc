@@ -16,6 +16,14 @@
 // Seeds 1..8 always run; UFORK_CHAOS_SEEDS="123,456" appends extra seeds (CI injects a
 // $GITHUB_RUN_ID-derived one so the fleet explores fresh schedules while any failure stays
 // replayable from the logged seed).
+//
+// UFORK_SOAK_COMPACT=1 (single-shard only) additionally runs the storm with the incremental
+// compaction service live: budgeted region moves, freed-region quarantine, and the budgeted
+// revocation sweep, with the kCompactStep / kRevokeSweep sites armed alongside everything
+// else. A mid-step hit must leave the struck region whole at one base and the quarantine
+// consistent, and the per-seed replay must still be bit-identical. After each run the
+// quarantine is drained and the revocation invariant is proved: no tagged capability bounded
+// inside a freed-and-swept range survives in any live frame.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -25,6 +33,7 @@
 
 #include "src/baseline/system.h"
 #include "src/guest/guest.h"
+#include "src/ufork/revocation.h"
 #include "tests/guest_test_util.h"
 
 namespace ufork {
@@ -49,9 +58,24 @@ int SoakShards() {
   return 1;
 }
 
-KernelConfig SoakConfig(bool demand_paging) {
+// UFORK_SOAK_COMPACT=1: storm with the incremental compaction service live. Single-shard
+// only — the service interleaves mover quanta with mutators on one virtual timeline.
+bool SoakCompact() {
+  const char* s = std::getenv("UFORK_SOAK_COMPACT");
+  return s != nullptr && std::atoi(s) != 0 && SoakShards() == 1;
+}
+
+KernelConfig SoakConfig(bool demand_paging, bool compact) {
   KernelConfig config;
   config.demand_paging = demand_paging;
+  if (compact) {
+    config.compact_budget_pages = 4;
+    config.compact_step_interval = 2'000;
+    config.quarantine_freed_regions = true;
+    config.compact_trigger.enabled = true;
+    config.compact_trigger.arm_fragmentation = 0.3;
+    config.compact_trigger.clear_fragmentation = 0.1;
+  }
   config.layout.text_size = 32 * kKiB;
   config.layout.rodata_size = 8 * kKiB;
   config.layout.got_size = 4 * kKiB;
@@ -173,8 +197,8 @@ struct SoakRun {
 
 using KernelFactory = std::unique_ptr<Kernel> (*)(KernelConfig config);
 
-SoakRun RunSoak(KernelFactory make, uint64_t seed, bool demand_paging) {
-  auto kernel = make(SoakConfig(demand_paging));
+SoakRun RunSoak(KernelFactory make, uint64_t seed, bool demand_paging, bool compact) {
+  auto kernel = make(SoakConfig(demand_paging, compact));
   auto pid = kernel->Spawn(MakeGuestEntry([](Guest& g) -> SimTask<void> {
                              co_await RunInit(g);
                            }),
@@ -198,6 +222,16 @@ SoakRun RunSoak(KernelFactory make, uint64_t seed, bool demand_paging) {
   if (run.stats.regions_tombstoned == 0) {
     EXPECT_EQ(run.frames_in_use, 0u) << "frames leaked under seed " << seed;
   }
+  if (compact) {
+    // Whatever the injector did to compaction quanta mid-storm, the quarantine must drain
+    // cleanly and the revocation invariant must hold: no tagged capability with bounds
+    // inside a freed-and-swept range is loadable from any live frame.
+    SweepQuarantineToCompletion(*kernel);
+    const auto invariant = CheckRevocationInvariant(*kernel);
+    EXPECT_TRUE(invariant.ok()) << "seed " << seed << ": "
+                                << (invariant.ok() ? "" : invariant.error().message);
+    EXPECT_EQ(kernel->address_space().Stats().quarantined_bytes, 0u) << "seed " << seed;
+  }
   return run;
 }
 
@@ -216,6 +250,14 @@ void ExpectStatsEq(const KernelStats& a, const KernelStats& b, uint64_t seed) {
   EXPECT_EQ(a.pages_demand_filled, b.pages_demand_filled) << "seed " << seed;
   EXPECT_EQ(a.fault_cycles, b.fault_cycles) << "seed " << seed;
   EXPECT_EQ(a.regions_tombstoned, b.regions_tombstoned) << "seed " << seed;
+  // Incremental compaction and revocation are part of the deterministic timeline: quantum
+  // counts, moves, barrier parks and revocations must replay bit-identically too.
+  EXPECT_EQ(a.compact_steps, b.compact_steps) << "seed " << seed;
+  EXPECT_EQ(a.compact_regions_moved, b.compact_regions_moved) << "seed " << seed;
+  EXPECT_EQ(a.compact_parked, b.compact_parked) << "seed " << seed;
+  EXPECT_EQ(a.pause_cycles_max, b.pause_cycles_max) << "seed " << seed;
+  EXPECT_EQ(a.quarantined_bytes, b.quarantined_bytes) << "seed " << seed;
+  EXPECT_EQ(a.caps_revoked, b.caps_revoked) << "seed " << seed;
   EXPECT_EQ(a.per_syscall, b.per_syscall) << "seed " << seed;
 }
 
@@ -240,19 +282,22 @@ std::vector<uint64_t> SoakSeeds() {
   return seeds;
 }
 
-void SoakSystem(const char* name, KernelFactory make, bool demand_paging = false) {
+void SoakSystem(const char* name, KernelFactory make, bool demand_paging = false,
+                bool compact = false) {
   uint64_t total_failures = 0;
   uint64_t total_forks = 0;
   uint64_t total_syscalls = 0;
+  uint64_t total_compact_steps = 0;
+  uint64_t total_caps_revoked = 0;
   const std::vector<uint64_t> seeds = SoakSeeds();
   for (const uint64_t seed : seeds) {
     SCOPED_TRACE("seed " + std::to_string(seed));
-    const SoakRun first = RunSoak(make, seed, demand_paging);
+    const SoakRun first = RunSoak(make, seed, demand_paging, compact);
     if (SoakShards() == 1) {
       // Replay bit-identity is a single-shard property: with concurrent shard workers the
       // injector's hit order — and therefore which μprocess a probabilistic policy strikes —
       // follows host timing. RunSoak's containment and leak checks hold at any shard count.
-      const SoakRun replay = RunSoak(make, seed, demand_paging);
+      const SoakRun replay = RunSoak(make, seed, demand_paging, compact);
       EXPECT_EQ(first.completion, replay.completion)
           << "chaos run is not a pure function of the seed";
       EXPECT_EQ(first.failures_injected, replay.failures_injected);
@@ -261,18 +306,30 @@ void SoakSystem(const char* name, KernelFactory make, bool demand_paging = false
     total_failures += first.failures_injected;
     total_forks += first.stats.forks;
     total_syscalls += first.stats.syscalls;
+    total_compact_steps += first.stats.compact_steps;
+    total_caps_revoked += first.stats.caps_revoked;
   }
   // The storm must actually storm: across the seed set, injections fired.
   EXPECT_GT(total_failures, 0u);
+  if (compact) {
+    // And the compaction soak must actually compact: the service ran quanta under fire.
+    EXPECT_GT(total_compact_steps, 0u);
+  }
   // One summary line per system so a CI log records what the soak exercised.
-  std::printf("[chaos] %s: seeds=%zu injections=%llu forks=%llu syscalls=%llu\n", name,
-              seeds.size(), static_cast<unsigned long long>(total_failures),
+  std::printf("[chaos] %s: seeds=%zu injections=%llu forks=%llu syscalls=%llu"
+              " compact-steps=%llu caps-revoked=%llu\n",
+              name, seeds.size(), static_cast<unsigned long long>(total_failures),
               static_cast<unsigned long long>(total_forks),
-              static_cast<unsigned long long>(total_syscalls));
+              static_cast<unsigned long long>(total_syscalls),
+              static_cast<unsigned long long>(total_compact_steps),
+              static_cast<unsigned long long>(total_caps_revoked));
 }
 
 TEST(ChaosSoak, UforkSurvivesSeededStorm) {
-  SoakSystem("ufork", [](KernelConfig c) { return MakeUforkKernel(c); });
+  // Only the μFork backend owns a compaction engine, so only its soaks honor
+  // UFORK_SOAK_COMPACT (the CI chaos matrix's compaction row).
+  SoakSystem("ufork", [](KernelConfig c) { return MakeUforkKernel(c); },
+             /*demand_paging=*/false, SoakCompact());
 }
 
 TEST(ChaosSoak, MasSurvivesSeededStorm) {
@@ -288,7 +345,7 @@ TEST(ChaosSoak, VmCloneSurvivesSeededStorm) {
 // strike mid-fill. Containment, leak-freedom and per-seed replay identity must all still hold.
 TEST(ChaosSoak, UforkSurvivesSeededStormWithDemandPaging) {
   SoakSystem("ufork-demand", [](KernelConfig c) { return MakeUforkKernel(c); },
-             /*demand_paging=*/true);
+             /*demand_paging=*/true, SoakCompact());
 }
 
 TEST(ChaosSoak, MasSurvivesSeededStormWithDemandPaging) {
