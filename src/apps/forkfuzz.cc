@@ -1,12 +1,26 @@
 #include "src/apps/forkfuzz.h"
 
-#include "src/base/rng.h"
+#include <sstream>
 
 namespace ufork {
 namespace {
 
 constexpr uint64_t kMaxInputBytes = 64;
 constexpr int kCrashExit = 139;  // 128 + SIGSEGV, the classic crash status
+constexpr size_t kMaxProgramSteps = 8;
+// Fork-refusal policy: a handful of retries with doubling virtual backoff, then skip the
+// case. Refusals come from chaos-injected frame exhaustion (ENOMEM) or admission pushback
+// (EAGAIN) — both transient by design, and neither may abort the campaign.
+constexpr int kMaxForkAttempts = 4;
+constexpr Cycles kForkBackoffStart = 20'000;
+
+// What a finished case reports back to the server. The child deposits into this host-side
+// slot before exiting — the simulator's zero-cost stand-in for the fork server's status pipe
+// (the battery's differential harness uses a real pipe; the fuzz loop keeps the fast path).
+struct CaseCapture {
+  Code code = Code::kOk;
+  uint8_t site = kFuzzSitePlainExecute;
+};
 
 std::vector<std::byte> MutateInput(Rng& rng) {
   std::vector<std::byte> input(1 + rng.NextBelow(kMaxInputBytes));
@@ -16,24 +30,155 @@ std::vector<std::byte> MutateInput(Rng& rng) {
   return input;
 }
 
-SimTask<void> RunOneForkedCase(Guest& g, const FuzzTarget& target,
-                               std::vector<std::byte> input, FuzzStats* stats) {
+// Structure-aware mutation over attack programs: seed from a battery program half the time,
+// then apply a few insert/remove/perturb edits. Decoding is total (any byte is an op mod
+// kNumOps), so the byte-level and program-level views never disagree.
+std::vector<std::byte> MutateAttackProgramInput(Rng& rng) {
+  AttackProgram program;
+  const std::vector<BatteryAttack>& battery = AttackBattery();
+  if (rng.NextBelow(2) == 0) {
+    program = battery[rng.NextBelow(battery.size())].program;
+  }
+  const uint64_t edits = 1 + rng.NextBelow(3);
+  for (uint64_t e = 0; e < edits; ++e) {
+    switch (rng.NextBelow(3)) {
+      case 0: {
+        const AttackStep step{static_cast<AttackOp>(rng.NextBelow(kNumAttackOps)),
+                              static_cast<uint8_t>(rng.NextU64())};
+        program.insert(program.begin() + static_cast<long>(rng.NextBelow(program.size() + 1)),
+                       step);
+        break;
+      }
+      case 1:
+        if (!program.empty()) {
+          program.erase(program.begin() + static_cast<long>(rng.NextBelow(program.size())));
+        }
+        break;
+      default:
+        if (!program.empty()) {
+          program[rng.NextBelow(program.size())].arg = static_cast<uint8_t>(rng.NextU64());
+        }
+        break;
+    }
+  }
+  if (program.empty()) {
+    program.push_back(AttackStep{AttackOp::kGotOutOfRange, 0});
+  }
+  if (program.size() > kMaxProgramSteps) {
+    program.resize(kMaxProgramSteps);
+  }
+  return EncodeAttackProgram(program);
+}
+
+std::vector<std::byte> NextInput(const FuzzTarget& target, Rng& rng) {
+  return target.mutate ? target.mutate(rng) : MutateInput(rng);
+}
+
+// Forks `case_fn`, retrying transient refusals with doubling backoff. Returns the child pid,
+// or the last refusal if the case must be skipped. Every refusal counts once.
+SimTask<Result<Pid>> ForkWithRetry(Guest& g, const GuestFn& case_fn, FuzzStats* stats) {
+  Cycles backoff = kForkBackoffStart;
+  for (int attempt = 0;; ++attempt) {
+    GuestFn fn = case_fn;  // Fork consumes its argument; keep the original for retries
+    Result<Pid> child = co_await g.Fork(std::move(fn));
+    if (child.ok()) {
+      co_return child;
+    }
+    ++stats->fork_failures;
+    const Code code = child.code();
+    const bool transient = code == Code::kErrNoMem || code == Code::kErrAgain;
+    if (!transient || attempt + 1 >= kMaxForkAttempts) {
+      co_return child;
+    }
+    (void)co_await g.Nanosleep(backoff);
+    backoff *= 2;
+  }
+}
+
+SimTask<void> RunOneForkedCase(Guest& g, const FuzzTarget& target, std::vector<std::byte> input,
+                               uint64_t seed, uint64_t iteration, FuzzStats* stats) {
+  CaseCapture capture;
+  CaseCapture* capture_out = &capture;
   // The closure captures a vector (non-trivially destructible): hoisted per the GCC 12 rule.
-  GuestFn case_fn = [&target, input](Guest& cg) -> SimTask<void> {
-    const Result<void> verdict = target.execute(cg, input);
-    co_await cg.Exit(verdict.ok() ? 0 : kCrashExit);
+  GuestFn case_fn = [&target, input, capture_out](Guest& cg) -> SimTask<void> {
+    if (target.execute_trace) {
+      const AttackTrace trace = co_await target.execute_trace(cg, input);
+      if (trace.fatal()) {
+        capture_out->code = trace.fatal_code;
+        capture_out->site = trace.steps.back().op;
+      }
+      co_await cg.Exit(trace.fatal() ? kCrashExit : 0);
+    } else {
+      const Result<void> verdict = target.execute(cg, input);
+      if (!verdict.ok()) {
+        capture_out->code = verdict.code();
+        capture_out->site = kFuzzSitePlainExecute;
+      }
+      co_await cg.Exit(verdict.ok() ? 0 : kCrashExit);
+    }
   };
-  auto child = co_await g.Fork(std::move(case_fn));
-  UF_CHECK_MSG(child.ok(), "fork server could not fork a case");
-  auto waited = co_await g.Wait();
-  UF_CHECK(waited.ok());
+  Result<Pid> child = co_await ForkWithRetry(g, case_fn, stats);
+  if (!child.ok()) {
+    co_return;  // case skipped; the refusals are already on the ledger
+  }
+  Result<WaitResult> waited = co_await g.Wait();
+  if (!waited.ok()) {
+    co_return;
+  }
   ++stats->executions;
   if (waited->status == kCrashExit) {
     ++stats->crashes;
+    stats->RecordCrash(capture.code, capture.site, seed, iteration, input);
+  }
+}
+
+const char* SiteName(uint8_t site) {
+  if (site == kFuzzSitePlainExecute) {
+    return "execute";
+  }
+  if (site < kNumAttackOps) {
+    return AttackOpName(static_cast<AttackOp>(site));
+  }
+  return "unknown";
+}
+
+void AppendHex(std::ostringstream& os, std::span<const std::byte> bytes) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (std::byte b : bytes) {
+    const uint8_t v = std::to_integer<uint8_t>(b);
+    os << kHex[v >> 4] << kHex[v & 0xF];
   }
 }
 
 }  // namespace
+
+void FuzzStats::RecordCrash(Code code, uint8_t site, uint64_t seed, uint64_t iteration,
+                            std::span<const std::byte> input) {
+  CrashBucket& bucket = buckets[{static_cast<int32_t>(code), site}];
+  if (bucket.count == 0) {
+    bucket.first_seed = seed;
+    bucket.first_iteration = iteration;
+    bucket.first_input.assign(input.begin(), input.end());
+  }
+  ++bucket.count;
+}
+
+std::string FuzzStats::Report() const {
+  std::ostringstream os;
+  os << "fuzz: execs=" << executions << " crashes=" << crashes
+     << " fork_failures=" << fork_failures << " buckets=" << buckets.size()
+     << " execs/s=" << static_cast<uint64_t>(ExecsPerSecond()) << "\n";
+  for (const auto& [key, bucket] : buckets) {
+    const auto& [code, site] = key;
+    os << "fuzz bucket: fault=" << CodeName(static_cast<Code>(code))
+       << " site=" << SiteName(site) << " count=" << bucket.count
+       << " replay: seed=" << bucket.first_seed << " iter=" << bucket.first_iteration
+       << " input=";
+    AppendHex(os, bucket.first_input);
+    os << "\n";
+  }
+  return os.str();
+}
 
 SimTask<void> RunForkServer(Guest& g, const FuzzTarget& target, uint64_t iterations,
                             uint64_t seed, FuzzStats* stats) {
@@ -41,7 +186,7 @@ SimTask<void> RunForkServer(Guest& g, const FuzzTarget& target, uint64_t iterati
   Rng rng(seed);
   const Cycles start = sched.Now();
   for (uint64_t i = 0; i < iterations; ++i) {
-    co_await RunOneForkedCase(g, target, MutateInput(rng), stats);
+    co_await RunOneForkedCase(g, target, NextInput(target, rng), seed, i, stats);
   }
   stats->elapsed = sched.Now() - start;
 }
@@ -52,21 +197,44 @@ SimTask<void> RunRespawnBaseline(Guest& g, const FuzzTarget& target, uint64_t it
   Rng rng(seed);
   const Cycles start = sched.Now();
   for (uint64_t i = 0; i < iterations; ++i) {
-    const std::vector<std::byte> input = MutateInput(rng);
-    GuestFn case_fn = [&target, input](Guest& cg) -> SimTask<void> {
+    const std::vector<std::byte> input = NextInput(target, rng);
+    CaseCapture capture;
+    CaseCapture* capture_out = &capture;
+    GuestFn case_fn = [&target, input, capture_out](Guest& cg) -> SimTask<void> {
       // No warm state: pay the full initialization for every single case.
       const Result<void> initialized = target.initialize(cg);
-      UF_CHECK(initialized.ok());
-      const Result<void> verdict = target.execute(cg, input);
-      co_await cg.Exit(verdict.ok() ? 0 : kCrashExit);
+      if (!initialized.ok()) {
+        co_await cg.Exit(1);
+        co_return;
+      }
+      if (target.execute_trace) {
+        const AttackTrace trace = co_await target.execute_trace(cg, input);
+        if (trace.fatal()) {
+          capture_out->code = trace.fatal_code;
+          capture_out->site = trace.steps.back().op;
+        }
+        co_await cg.Exit(trace.fatal() ? kCrashExit : 0);
+      } else {
+        const Result<void> verdict = target.execute(cg, input);
+        if (!verdict.ok()) {
+          capture_out->code = verdict.code();
+          capture_out->site = kFuzzSitePlainExecute;
+        }
+        co_await cg.Exit(verdict.ok() ? 0 : kCrashExit);
+      }
     };
-    auto child = co_await g.Fork(std::move(case_fn));
-    UF_CHECK(child.ok());
-    auto waited = co_await g.Wait();
-    UF_CHECK(waited.ok());
+    Result<Pid> child = co_await ForkWithRetry(g, case_fn, stats);
+    if (!child.ok()) {
+      continue;
+    }
+    Result<WaitResult> waited = co_await g.Wait();
+    if (!waited.ok()) {
+      continue;
+    }
     ++stats->executions;
     if (waited->status == kCrashExit) {
       ++stats->crashes;
+      stats->RecordCrash(capture.code, capture.site, seed, i, input);
     }
   }
   stats->elapsed = sched.Now() - start;
@@ -106,6 +274,28 @@ FuzzTarget MakeLookupTableTarget() {
     (void)accumulator;
     return OkResult();
   };
+  return target;
+}
+
+FuzzTarget MakeAttackBatteryTarget() {
+  FuzzTarget target;
+  target.init_cost = 200'000;
+  target.initialize = [](Guest& g) -> Result<void> {
+    // The battery needs no warm dictionary — a small sentinel block stands in for the state
+    // every forked case inherits, so the server/respawn comparison stays meaningful.
+    UF_ASSIGN_OR_RETURN(const Capability state, g.Malloc(64));
+    UF_RETURN_IF_ERROR(g.StoreAt<uint64_t>(state, 0, 0xA77ACC));
+    g.Compute(200'000);
+    return g.GotStore(kGotSlotFuzzTarget, state);
+  };
+  target.execute_trace = [](Guest& g, std::span<const std::byte> input) -> SimTask<AttackTrace> {
+    AttackProgram program = DecodeAttackProgram(input);
+    if (program.size() > kMaxProgramSteps) {
+      program.resize(kMaxProgramSteps);
+    }
+    co_return co_await ExecuteAttackProgram(g, std::move(program));
+  };
+  target.mutate = MutateAttackProgramInput;
   return target;
 }
 

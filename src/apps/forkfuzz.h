@@ -7,17 +7,32 @@
 // what CHERI turns memory-safety bugs into — are contained and the pristine initialized state
 // is restored for free by the next fork. The harness also supports a spawn-per-case mode to
 // quantify what the fork server saves.
+//
+// Beyond plain byte targets, the server drives the adversarial battery (src/attack/):
+// structure-aware targets decode each input as an AttackProgram, run it through the
+// interpreter, and report the full trace, so crashes bucket by (fault kind, faulting op)
+// instead of raw input bytes and every bucket carries a replayable first reproducer.
+// The server itself must survive hostile conditions: a fork refused under chaos-injected
+// ENOMEM or admission-control EAGAIN is retried with backoff and counted, never a host abort.
 #ifndef UFORK_SRC_APPS_FORKFUZZ_H_
 #define UFORK_SRC_APPS_FORKFUZZ_H_
 
 #include <functional>
+#include <map>
+#include <string>
+#include <utility>
 
+#include "src/attack/attack.h"
+#include "src/base/rng.h"
 #include "src/guest/guest.h"
 
 namespace ufork {
 
 // GOT slot where the target's initialized state lives (inherited by every forked case).
 inline constexpr int kGotSlotFuzzTarget = kGotSlotFirstUser + 2;
+
+// Bucket site for plain byte targets (no per-op attribution — the whole execute is the site).
+inline constexpr uint8_t kFuzzSitePlainExecute = 0xFF;
 
 // A fuzz target: initialized once, executed per input. Both run as guest code; Execute's
 // return distinguishes clean runs from detected bugs (a capability fault surfaced as an
@@ -27,21 +42,48 @@ struct FuzzTarget {
   std::function<Result<void>(Guest&)> initialize;
   // Runs one input against the (inherited) state. Error => crash.
   std::function<Result<void>(Guest&, std::span<const std::byte> input)> execute;
+  // Structure-aware alternative (preferred by the fork server when set): the input decodes to
+  // an AttackProgram and the returned trace attributes the crash to (fault kind, op).
+  std::function<SimTask<AttackTrace>(Guest&, std::span<const std::byte> input)> execute_trace;
+  // Input mutator; defaults to uniform random bytes when unset.
+  std::function<std::vector<std::byte>(Rng&)> mutate;
   Cycles init_cost = 2'000'000;  // the setup work fork amortizes (charged by initialize)
+};
+
+// One crash equivalence class: (fault kind, faulting site), with the first reproducer kept so
+// a soak failure is replayable from the report alone.
+struct CrashBucket {
+  uint64_t count = 0;
+  uint64_t first_seed = 0;
+  uint64_t first_iteration = 0;
+  std::vector<std::byte> first_input;
 };
 
 struct FuzzStats {
   uint64_t executions = 0;
   uint64_t crashes = 0;
+  // Fork refusals (ENOMEM under chaos, EAGAIN under admission control) the server survived —
+  // each refusal counts once, whether the retry eventually succeeded or the case was skipped.
+  uint64_t fork_failures = 0;
   Cycles elapsed = 0;
+  // Crash buckets keyed by (fault code, site). Site is the faulting AttackOp byte for
+  // structure-aware targets, kFuzzSitePlainExecute for plain byte targets.
+  std::map<std::pair<int32_t, uint8_t>, CrashBucket> buckets;
+
   double ExecsPerSecond() const {
     return elapsed == 0 ? 0.0 : static_cast<double>(executions) / ToSeconds(elapsed);
   }
+  void RecordCrash(Code code, uint8_t site, uint64_t seed, uint64_t iteration,
+                   std::span<const std::byte> input);
+  // Shell-`stats`-style report: one summary line plus one replayable line per bucket
+  // (fault kind, site name, count, first-reproducer seed/iteration/input hex).
+  std::string Report() const;
 };
 
 // Runs `iterations` random test cases through a fork server: one fork per case, inputs from a
 // deterministic mutator seeded with `seed`. Must be called from the μprocess that ran
-// target.initialize.
+// target.initialize. Fork refusals are retried with backoff; a case whose fork never succeeds
+// is skipped (counted in fork_failures), never a host abort.
 SimTask<void> RunForkServer(Guest& guest, const FuzzTarget& target, uint64_t iterations,
                             uint64_t seed, FuzzStats* stats);
 
@@ -54,6 +96,11 @@ SimTask<void> RunRespawnBaseline(Guest& guest, const FuzzTarget& target, uint64_
 // where inputs beginning with the byte 0xEE drive an out-of-bounds access that the capability
 // hardware catches.
 FuzzTarget MakeLookupTableTarget();
+
+// The battery driver: inputs decode to attack programs (every byte string is valid), the
+// mutator splices battery programs with random op/arg edits, and crashes bucket by
+// (fault kind, faulting op).
+FuzzTarget MakeAttackBatteryTarget();
 
 }  // namespace ufork
 

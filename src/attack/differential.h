@@ -1,0 +1,85 @@
+// Differential attack campaigns (DESIGN.md §4.14).
+//
+// The battery's whole point is the *diff*: every attack must produce the identical
+// guest-visible outcome — same errno trail, same contained SIGSEGV, same survivor state —
+// whether the kernel underneath forks by CoPA, CoA, full copy, MAS address spaces, or VM
+// cloning, with paging eager or on demand and the compaction service off or on. A divergence
+// is either a capability-machine bug or a backend leaking its placement into guest-visible
+// behaviour; both are exactly what this harness exists to catch.
+//
+// RunBatteryCampaign spawns one driver μprocess that forks every battery attack in order,
+// drains each child's trace through a pipe (the core-dump stand-in), reaps the status, and
+// finally folds its own registers and GOT capability table into a StateDigest. Campaign
+// results from two backends diff empty when the isolation story held.
+//
+// RunUafRevocationCampaign drives the one attack the cross-backend battery cannot: a stashed
+// capability into another μprocess's region, raced against region teardown and the PR 9
+// quarantine/revocation window. μFork-only (it needs the sweeper); quarantine on must revoke
+// the stash (deref faults kFaultTag), quarantine off must leave the stale authority live —
+// which the harness reports as unsafe.
+#ifndef UFORK_SRC_ATTACK_DIFFERENTIAL_H_
+#define UFORK_SRC_ATTACK_DIFFERENTIAL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/attack/attack.h"
+#include "src/kernel/kernel.h"
+
+namespace ufork {
+
+using SystemFactory = std::function<std::unique_ptr<Kernel>(KernelConfig)>;
+
+// One attack's guest-visible outcome: the child's exit status plus the trace it flushed.
+struct AttackVerdict {
+  std::string attack;
+  int status = -1;          // 139 = contained SIGSEGV; 0 = clean errno-only run
+  bool spawn_failed = false;  // fork of the attack child itself was refused
+  bool trace_lost = false;    // child died without flushing its trace (chaos campaigns only)
+  AttackTrace trace;
+};
+
+struct CampaignResult {
+  std::string label;
+  std::vector<AttackVerdict> verdicts;
+  uint64_t digest = 0;             // StateDigest: traces + statuses + survivor registers/GOT
+  uint64_t faults_contained = 0;   // kernel ledger total (informational, not in the digest)
+  Cycles elapsed = 0;              // campaign virtual time (informational, not in the digest)
+};
+
+// Runs the full AttackBattery() under `factory(config)`. Deterministic: equal configs and
+// equal guest-visible semantics imply byte-equal verdict lists and equal digests.
+// `on_spawned` (optional) runs after the driver μprocess is spawned but before the first
+// guest instruction — the chaos soak arms the fault-injection registry there, so spawning
+// the driver itself cannot be the injected failure.
+CampaignResult RunBatteryCampaign(const SystemFactory& factory, KernelConfig config,
+                                  std::string label,
+                                  const std::function<void(Kernel&)>& on_spawned = {});
+
+// Human-readable divergences between two campaigns (empty = identical guest-visible outcome).
+std::vector<std::string> DiffCampaigns(const CampaignResult& a, const CampaignResult& b);
+
+// --- UAF through the quarantine/revocation window --------------------------------------------
+
+struct UafCampaignResult {
+  bool quarantine_on = false;
+  bool tag_at_stash = false;    // the forged capability was live when stashed (must be true)
+  bool tag_after_free = false;  // ... and after the victim's region was torn down
+  Code deref_code = Code::kOk;  // dereference outcome after teardown
+  uint64_t caps_revoked = 0;
+  bool invariant_ok = false;  // CheckRevocationInvariant after the campaign
+
+  // The sweep revoked the stash before it could be used.
+  bool caught() const { return !tag_after_free && deref_code == Code::kFaultTag; }
+  // Stale authority over freed (possibly re-granted) memory survived: the unsafe outcome the
+  // differential harness must flag when quarantine is disabled.
+  bool unsafe() const { return tag_after_free; }
+};
+
+UafCampaignResult RunUafRevocationCampaign(bool quarantine_on);
+
+}  // namespace ufork
+
+#endif  // UFORK_SRC_ATTACK_DIFFERENTIAL_H_

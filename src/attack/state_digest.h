@@ -1,0 +1,77 @@
+// Guest-visible state digest (DESIGN.md §4.14).
+//
+// The differential harness needs more than per-attack verdicts: after a whole campaign it
+// diffs the *survivor state* of μFork against MAS and VM-clone. A digest is comparable across
+// backends only if it folds nothing backend-placed, so every capability is folded relative to
+// its region base (tag, base−region, length, cursor−base, perms, otype) and raw addresses
+// never enter the hash. Folded material: registers at the observation point, the GOT
+// capability table, exit statuses, and the full attack traces.
+#ifndef UFORK_SRC_ATTACK_STATE_DIGEST_H_
+#define UFORK_SRC_ATTACK_STATE_DIGEST_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "src/cheri/capability.h"
+#include "src/machine/register_file.h"
+
+namespace ufork {
+
+// FNV-1a, 64-bit. Order-sensitive by design: the digest pins the sequence of observations,
+// not just their multiset.
+struct StateDigest {
+  static constexpr uint64_t kOffset = 0xcbf29ce484222325ull;
+  static constexpr uint64_t kPrime = 0x100000001b3ull;
+
+  uint64_t value = kOffset;
+
+  void MixByte(uint8_t b) {
+    value ^= b;
+    value *= kPrime;
+  }
+  void Mix(uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      MixByte(static_cast<uint8_t>((x >> (8 * i)) & 0xFF));
+    }
+  }
+  void MixBytes(std::span<const std::byte> bytes) {
+    Mix(bytes.size());
+    for (std::byte b : bytes) {
+      MixByte(std::to_integer<uint8_t>(b));
+    }
+  }
+  void MixString(std::string_view s) {
+    Mix(s.size());
+    for (char c : s) {
+      MixByte(static_cast<uint8_t>(c));
+    }
+  }
+  // Address-free capability fold: offsets relative to `region_base`, never raw addresses.
+  // Untagged capabilities fold as a bare marker — their byte pattern is forged garbage whose
+  // residue is not guest-visible state.
+  void MixCap(const Capability& c, uint64_t region_base) {
+    if (!c.tag()) {
+      Mix(0x00BAD7A6);
+      return;
+    }
+    Mix(1);
+    Mix(c.base() - region_base);
+    Mix(c.length());
+    Mix(c.address() - c.base());
+    Mix(c.perms());
+    Mix(c.otype());
+  }
+  void MixRegisters(const RegisterFile& regs, uint64_t region_base) {
+    for (const Capability& c : regs.c) {
+      MixCap(c, region_base);
+    }
+    MixCap(regs.pcc, region_base);
+    MixCap(regs.csp, region_base);
+    MixCap(regs.ddc, region_base);
+  }
+};
+
+}  // namespace ufork
+
+#endif  // UFORK_SRC_ATTACK_STATE_DIGEST_H_

@@ -148,6 +148,10 @@ struct KernelStats {
                                       // whole pass for stop-the-world compaction)
   StatCounter quarantined_bytes;      // cumulative bytes that entered quarantine
   StatCounter caps_revoked;           // capabilities untagged by the revocation sweep
+  // Crash containment (§4.9, DESIGN.md §4.14): unresolvable capability/translation faults
+  // delivered as SIGSEGV to the faulting μprocess — never a host abort. The attack battery
+  // asserts this count moves in lockstep with contained-crash exit statuses.
+  StatCounter faults_contained;
   // Kernel entries per syscall id, indexed by Sys and incremented by SyscallScope::Enter.
   // Σ per_syscall == syscalls (delivery points such as check_signals enter no kernel section
   // and count in neither).

@@ -134,6 +134,8 @@ std::string KernelSummaryReport(Kernel& kernel) {
      << " speculative wasted=" << stats.speculative_pages_wasted << "\n"
      << "  fault cycles=" << stats.fault_cycles << " ("
      << std::fixed << std::setprecision(1) << ToMicroseconds(stats.fault_cycles) << " us)\n"
+     << "  contained crashes=" << stats.faults_contained
+     << " (capability/translation faults delivered as SIGSEGV)\n"
      << "  caps relocated on fault=" << stats.caps_relocated_on_fault
      << " stripped=" << stats.caps_stripped
      << " tocttou copies=" << stats.tocttou_copies << "\n"

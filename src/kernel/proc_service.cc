@@ -277,6 +277,9 @@ SimTask<void> ProcService::RaiseFault(Uproc& uproc, const Error& fault) {
   // action terminates with status 128 + SIGSEGV, leaving every other μprocess untouched.
   UF_LOG(kInfo) << uproc.name << " pid " << uproc.pid() << ": " << CodeName(fault.code)
                 << " (" << fault.message << ") -> SIGSEGV";
+  ++uproc.faults_contained;
+  uproc.last_fault = fault.code;
+  ++kernel_.stats().faults_contained;
   uproc.signals.Raise(kSigSegv);
   co_await DeliverSignals(uproc);
 }

@@ -123,6 +123,12 @@ class Uproc {
   // --- accounting ---
   ForkStats fork_stats;  // stats of the fork that created this μprocess
   uint64_t forks_performed = 0;
+  // Fault ledger (DESIGN.md §4.14): unresolvable capability/translation faults crash
+  // containment routed to SIGSEGV for *this* μprocess — the per-victim view the attack
+  // battery's StateDigest and the summary report fold, next to the kernel-wide
+  // stats().faults_contained total.
+  uint64_t faults_contained = 0;
+  Code last_fault = Code::kOk;
   FaultAroundState fault_around;  // adaptive CoW/CoPA resolution window (DESIGN.md §4.8)
   // Frame-billing tenant (DESIGN.md §4.10): inherited by fork/spawn children, stamped into
   // the FrameAllocator at every kernel entry so grants charge to this μprocess's tree.

@@ -297,5 +297,120 @@ TEST(FdSemantics, BadDescriptorsRejected) {
   });
 }
 
+// --- capability-tag integrity across IPC (DESIGN.md §4.14) ----------------------------------
+//
+// IPC transfer buffers move *bytes*, never tags: a write whose source bytes overlap a stored
+// capability must land tag-stripped at the receiver, even when the destination granule held a
+// valid capability the moment before the read overwrote it. Anything else is a laundering
+// channel — fork a child, pipe your capability's bytes to it, and the child owns your
+// authority. Checked for pipe (across a fork boundary), message queue, and VFS file, on all
+// three systems × {eager, demand paging}.
+
+// Seeds `slot` with a live capability (the receiver-side granule is *not* pristine), then
+// overwrites its 16 capability bytes from `fd` and proves the reload is untagged with the
+// source cap's byte image intact. `byte_source` may be null for cross-μprocess transfers,
+// where the sender's capability encodes the sender's own (backend-placed) addresses — there
+// only the tag-stripping half is backend-independent.
+SimTask<void> ReadOverCapAndCheckStripped(Guest& g, int fd, const Capability& slot,
+                                          const Capability* byte_source) {
+  CO_ASSERT_OK(g.StoreCap(slot, slot.base(), g.ddc().WithAddress(slot.base())));
+  auto seeded = g.LoadCap(slot, slot.base());
+  CO_ASSERT_OK(seeded);
+  CO_ASSERT_TRUE(seeded->tag());
+  auto read = co_await g.Read(fd, slot, kCapSize);
+  CO_ASSERT_OK(read);
+  CO_ASSERT_EQ(*read, static_cast<int64_t>(kCapSize));
+  auto laundered = g.LoadCap(slot, slot.base());
+  CO_ASSERT_OK(laundered);
+  EXPECT_FALSE(laundered->tag()) << "IPC delivered bytes must never carry a tag";
+  if (byte_source == nullptr) {
+    co_return;
+  }
+  // The byte image went through — only the out-of-band tag was stripped.
+  for (uint64_t off = 0; off < kCapSize; off += 8) {
+    auto got = g.Load<uint64_t>(slot, slot.base() + off);
+    auto want = g.Load<uint64_t>(*byte_source, byte_source->base() + off);
+    CO_ASSERT_OK(got);
+    CO_ASSERT_OK(want);
+    EXPECT_EQ(*got, *want);
+  }
+}
+
+GuestFn MakeTagIntegrityGuest() {
+  return [](Guest& g) -> SimTask<void> {
+    // A source granule holding a live capability whose raw bytes every channel will carry.
+    auto src = g.Malloc(32);
+    CO_ASSERT_OK(src);
+    CO_ASSERT_OK(g.StoreCap(*src, src->base(), g.ddc().WithAddress(src->base())));
+    auto dst = g.Malloc(32);
+    CO_ASSERT_OK(dst);
+
+    // Pipe, across the fork boundary: the child writes its *own* copy of the capability's
+    // bytes (fork preserved the tag inside the child's granule — that is μFork's job); the
+    // pipe still must not let the tag cross back.
+    auto pipe_fds = co_await g.Pipe();
+    CO_ASSERT_OK(pipe_fds);
+    const auto [rfd, wfd] = *pipe_fds;
+    auto child = co_await g.Fork([rfd = rfd, wfd = wfd](Guest& cg) -> SimTask<void> {
+      (void)co_await cg.Close(rfd);
+      auto mine = cg.Malloc(32);
+      CO_ASSERT_OK(mine);
+      CO_ASSERT_OK(cg.StoreCap(*mine, mine->base(), cg.ddc().WithAddress(mine->base())));
+      auto reloaded = cg.LoadCap(*mine, mine->base());
+      CO_ASSERT_OK(reloaded);
+      CO_ASSERT_TRUE(reloaded->tag());
+      CO_ASSERT_OK(co_await cg.Write(wfd, *mine, kCapSize));
+      co_await cg.Exit(0);
+    });
+    CO_ASSERT_OK(child);
+    CO_ASSERT_OK(co_await g.Close(wfd));
+    co_await ReadOverCapAndCheckStripped(g, rfd, *dst, /*byte_source=*/nullptr);
+    CO_ASSERT_OK(co_await g.Close(rfd));
+    auto waited = co_await g.Wait();
+    CO_ASSERT_OK(waited);
+    EXPECT_EQ(waited->status, 0);
+
+    // Message queue: message boundaries are preserved, tags are not.
+    auto mq = co_await g.MqOpen("/mq/tag-integrity", /*create=*/true);
+    CO_ASSERT_OK(mq);
+    CO_ASSERT_OK(co_await g.Write(*mq, *src, kCapSize));
+    co_await ReadOverCapAndCheckStripped(g, *mq, *dst, &*src);
+    CO_ASSERT_OK(co_await g.Close(*mq));
+
+    // VFS file: write, seek back, read over the seeded capability.
+    auto file = co_await g.Open("/tag-integrity", kOpenRead | kOpenWrite | kOpenCreate);
+    CO_ASSERT_OK(file);
+    CO_ASSERT_OK(co_await g.Write(*file, *src, kCapSize));
+    CO_ASSERT_OK(co_await g.Seek(*file, 0, kSeekSet));
+    co_await ReadOverCapAndCheckStripped(g, *file, *dst, &*src);
+    CO_ASSERT_OK(co_await g.Close(*file));
+    CO_ASSERT_OK(co_await g.Unlink("/tag-integrity"));
+  };
+}
+
+TEST(TagIntegrity, IpcStripsTagsOnAllSystemsAndPagingModes) {
+  struct Row {
+    const char* name;
+    std::unique_ptr<Kernel> (*make)(KernelConfig);
+  };
+  const Row rows[] = {
+      {"ufork", [](KernelConfig c) { return MakeUforkKernel(c); }},
+      {"mas", [](KernelConfig c) { return MakeMasKernel(c); }},
+      {"vmclone", [](KernelConfig c) { return MakeVmCloneKernel(c); }},
+  };
+  for (const Row& row : rows) {
+    for (const bool demand : {false, true}) {
+      SCOPED_TRACE(std::string(row.name) + (demand ? "/demand" : "/eager"));
+      KernelConfig config;
+      config.layout.heap_size = 1 * kMiB;
+      config.demand_paging = demand;
+      auto kernel = row.make(std::move(config));
+      auto pid = kernel->Spawn(MakeGuestEntry(MakeTagIntegrityGuest()), "tag-integrity");
+      ASSERT_TRUE(pid.ok());
+      kernel->Run();
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ufork
